@@ -1,0 +1,20 @@
+! The conditional-store-buffer access sequence from the paper's Section 3.2,
+! runnable with: cargo run -p csb-bench --bin explore -- --asm asm/csb_kernel.s
+    set 0x20000000, %o1     ! combining window
+    fset 0x4045000000000000, %f0
+    fset 0x4049000000000000, %f10
+    fset 0x404c800000000000, %f12
+.RETRY:
+    set 8, %l4              ! expected value
+    std %f0,  [%o1]         ! store 8 dwords in any order
+    std %f10, [%o1+40]
+    std %f0,  [%o1+16]
+    std %f10, [%o1+24]
+    std %f12, [%o1+32]
+    std %f0,  [%o1+48]
+    std %f10, [%o1+56]
+    std %f12, [%o1+8]
+    swap [%o1], %l4         ! conditional flush
+    cmp %l4, 8              ! compare values
+    bnz .RETRY              ! retry on failure
+    halt

@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the design-choice ablations called out in
+//! DESIGN.md: CSB extensions, related-work combining rules, loaded-bus
+//! contention, and the multi-process scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csb_core::experiments::{bandwidth_point, fig5, Scheme};
+use csb_core::multiproc::{MultiSim, SwitchPolicy};
+use csb_core::{workloads, SimConfig};
+
+fn bench_csb_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_csb_variants");
+    group.sample_size(10);
+    let variants: [(&str, SimConfig); 3] = [
+        ("baseline", SimConfig::default()),
+        (
+            "double_buffered",
+            SimConfig::default().csb_double_buffered(),
+        ),
+        ("variable_burst", SimConfig::default().csb_variable_burst()),
+    ];
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::new("csb_1k", name), &cfg, |b, cfg| {
+            b.iter(|| bandwidth_point(cfg, 1024, Scheme::Csb).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_related_work(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_related_work");
+    group.sample_size(10);
+    let cfg = SimConfig::default();
+    for (name, scheme) in [("r10k", Scheme::R10k), ("ppc620", Scheme::Ppc620)] {
+        group.bench_with_input(BenchmarkId::new("bw_1k", name), &scheme, |b, &s| {
+            b.iter(|| bandwidth_point(&cfg, 1024, s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention_and_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_machine");
+    group.sample_size(10);
+
+    let loaded = SimConfig::default().bus(
+        csb_bus::BusConfig::multiplexed(8)
+            .max_burst(64)
+            .background(1.0 / 3.0, 64)
+            .build()
+            .unwrap(),
+    );
+    group.bench_function("loaded_bus_none_1k", |b| {
+        b.iter(|| bandwidth_point(&loaded, 1024, Scheme::Uncached { block: 8 }).unwrap())
+    });
+
+    for width in [2usize, 8] {
+        let cfg = SimConfig::default().cpu(csb_cpu::CpuConfig::superscalar(width));
+        group.bench_with_input(BenchmarkId::new("lock_by_width", width), &cfg, |b, cfg| {
+            b.iter(|| {
+                fig5::latency_point(
+                    cfg,
+                    4,
+                    Scheme::Uncached { block: 8 },
+                    fig5::LockResidency::Hit,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multiproc");
+    group.sample_size(10);
+    group.bench_function("two_workers_sliced", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default();
+            let programs = vec![
+                workloads::csb_worker(3, 8, 0, &cfg).unwrap(),
+                workloads::csb_worker(3, 8, 1, &cfg).unwrap(),
+            ];
+            let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(60)).unwrap();
+            ms.run(10_000_000).unwrap().cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csb_variants,
+    bench_related_work,
+    bench_contention_and_width,
+    bench_multiproc
+);
+criterion_main!(benches);

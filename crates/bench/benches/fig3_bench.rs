@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the Figure 3 workload points (multiplexed bus):
+//! host-side cost of regenerating each panel's heaviest column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csb_bus::BusConfig;
+use csb_core::experiments::{bandwidth_point, Scheme};
+use csb_core::SimConfig;
+
+fn bench_fig3_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+
+    // (a)-(c): frequency ratios on a 32-byte line.
+    for ratio in [3u64, 6, 9] {
+        let cfg = SimConfig::default()
+            .line_size(32)
+            .bus(BusConfig::multiplexed(8).max_burst(32).build().unwrap())
+            .frequency_ratio(ratio);
+        group.bench_with_input(BenchmarkId::new("ratio_csb_1k", ratio), &cfg, |b, cfg| {
+            b.iter(|| bandwidth_point(cfg, 1024, Scheme::Csb).unwrap())
+        });
+    }
+
+    // (d)-(f): line sizes at ratio 6.
+    for line in [32usize, 64, 128] {
+        let cfg = SimConfig::default()
+            .line_size(line)
+            .bus(BusConfig::multiplexed(8).max_burst(line).build().unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("line_full_combine_1k", line),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| bandwidth_point(cfg, 1024, Scheme::Uncached { block: line }).unwrap())
+            },
+        );
+    }
+
+    // (g)-(i): bus overheads at ratio 6, 64-byte line.
+    for (name, turnaround, delay) in [
+        ("turnaround", 1u64, 0u64),
+        ("delay4", 0, 4),
+        ("delay8", 0, 8),
+    ] {
+        let cfg = SimConfig::default().bus(
+            BusConfig::multiplexed(8)
+                .max_burst(64)
+                .turnaround(turnaround)
+                .min_addr_delay(delay)
+                .build()
+                .unwrap(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overhead_none_1k", name),
+            &cfg,
+            |b, cfg| b.iter(|| bandwidth_point(cfg, 1024, Scheme::Uncached { block: 8 }).unwrap()),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_points);
+criterion_main!(benches);

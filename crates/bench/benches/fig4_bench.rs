@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the Figure 4 workload points (split bus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csb_bus::BusConfig;
+use csb_core::experiments::{bandwidth_point, Scheme};
+use csb_core::SimConfig;
+
+fn bench_fig4_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    for width in [16usize, 32] {
+        let cfg = SimConfig::default().bus(BusConfig::split(width).max_burst(64).build().unwrap());
+        group.bench_with_input(BenchmarkId::new("width_csb_1k", width), &cfg, |b, cfg| {
+            b.iter(|| bandwidth_point(cfg, 1024, Scheme::Csb).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("width_none_1k", width), &cfg, |b, cfg| {
+            b.iter(|| bandwidth_point(cfg, 1024, Scheme::Uncached { block: 8 }).unwrap())
+        });
+    }
+
+    for (name, turnaround, delay) in [
+        ("turnaround", 1u64, 0u64),
+        ("delay4", 0, 4),
+        ("delay8", 0, 8),
+    ] {
+        let cfg = SimConfig::default().bus(
+            BusConfig::split(16)
+                .max_burst(64)
+                .turnaround(turnaround)
+                .min_addr_delay(delay)
+                .build()
+                .unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::new("overhead_csb_1k", name), &cfg, |b, cfg| {
+            b.iter(|| bandwidth_point(cfg, 1024, Scheme::Csb).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_points);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the Figure 5 workload points (atomic access).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csb_core::experiments::{fig5, Scheme};
+use csb_core::SimConfig;
+
+fn bench_fig5_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let cfg = SimConfig::default();
+
+    for dwords in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("lock_hit", dwords), &dwords, |b, &d| {
+            b.iter(|| {
+                fig5::latency_point(
+                    &cfg,
+                    d,
+                    Scheme::Uncached { block: 8 },
+                    fig5::LockResidency::Hit,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lock_miss", dwords), &dwords, |b, &d| {
+            b.iter(|| {
+                fig5::latency_point(
+                    &cfg,
+                    d,
+                    Scheme::Uncached { block: 8 },
+                    fig5::LockResidency::Miss,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("csb", dwords), &dwords, |b, &d| {
+            b.iter(|| fig5::latency_point(&cfg, d, Scheme::Csb, fig5::LockResidency::Hit).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_points);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the simulator kernel itself: simulated-cycles-per-
+//! second throughput for the main machine activities (host performance, not
+//! paper results).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csb_core::{workloads, SimConfig, Simulator};
+use csb_isa::{Assembler, Reg};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    // Pure ALU loop: front-end + issue + retire cost per simulated cycle.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("alu_loop", |b| {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.movi(Reg::L0, 2000);
+        a.bind(top).unwrap();
+        a.alui(csb_isa::AluOp::Sub, Reg::L0, Reg::L0, 1);
+        a.cmpi(Reg::L0, 0);
+        a.bnz(top);
+        a.halt();
+        let program = a.assemble().unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::default(), program.clone()).unwrap();
+            sim.run(1_000_000).unwrap().cycles
+        })
+    });
+
+    // Uncached store stream: buffer + bus machinery.
+    group.bench_function("uncached_stream_1k", |b| {
+        let cfg = SimConfig::default();
+        let program =
+            workloads::store_bandwidth(1024, &cfg, workloads::StorePath::Uncached).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::new(cfg.clone(), program.clone()).unwrap();
+            sim.run(10_000_000).unwrap().cycles
+        })
+    });
+
+    // CSB stream: combining + flush machinery.
+    group.bench_function("csb_stream_1k", |b| {
+        let cfg = SimConfig::default();
+        let program = workloads::store_bandwidth(1024, &cfg, workloads::StorePath::Csb).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::new(cfg.clone(), program.clone()).unwrap();
+            sim.run(10_000_000).unwrap().cycles
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Regenerates the in-text ablation studies: superscalar width vs. lock
+//! overhead (§4.3.2), the double-buffered CSB, the variable-burst CSB
+//! (§3.2), and the PIO/DMA break-even sweep (§5).
+//!
+//! Usage: `cargo run -p csb-bench --bin ablations [--json out.json]`
+
+use csb_core::dma::{DmaModel, PioMethod, MESSAGE_SIZES};
+use csb_core::experiments::{ablations, format_table};
+use csb_core::SimConfig;
+
+fn main() {
+    // --- Superscalar width vs. lock overhead --------------------------
+    let widths = ablations::superscalar_widths(4).expect("width ablation simulates");
+    let headers = vec![
+        "width".to_string(),
+        "lock cycles".to_string(),
+        "CSB cycles".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = widths
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}-way", r.width),
+                r.lock_cycles.to_string(),
+                r.csb_cycles.to_string(),
+            ]
+        })
+        .collect();
+    println!("Superscalar width vs. atomic-access latency (4 dwords, lock hits L1)");
+    println!("{}", format_table(&headers, &rows));
+
+    // --- CSB extensions ------------------------------------------------
+    let headers = vec![
+        "bytes".to_string(),
+        "baseline B/c".to_string(),
+        "variant B/c".to_string(),
+    ];
+    let render = |rows: &[ablations::CsbVariantRow]| -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| {
+                vec![
+                    r.transfer.to_string(),
+                    format!("{:.2}", r.baseline),
+                    format!("{:.2}", r.variant),
+                ]
+            })
+            .collect()
+    };
+    let double = ablations::double_buffered().expect("double-buffer ablation simulates");
+    println!("Double-buffered CSB (second line buffer, §3.2)");
+    println!("{}", format_table(&headers, &render(&double)));
+    let variable = ablations::variable_burst().expect("variable-burst ablation simulates");
+    println!("Variable-burst CSB (multiple burst sizes, §3.2)");
+    println!("{}", format_table(&headers, &render(&variable)));
+
+    // --- Related-work baselines under store-order pressure --------------
+    let rows = ablations::related_work().expect("related-work ablation simulates");
+    let headers = vec![
+        "bytes".to_string(),
+        "scheme".to_string(),
+        "ascending B/c".to_string(),
+        "shuffled B/c".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.transfer.to_string(),
+                r.scheme.clone(),
+                format!("{:.2}", r.ascending),
+                format!("{:.2}", r.shuffled),
+            ]
+        })
+        .collect();
+    println!("Hardware pattern combining vs. store order (§2: R10000 / PowerPC 620)");
+    println!("{}", format_table(&headers, &table));
+
+    // --- Buffer depth and uncached issue rate ---------------------------
+    let rows = ablations::buffer_capacity().expect("capacity ablation simulates");
+    let headers = vec![
+        "entries".to_string(),
+        "none B/c".to_string(),
+        "full-line B/c".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.capacity.to_string(),
+                format!("{:.2}", r.none),
+                format!("{:.2}", r.full_line),
+            ]
+        })
+        .collect();
+    println!("Uncached buffer depth vs. bandwidth (1 KiB)");
+    println!("{}", format_table(&headers, &table));
+
+    let rows = ablations::uncached_issue_rate().expect("issue-rate ablation simulates");
+    let headers = vec![
+        "uncached/cycle".to_string(),
+        "CSB cycles (8 dwords)".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.per_cycle.to_string(), r.csb_cycles.to_string()])
+        .collect();
+    println!("Retirement-stage uncached issue rate vs. CSB latency");
+    println!("{}", format_table(&headers, &table));
+
+    // --- Loaded bus: turnaround approximation vs. real contention -------
+    let rows = ablations::loaded_bus().expect("loaded-bus ablation simulates");
+    let headers = vec![
+        "scheme".to_string(),
+        "idle B/c".to_string(),
+        "turnaround approx".to_string(),
+        "1/3 contention".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.2}", r.idle),
+                format!("{:.2}", r.turnaround_approx),
+                format!("{:.2}", r.contention),
+            ]
+        })
+        .collect();
+    println!(
+        "Loaded bus: the paper's turnaround approximation vs. real multi-master contention (1 KiB)"
+    );
+    println!("{}", format_table(&headers, &table));
+
+    // --- PIO vs. DMA break-even (§5) ------------------------------------
+    let cfg = SimConfig::default();
+    let model = DmaModel::default();
+    for (method, name) in [
+        (PioMethod::Locked, "locked PIO"),
+        (PioMethod::Csb, "CSB PIO"),
+    ] {
+        let (rows, crossover) = model
+            .break_even(&cfg, method, &MESSAGE_SIZES)
+            .expect("break-even simulates");
+        let headers = vec![
+            "bytes".to_string(),
+            "PIO cycles".to_string(),
+            "DMA cycles".to_string(),
+        ];
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bytes.to_string(),
+                    r.pio_cycles.to_string(),
+                    r.dma_cycles.to_string(),
+                ]
+            })
+            .collect();
+        println!("PIO/DMA break-even, {name}");
+        println!("{}", format_table(&headers, &table));
+        match crossover {
+            Some(b) => println!("DMA wins from {b} bytes\n"),
+            None => println!("PIO wins across the sweep\n"),
+        }
+    }
+
+    if let Some(path) = csb_bench::json_path_from_args() {
+        csb_bench::dump_json(&path, &(widths, double, variable));
+    }
+}

@@ -1,0 +1,159 @@
+//! One-off configuration explorer: simulate a single bandwidth point and
+//! show its bus timeline.
+//!
+//! ```text
+//! cargo run -p csb-bench --bin explore -- \
+//!     [--bus mux|split] [--width N] [--line N] [--ratio N] \
+//!     [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
+//!     [--bytes N] [--timeline N] [--asm FILE]
+//! ```
+//!
+//! With `--asm FILE` the workload is assembled from a SPARC-flavored
+//! source file (see `csb_isa::parse_asm`) instead of generated.
+//!
+//! Defaults reproduce the paper's baseline machine with the CSB at one
+//! cache line.
+
+use csb_bus::BusConfig;
+use csb_core::{trace, workloads, SimConfig, Simulator};
+
+#[derive(Debug)]
+struct Args {
+    bus: String,
+    width: usize,
+    line: usize,
+    ratio: u64,
+    turnaround: u64,
+    delay: u64,
+    scheme: String,
+    bytes: usize,
+    timeline: u64,
+    asm: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            bus: "mux".into(),
+            width: 8,
+            line: 64,
+            ratio: 6,
+            turnaround: 0,
+            delay: 0,
+            scheme: "csb".into(),
+            bytes: 64,
+            timeline: 40,
+            asm: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bus" => args.bus = val("--bus"),
+            "--width" => args.width = val("--width").parse().expect("numeric --width"),
+            "--line" => args.line = val("--line").parse().expect("numeric --line"),
+            "--ratio" => args.ratio = val("--ratio").parse().expect("numeric --ratio"),
+            "--turnaround" => {
+                args.turnaround = val("--turnaround").parse().expect("numeric --turnaround")
+            }
+            "--delay" => args.delay = val("--delay").parse().expect("numeric --delay"),
+            "--scheme" => args.scheme = val("--scheme"),
+            "--bytes" => args.bytes = val("--bytes").parse().expect("numeric --bytes"),
+            "--timeline" => args.timeline = val("--timeline").parse().expect("numeric --timeline"),
+            "--asm" => args.asm = Some(val("--asm")),
+            other => panic!("unknown flag {other}; see the binary's doc comment"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let bus = match args.bus.as_str() {
+        "mux" => BusConfig::multiplexed(args.width),
+        "split" => BusConfig::split(args.width),
+        other => panic!("--bus must be mux or split, got {other}"),
+    }
+    .max_burst(args.line)
+    .turnaround(args.turnaround)
+    .min_addr_delay(args.delay)
+    .build()
+    .expect("valid bus configuration");
+    let cfg = SimConfig::default()
+        .line_size(args.line)
+        .bus(bus)
+        .frequency_ratio(args.ratio);
+    cfg.validate().expect("consistent machine configuration");
+
+    let (path, ucfg) = match args.scheme.as_str() {
+        "csb" => (workloads::StorePath::Csb, None),
+        "none" => (
+            workloads::StorePath::Uncached,
+            Some(csb_uncached::UncachedConfig::with_block(8)),
+        ),
+        "r10k" => (
+            workloads::StorePath::Uncached,
+            Some(csb_uncached::UncachedConfig::r10000(args.line)),
+        ),
+        "ppc620" => (
+            workloads::StorePath::Uncached,
+            Some(csb_uncached::UncachedConfig::ppc620()),
+        ),
+        n => {
+            let block: usize = n
+                .parse()
+                .expect("--scheme none|16|32|64|128|r10k|ppc620|csb");
+            (
+                workloads::StorePath::Uncached,
+                Some(csb_uncached::UncachedConfig::with_block(block)),
+            )
+        }
+    };
+    let mut cfg = cfg;
+    if let Some(u) = ucfg {
+        cfg.uncached = u;
+    }
+
+    let program = match &args.asm {
+        Some(file) => {
+            let source =
+                std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+            csb_isa::parse_asm(&source).unwrap_or_else(|e| panic!("{file}: {e}"))
+        }
+        None => workloads::store_bandwidth(args.bytes, &cfg, path).expect("valid transfer size"),
+    };
+    let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
+    sim.enable_bus_log();
+    let s = sim.run(100_000_000).expect("run completes");
+
+    println!(
+        "machine : {} bus, {}B wide, {}B line, ratio {}, turnaround {}, delay {}",
+        cfg.bus.kind(),
+        cfg.bus.width(),
+        cfg.line(),
+        cfg.ratio,
+        cfg.bus.turnaround(),
+        cfg.bus.min_addr_delay()
+    );
+    match &args.asm {
+        Some(f) => println!("workload: assembled from {f}"),
+        None => println!("workload: {} bytes via {}", args.bytes, args.scheme),
+    }
+    println!(
+        "result  : {:.2} bytes/bus-cycle over {} bus cycles, {} transactions, {} CPU cycles",
+        s.bus.effective_bandwidth(),
+        s.bus.window_cycles(),
+        s.bus.transactions,
+        s.cycles
+    );
+    let t = trace::timeline(sim.bus_log(), 0, args.timeline);
+    println!("\n{}", t.render());
+}

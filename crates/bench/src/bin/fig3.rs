@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: uncached store bandwidth on a multiplexed bus,
+//! panels (a)-(i). Usage: `cargo run -p csb-bench --bin fig3 [--json out.json]`
+
+use csb_core::experiments::fig3;
+
+fn main() {
+    let panels = fig3::run().expect("Figure 3 panels simulate");
+    for p in &panels {
+        println!("{}", p.to_table());
+    }
+    if let Some(path) = csb_bench::json_path_from_args() {
+        csb_bench::dump_json(&path, &panels);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5: lock/access/unlock vs. CSB latency, panels (a)-(b).
+//! Usage: `cargo run -p csb-bench --bin fig5 [--json out.json]`
+
+use csb_core::experiments::fig5;
+
+fn main() {
+    let panels = fig5::run().expect("Figure 5 panels simulate");
+    for p in &panels {
+        println!("{}", p.to_table());
+    }
+    if let Some(path) = csb_bench::json_path_from_args() {
+        csb_bench::dump_json(&path, &panels);
+    }
+}

@@ -1,0 +1,29 @@
+//! Runs every figure harness back to back — the one-shot reproduction of
+//! the paper's whole evaluation section.
+//!
+//! Usage: `cargo run --release -p csb-bench --bin repro_all`
+
+use csb_core::experiments::{fig3, fig4, fig5};
+
+fn main() {
+    println!("==================================================================");
+    println!("Figure 3: uncached store bandwidth, 8-byte multiplexed bus");
+    println!("==================================================================\n");
+    for p in fig3::run().expect("Figure 3 simulates") {
+        println!("{}", p.to_table());
+    }
+
+    println!("==================================================================");
+    println!("Figure 4: uncached store bandwidth, split address/data bus");
+    println!("==================================================================\n");
+    for p in fig4::run().expect("Figure 4 simulates") {
+        println!("{}", p.to_table());
+    }
+
+    println!("==================================================================");
+    println!("Figure 5: locking vs. conditional store buffer (CPU cycles)");
+    println!("==================================================================\n");
+    for p in fig5::run().expect("Figure 5 simulates") {
+        println!("{}", p.to_table());
+    }
+}

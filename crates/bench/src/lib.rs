@@ -1,0 +1,49 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Each binary (`fig3`, `fig4`, `fig5`, `ablations`, `repro_all`) regenerates
+//! the corresponding table/figure of the paper and prints it as fixed-width
+//! text; pass `--json <path>` to also dump the raw panel data for further
+//! processing (EXPERIMENTS.md is generated from these dumps).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Parses an optional `--json <path>` argument from the command line.
+///
+/// # Panics
+///
+/// Panics if `--json` is given without a path.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let p = args.next().expect("--json requires a path");
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Serializes `value` to `path` as pretty-printed JSON.
+///
+/// # Panics
+///
+/// Panics on serialization or I/O failure — these binaries are harnesses,
+/// not library code, and a failed dump should abort loudly.
+pub fn dump_json<T: serde::Serialize>(path: &PathBuf, value: &T) {
+    let text = serde_json::to_string_pretty(value).expect("panel data serializes");
+    fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dump_json_round_trips() {
+        let dir = std::env::temp_dir().join("csb-bench-test.json");
+        super::dump_json(&dir, &vec![1, 2, 3]);
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(dir);
+    }
+}

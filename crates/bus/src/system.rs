@@ -1,0 +1,501 @@
+//! The system bus: occupancy, ordering, and completion tracking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::BusConfig;
+use crate::stats::BusStats;
+use crate::transaction::{Transaction, TxnError};
+
+/// Issue receipt returned by [`SystemBus::try_issue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Issued {
+    /// The transaction's address cycle (= the issue cycle).
+    pub addr_cycle: u64,
+    /// The transaction's final data cycle (inclusive).
+    pub completes_at: u64,
+    /// Tag copied from the transaction.
+    pub tag: u64,
+}
+
+/// One entry of the optional per-transaction log (see
+/// [`SystemBus::enable_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusLogEntry {
+    /// Address cycle.
+    pub addr_cycle: u64,
+    /// Final data cycle (inclusive).
+    pub completes_at: u64,
+    /// Transfer size in bytes.
+    pub size: usize,
+    /// Read or write (always write for foreign traffic).
+    pub kind: crate::transaction::TxnKind,
+    /// `true` for a foreign-master occupancy from the background-traffic
+    /// model.
+    pub foreign: bool,
+    /// The transaction's tag (0 for foreign traffic).
+    pub tag: u64,
+}
+
+/// A cycle-level system bus shared by memory and I/O traffic.
+///
+/// The model enforces the paper's ordering rules for uncached traffic:
+/// transactions never overlap, a configurable turnaround separates them, and
+/// consecutive address cycles are at least `min_addr_delay` apart (the
+/// unpipelined-acknowledgment penalty for strongly ordered I/O accesses).
+///
+/// Drive it by polling: call [`SystemBus::can_accept`] each bus cycle and
+/// [`SystemBus::try_issue`] when there is a transaction to send.
+///
+/// # Examples
+///
+/// ```
+/// use csb_bus::{BusConfig, SystemBus, Transaction};
+/// use csb_isa::Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Figure 3(h): minimum 4 cycles between address cycles.
+/// let cfg = BusConfig::multiplexed(8).min_addr_delay(4).build()?;
+/// let mut bus = SystemBus::new(cfg);
+///
+/// let a = bus.try_issue(0, Transaction::write(Addr::new(0x0), 8))?.unwrap();
+/// assert_eq!(a.completes_at, 1);
+/// // The bus itself is free at cycle 2, but the next address cycle must
+/// // wait for the acknowledgment window.
+/// assert!(!bus.can_accept(2));
+/// assert!(bus.can_accept(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBus {
+    cfg: BusConfig,
+    /// Earliest cycle the next transaction may start (occupancy+turnaround).
+    next_free: u64,
+    /// Address cycle of the most recent transaction.
+    last_addr: Option<u64>,
+    /// Fair-share accumulator for the background-traffic model: bus cycles
+    /// owed to foreign masters.
+    foreign_debt: f64,
+    stats: BusStats,
+    /// Per-transaction log, populated when enabled.
+    log: Option<Vec<BusLogEntry>>,
+}
+
+impl SystemBus {
+    /// Creates an idle bus.
+    pub fn new(cfg: BusConfig) -> Self {
+        SystemBus {
+            cfg,
+            next_free: 0,
+            last_addr: None,
+            foreign_debt: 0.0,
+            stats: BusStats::default(),
+            log: None,
+        }
+    }
+
+    /// Starts recording every transaction (including foreign occupancies)
+    /// into a log readable with [`SystemBus::log`]. Costs memory per
+    /// transaction; intended for traces and visualization, not for long
+    /// sweeps.
+    pub fn enable_log(&mut self) {
+        self.log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded transaction log (empty slice when logging is off).
+    pub fn log(&self) -> &[BusLogEntry] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Earliest cycle at or after `now` at which a new transaction may
+    /// present its address.
+    pub fn earliest_start(&self, now: u64) -> u64 {
+        let mut t = now.max(self.next_free);
+        if let Some(last) = self.last_addr {
+            t = t.max(last + self.cfg.min_addr_delay());
+        }
+        t
+    }
+
+    /// Returns `true` if a transaction presented at `now` would be accepted
+    /// immediately.
+    pub fn can_accept(&self, now: u64) -> bool {
+        self.earliest_start(now) == now
+    }
+
+    /// Validates a transaction against the bus's architectural rules without
+    /// issuing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError`] if the size is not a power of two within the
+    /// maximum burst, the address is not naturally aligned, or the payload
+    /// exceeds the size.
+    pub fn validate(&self, txn: &Transaction) -> Result<(), TxnError> {
+        if txn.size == 0 || !txn.size.is_power_of_two() || txn.size > self.cfg.max_burst() {
+            return Err(TxnError::BadSize {
+                size: txn.size,
+                max_burst: self.cfg.max_burst(),
+            });
+        }
+        if !txn.addr.is_aligned(txn.size as u64) {
+            return Err(TxnError::Misaligned {
+                addr: txn.addr,
+                size: txn.size,
+            });
+        }
+        if txn.payload > txn.size {
+            return Err(TxnError::BadPayload {
+                payload: txn.payload,
+                size: txn.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Attempts to issue `txn` at bus cycle `now`.
+    ///
+    /// Returns `Ok(None)` if the bus cannot accept a transaction this cycle
+    /// (occupied, in turnaround, or within the address-delay window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError`] for architecturally illegal transactions (see
+    /// [`SystemBus::validate`]); illegal transactions are rejected even when
+    /// the bus is busy.
+    pub fn try_issue(&mut self, now: u64, txn: Transaction) -> Result<Option<Issued>, TxnError> {
+        self.validate(&txn)?;
+        if !self.can_accept(now) {
+            return Ok(None);
+        }
+        let duration = self.cfg.transaction_cycles(txn.size);
+        let completes_at = now + duration - 1;
+        self.next_free = completes_at + 1 + self.cfg.turnaround();
+        self.last_addr = Some(now);
+        self.stats.record(now, completes_at, txn.size, txn.payload);
+        if let Some(log) = &mut self.log {
+            log.push(BusLogEntry {
+                addr_cycle: now,
+                completes_at,
+                size: txn.size,
+                kind: txn.kind,
+                foreign: false,
+                tag: txn.tag,
+            });
+        }
+        // Fair arbitration against foreign masters: every local transaction
+        // accrues a proportional debt of foreign bus time, paid off as whole
+        // foreign transactions before the local master may issue again.
+        if let Some(bg) = self.cfg.background() {
+            let foreign = self.cfg.transaction_cycles(bg.burst);
+            self.foreign_debt += duration as f64 * bg.utilization / (1.0 - bg.utilization);
+            while self.foreign_debt >= foreign as f64 {
+                let start = self.next_free;
+                self.next_free += foreign + self.cfg.turnaround();
+                self.foreign_debt -= foreign as f64;
+                self.stats.record_foreign(foreign);
+                if let Some(log) = &mut self.log {
+                    log.push(BusLogEntry {
+                        addr_cycle: start,
+                        completes_at: start + foreign - 1,
+                        size: bg.burst,
+                        kind: crate::transaction::TxnKind::Write,
+                        foreign: true,
+                        tag: 0,
+                    });
+                }
+            }
+        }
+        Ok(Some(Issued {
+            addr_cycle: now,
+            completes_at,
+            tag: txn.tag,
+        }))
+    }
+
+    /// Returns `true` if no transaction is occupying the bus at `now`
+    /// (turnaround and address-delay windows count as not occupied).
+    pub fn is_idle(&self, now: u64) -> bool {
+        // next_free includes turnaround; occupancy ends turnaround cycles
+        // earlier.
+        now + self.cfg.turnaround() >= self.next_free
+    }
+
+    /// Resets occupancy and statistics (configuration retained).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.last_addr = None;
+        self.foreign_debt = 0.0;
+        self.stats = BusStats::default();
+        if let Some(log) = &mut self.log {
+            log.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BusConfigError;
+    use crate::transaction::TxnKind;
+    use csb_isa::Addr;
+
+    fn mux8() -> SystemBus {
+        SystemBus::new(BusConfig::multiplexed(8).max_burst(64).build().unwrap())
+    }
+
+    #[test]
+    fn back_to_back_singles_give_4_bytes_per_cycle() {
+        // Paper §4.3.1: without combining, each store is a two-cycle
+        // transaction and the effective bandwidth is 4 bytes per bus cycle.
+        let mut bus = mux8();
+        let mut now = 0;
+        for i in 0..8u64 {
+            let txn = Transaction::write(Addr::new(i * 8), 8);
+            let issued = bus.try_issue(now, txn).unwrap().unwrap();
+            now = issued.completes_at + 1;
+        }
+        assert_eq!(bus.stats().window_cycles(), 16);
+        assert_eq!(bus.stats().effective_bandwidth(), 4.0);
+    }
+
+    #[test]
+    fn turnaround_spacing_matches_paper_example() {
+        // Paper: with a turnaround cycle, one doubleword transaction takes 2
+        // cycles, two take 5, three take 8 (the trailing turnaround is not
+        // counted).
+        for n in 1..=5u64 {
+            let cfg = BusConfig::multiplexed(8).turnaround(1).build().unwrap();
+            let mut bus = SystemBus::new(cfg);
+            let mut now = 0;
+            for i in 0..n {
+                now = bus.earliest_start(now);
+                let issued = bus
+                    .try_issue(now, Transaction::write(Addr::new(i * 8), 8))
+                    .unwrap()
+                    .unwrap();
+                now = issued.completes_at + 1;
+            }
+            assert_eq!(bus.stats().window_cycles(), 3 * n - 1);
+        }
+    }
+
+    #[test]
+    fn min_addr_delay_blocks_early_reissue() {
+        let cfg = BusConfig::multiplexed(8).min_addr_delay(8).build().unwrap();
+        let mut bus = SystemBus::new(cfg);
+        bus.try_issue(0, Transaction::write(Addr::new(0), 8))
+            .unwrap()
+            .unwrap();
+        for c in 1..8 {
+            assert!(!bus.can_accept(c), "cycle {c} should be blocked");
+        }
+        assert!(bus.can_accept(8));
+        // An 8-cycle burst (9 cycles on a multiplexed bus) completely hides
+        // a 4-cycle acknowledgment window (paper, Figure 3(h) discussion).
+        let cfg = BusConfig::multiplexed(8).min_addr_delay(4).build().unwrap();
+        let mut bus = SystemBus::new(cfg);
+        let issued = bus
+            .try_issue(0, Transaction::write(Addr::new(0), 64))
+            .unwrap()
+            .unwrap();
+        assert_eq!(issued.completes_at, 8);
+        assert!(bus.can_accept(9));
+    }
+
+    #[test]
+    fn rejects_illegal_transactions() {
+        let mut bus = mux8();
+        assert!(matches!(
+            bus.try_issue(0, Transaction::write(Addr::new(0), 24)),
+            Err(TxnError::BadSize { .. })
+        ));
+        assert!(matches!(
+            bus.try_issue(0, Transaction::write(Addr::new(8), 16)),
+            Err(TxnError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            bus.try_issue(0, Transaction::write(Addr::new(0), 128)),
+            Err(TxnError::BadSize { .. })
+        ));
+        assert!(matches!(
+            bus.try_issue(0, Transaction::write(Addr::new(0), 8).payload(16)),
+            Err(TxnError::BadPayload { .. })
+        ));
+        // Reads validate the same way.
+        assert!(bus.try_issue(0, Transaction::read(Addr::new(0), 8)).is_ok());
+    }
+
+    #[test]
+    fn busy_bus_returns_none() {
+        let mut bus = mux8();
+        bus.try_issue(0, Transaction::write(Addr::new(0), 64))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            bus.try_issue(4, Transaction::write(Addr::new(64), 8))
+                .unwrap(),
+            None
+        );
+        assert!(bus
+            .try_issue(9, Transaction::write(Addr::new(64), 8))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn split_bus_sub_width_wastes_bandwidth() {
+        // Paper Figure 4(a): a doubleword uses half of a 128-bit bus.
+        let cfg = BusConfig::split(16).max_burst(64).build().unwrap();
+        let mut bus = SystemBus::new(cfg);
+        let mut now = 0;
+        for i in 0..8u64 {
+            let issued = bus
+                .try_issue(now, Transaction::write(Addr::new(i * 8), 8))
+                .unwrap()
+                .unwrap();
+            now = issued.completes_at + 1;
+        }
+        assert_eq!(bus.stats().effective_bandwidth(), 8.0); // half of 16 B/c
+    }
+
+    #[test]
+    fn idle_and_reset() {
+        let mut bus = mux8();
+        assert!(bus.is_idle(0));
+        bus.try_issue(0, Transaction::write(Addr::new(0), 64))
+            .unwrap()
+            .unwrap();
+        assert!(!bus.is_idle(5));
+        assert!(bus.is_idle(9));
+        bus.reset();
+        assert_eq!(bus.stats().transactions, 0);
+        assert!(bus.can_accept(0));
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        let mut bus = mux8();
+        let issued = bus
+            .try_issue(0, Transaction::write(Addr::new(0), 8).tag(42))
+            .unwrap()
+            .unwrap();
+        assert_eq!(issued.tag, 42);
+        assert_eq!(issued.addr_cycle, 0);
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = BusConfig::multiplexed(7).build().unwrap_err();
+        assert!(matches!(e, BusConfigError::BadWidth(7)));
+        let _ = TxnKind::Write;
+    }
+
+    #[test]
+    fn background_traffic_shares_the_bus_fairly() {
+        // 50% utilization with equal burst sizes: every local transaction
+        // is followed by one foreign transaction of the same length, so the
+        // local master gets exactly half the raw bandwidth.
+        let cfg = BusConfig::multiplexed(8)
+            .max_burst(64)
+            .background(0.5, 8)
+            .build()
+            .unwrap();
+        let mut bus = SystemBus::new(cfg);
+        let mut now = 0;
+        for i in 0..10u64 {
+            now = bus.earliest_start(now);
+            let issued = bus
+                .try_issue(now, Transaction::write(Addr::new(i * 8), 8))
+                .unwrap()
+                .unwrap();
+            now = issued.completes_at + 1;
+        }
+        let s = bus.stats();
+        assert_eq!(s.transactions, 10);
+        assert_eq!(s.foreign_transactions, 10);
+        assert_eq!(s.foreign_cycles, 20);
+        // Window: 10 local + 10 foreign 2-cycle txns, minus the trailing
+        // foreign one that falls outside the last local data cycle.
+        assert!((s.effective_bandwidth() - 80.0 / 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_matches_turnaround_approximation_at_one_third() {
+        // The paper reads a turnaround cycle as "an approximation of a
+        // heavily loaded bus". For 2-cycle doubleword transactions, one
+        // idle cycle per transaction equals a foreign utilization of 1/3:
+        // both settle at 8 bytes per 3 bus cycles.
+        let approx = BusConfig::multiplexed(8).turnaround(1).build().unwrap();
+        let real = BusConfig::multiplexed(8)
+            .background(1.0 / 3.0, 16)
+            .build()
+            .unwrap();
+        let run = |cfg: BusConfig| {
+            let mut bus = SystemBus::new(cfg);
+            let mut now = 0;
+            for i in 0..64u64 {
+                now = bus.earliest_start(now);
+                let issued = bus
+                    .try_issue(now, Transaction::write(Addr::new(i * 8), 8))
+                    .unwrap()
+                    .unwrap();
+                now = issued.completes_at + 1;
+            }
+            bus.stats().effective_bandwidth()
+        };
+        let (a, r) = (run(approx), run(real));
+        assert!(
+            (a - r).abs() < 0.2,
+            "turnaround approx {a} vs real contention {r}"
+        );
+    }
+
+    #[test]
+    fn background_config_validation() {
+        assert!(matches!(
+            BusConfig::multiplexed(8).background(1.5, 8).build(),
+            Err(BusConfigError::BadBackground(_))
+        ));
+        assert!(matches!(
+            BusConfig::multiplexed(8).background(0.5, 24).build(),
+            Err(BusConfigError::BadBackground(_))
+        ));
+        assert!(matches!(
+            BusConfig::multiplexed(8)
+                .max_burst(64)
+                .background(0.5, 128)
+                .build(),
+            Err(BusConfigError::BadBackground(_))
+        ));
+        let e = BusConfig::multiplexed(8)
+            .background(1.5, 8)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn zero_utilization_is_harmless() {
+        let cfg = BusConfig::multiplexed(8)
+            .background(0.0, 8)
+            .build()
+            .unwrap();
+        let mut bus = SystemBus::new(cfg);
+        bus.try_issue(0, Transaction::write(Addr::new(0), 8))
+            .unwrap()
+            .unwrap();
+        assert_eq!(bus.stats().foreign_transactions, 0);
+        assert!(bus.can_accept(2));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 5: locking vs. the conditional store buffer, panels (a)–(b).
+//!
+//! The conventional path acquires a spin lock (SPARC `swap` on a cached
+//! lock variable), performs 2–8 uncached doubleword stores, executes a
+//! memory barrier (release may only happen after the last uncached store
+//! leaves the uncached buffer), and releases the lock. The CSB path issues
+//! the same stores as combining stores and commits them with one
+//! conditional flush — complete as soon as the flush succeeds.
+//!
+//! Panel (a): the lock hits in the L1. Panel (b): the lock access misses
+//! the whole hierarchy (100-cycle miss latency), modeling a lock recently
+//! taken by another processor.
+
+use csb_isa::Addr;
+
+use super::{ExpError, LatencyPanel, LatencyRow, Scheme};
+use crate::config::{SimConfig, LOCK_ADDR};
+use crate::sim::Simulator;
+use crate::workloads::{self, MARK_END, MARK_START};
+
+/// Doubleword counts swept (2–8, i.e. 16–64 bytes).
+pub const DWORDS: [usize; 7] = [2, 3, 4, 5, 6, 7, 8];
+
+/// Whether the lock variable hits in the L1 when acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResidency {
+    /// Lock line pre-loaded into the L1 (panel (a)).
+    Hit,
+    /// Lock line evicted from both caches (panel (b)).
+    Miss,
+}
+
+/// Measures one point: cycles for a lock-based sequence of `dwords` stores
+/// under the given combining block, or via the CSB.
+///
+/// # Errors
+///
+/// Returns [`ExpError`] if the simulation does not complete or the timing
+/// marks are missing.
+pub fn latency_point(
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+) -> Result<u64, ExpError> {
+    let (cfg, program) = match scheme {
+        Scheme::Uncached { block } => {
+            let c = cfg.clone().combining_block(block);
+            let p = workloads::lock_sequence(dwords)?;
+            (c, p)
+        }
+        Scheme::R10k => {
+            let mut c = cfg.clone();
+            c.uncached = csb_uncached::UncachedConfig::r10000(c.line());
+            let p = workloads::lock_sequence(dwords)?;
+            (c, p)
+        }
+        Scheme::Ppc620 => {
+            let mut c = cfg.clone();
+            c.uncached = csb_uncached::UncachedConfig::ppc620();
+            let p = workloads::lock_sequence(dwords)?;
+            (c, p)
+        }
+        Scheme::Csb => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
+    };
+    let mut sim = Simulator::new(cfg, program)?;
+    match residency {
+        LockResidency::Hit => sim.warm_line(Addr::new(LOCK_ADDR)),
+        LockResidency::Miss => sim.evict_line(Addr::new(LOCK_ADDR)),
+    }
+    let summary = sim.run(50_000_000)?;
+    summary
+        .cpu
+        .mark_interval(MARK_START, MARK_END)
+        .ok_or(ExpError::MissingMark)
+}
+
+/// Runs one panel across [`DWORDS`] and the scheme ladder.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn panel(cfg: &SimConfig, residency: LockResidency) -> Result<LatencyPanel, ExpError> {
+    let schemes = Scheme::ladder(cfg.line());
+    let (id, title) = match residency {
+        LockResidency::Hit => (
+            "5a",
+            "lock hits in L1; 8B multiplexed bus, ratio 6, 64B line",
+        ),
+        LockResidency::Miss => (
+            "5b",
+            "lock misses to memory (100 cycles); 8B multiplexed bus, ratio 6, 64B line",
+        ),
+    };
+    let mut rows = Vec::new();
+    for &d in &DWORDS {
+        let mut cycles = Vec::new();
+        for &s in &schemes {
+            cycles.push(latency_point(cfg, d, s, residency)?);
+        }
+        rows.push(LatencyRow {
+            transfer: d * 8,
+            cycles,
+        });
+    }
+    Ok(LatencyPanel {
+        id: id.to_string(),
+        title: title.to_string(),
+        schemes: schemes.iter().map(|s| s.to_string()).collect(),
+        rows,
+    })
+}
+
+/// Runs both panels on the paper's default machine.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn run() -> Result<Vec<LatencyPanel>, ExpError> {
+    let cfg = SimConfig::default();
+    Ok(vec![
+        panel(&cfg, LockResidency::Hit)?,
+        panel(&cfg, LockResidency::Miss)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csb_beats_locking_everywhere() {
+        let cfg = SimConfig::default();
+        for &d in &[2usize, 8] {
+            let lock =
+                latency_point(&cfg, d, Scheme::Uncached { block: 8 }, LockResidency::Hit).unwrap();
+            let csb = latency_point(&cfg, d, Scheme::Csb, LockResidency::Hit).unwrap();
+            assert!(
+                csb * 2 < lock,
+                "{d} dwords: CSB {csb} should be far below locking {lock}"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_miss_adds_roughly_the_miss_latency() {
+        let cfg = SimConfig::default();
+        let hit =
+            latency_point(&cfg, 4, Scheme::Uncached { block: 8 }, LockResidency::Hit).unwrap();
+        let miss =
+            latency_point(&cfg, 4, Scheme::Uncached { block: 8 }, LockResidency::Miss).unwrap();
+        let delta = miss - hit;
+        assert!(
+            (80..=140).contains(&delta),
+            "miss-hit delta should be near the 100-cycle miss, got {delta}"
+        );
+    }
+
+    #[test]
+    fn non_combining_slope_near_twelve() {
+        // Paper: +12 cycles per doubleword at ratio 6 (each store is a
+        // 2-bus-cycle transaction the membar must wait out).
+        let cfg = SimConfig::default();
+        let c2 = latency_point(&cfg, 2, Scheme::Uncached { block: 8 }, LockResidency::Hit).unwrap();
+        let c8 = latency_point(&cfg, 8, Scheme::Uncached { block: 8 }, LockResidency::Hit).unwrap();
+        let slope = (c8 - c2) as f64 / 6.0;
+        assert!(
+            (10.0..=14.0).contains(&slope),
+            "expected ~12 cycles/dword, got {slope} ({c2}..{c8})"
+        );
+    }
+
+    #[test]
+    fn csb_slope_near_one() {
+        let cfg = SimConfig::default();
+        let c2 = latency_point(&cfg, 2, Scheme::Csb, LockResidency::Hit).unwrap();
+        let c8 = latency_point(&cfg, 8, Scheme::Csb, LockResidency::Hit).unwrap();
+        let slope = (c8 - c2) as f64 / 6.0;
+        assert!(
+            (0.5..=2.5).contains(&slope),
+            "expected ~1 cycle/dword, got {slope} ({c2}..{c8})"
+        );
+    }
+
+    #[test]
+    fn seven_to_eight_dwords_can_reduce_lock_latency() {
+        // Alignment: 7 dwords = 3 transactions (32+16+8), 8 dwords = 1
+        // full-line burst, with full-line combining.
+        let cfg = SimConfig::default();
+        let c7 =
+            latency_point(&cfg, 7, Scheme::Uncached { block: 64 }, LockResidency::Hit).unwrap();
+        let c8 =
+            latency_point(&cfg, 8, Scheme::Uncached { block: 64 }, LockResidency::Hit).unwrap();
+        assert!(
+            c8 <= c7,
+            "8 dwords ({c8}) should not exceed 7 dwords ({c7})"
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Experiment harnesses regenerating every figure in the paper's evaluation.
+//!
+//! * [`fig3`] — uncached store bandwidth on a multiplexed bus, panels (a)–(i),
+//! * [`fig4`] — uncached store bandwidth on a split address/data bus, (a)–(e),
+//! * [`fig5`] — lock/access/unlock vs. CSB latency, panels (a)–(b),
+//! * [`ablations`] — the in-text studies: superscalar width vs. lock
+//!   overhead, the double-buffered CSB, and the variable-burst CSB.
+//!
+//! Each harness returns serializable panel structures with a plain-text
+//! table renderer, so the `csb-bench` binaries can print the same rows and
+//! series the paper plots. The metric conventions match the paper: payload
+//! bytes per bus cycle for Figures 3 and 4, CPU cycles per sequence for
+//! Figure 5.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::sim::{SimError, Simulator};
+use crate::workloads::{self, StorePath, WorkloadError};
+
+/// Transfer sizes (bytes) swept by the bandwidth figures.
+pub const TRANSFERS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// Cycle budget per simulated point.
+const POINT_LIMIT: u64 = 50_000_000;
+
+/// Errors from experiment harnesses.
+#[derive(Debug)]
+pub enum ExpError {
+    /// Workload generation failed.
+    Workload(WorkloadError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// A required measurement (timing mark) was missing.
+    MissingMark,
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::Workload(e) => write!(f, "workload: {e}"),
+            ExpError::Sim(e) => write!(f, "simulation: {e}"),
+            ExpError::MissingMark => f.write_str("timing mark missing from run"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl From<WorkloadError> for ExpError {
+    fn from(e: WorkloadError) -> Self {
+        ExpError::Workload(e)
+    }
+}
+
+impl From<SimError> for ExpError {
+    fn from(e: SimError) -> Self {
+        ExpError::Sim(e)
+    }
+}
+
+/// A store-handling scheme compared in the figures: hardware combining with
+/// a given block size (8 = non-combining), or the CSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Uncached buffer with the given combining block in bytes.
+    Uncached {
+        /// Combining block size (8 = non-combining).
+        block: usize,
+    },
+    /// MIPS R10000 uncached-accelerated mode: sequential-pattern combining
+    /// over a full line; partial lines degrade to single beats.
+    R10k,
+    /// PowerPC 620: pairs of same-size consecutive stores only.
+    Ppc620,
+    /// The conditional store buffer.
+    Csb,
+}
+
+impl Scheme {
+    /// The schemes a machine with the given line size compares: combining
+    /// blocks from 8 bytes (none) up to the full line, then the CSB — the
+    /// left-to-right bar order of the paper's figures.
+    pub fn ladder(line: usize) -> Vec<Scheme> {
+        let mut v = Vec::new();
+        let mut b = 8;
+        while b <= line {
+            v.push(Scheme::Uncached { block: b });
+            b *= 2;
+        }
+        v.push(Scheme::Csb);
+        v
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Uncached { block: 8 } => f.write_str("none"),
+            Scheme::Uncached { block } => write!(f, "{block}B"),
+            Scheme::R10k => f.write_str("R10000"),
+            Scheme::Ppc620 => f.write_str("PPC620"),
+            Scheme::Csb => f.write_str("CSB"),
+        }
+    }
+}
+
+/// One bandwidth panel: a machine configuration swept over transfer sizes
+/// and schemes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthPanel {
+    /// Panel id, e.g. `"3a"`.
+    pub id: String,
+    /// Human-readable parameter description.
+    pub title: String,
+    /// Scheme labels, in column order.
+    pub schemes: Vec<String>,
+    /// One row per transfer size.
+    pub rows: Vec<BandwidthRow>,
+}
+
+/// One transfer size's measurements across all schemes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthRow {
+    /// Transfer size in bytes.
+    pub transfer: usize,
+    /// Bytes per bus cycle, one per scheme.
+    pub values: Vec<f64>,
+}
+
+impl BandwidthPanel {
+    /// Renders the panel as a fixed-width text table (bytes/bus-cycle).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec!["bytes".to_string()];
+        headers.extend(self.schemes.iter().cloned());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.transfer.to_string()];
+                row.extend(r.values.iter().map(|v| format!("{v:.2}")));
+                row
+            })
+            .collect();
+        format!(
+            "Figure {} — {}\n{}",
+            self.id,
+            self.title,
+            format_table(&headers, &rows)
+        )
+    }
+}
+
+/// One latency panel (Figure 5): CPU cycles per sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyPanel {
+    /// Panel id, e.g. `"5a"`.
+    pub id: String,
+    /// Human-readable parameter description.
+    pub title: String,
+    /// Scheme labels, in column order.
+    pub schemes: Vec<String>,
+    /// One row per transfer size.
+    pub rows: Vec<LatencyRow>,
+}
+
+/// One transfer size's latency across all schemes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyRow {
+    /// Transfer size in bytes (doublewords × 8).
+    pub transfer: usize,
+    /// CPU cycles per sequence, one per scheme.
+    pub cycles: Vec<u64>,
+}
+
+impl LatencyPanel {
+    /// Renders the panel as a fixed-width text table (CPU cycles).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec!["bytes".to_string()];
+        headers.extend(self.schemes.iter().cloned());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.transfer.to_string()];
+                row.extend(r.cycles.iter().map(|c| c.to_string()));
+                row
+            })
+            .collect();
+        format!(
+            "Figure {} — {}\n{}",
+            self.id,
+            self.title,
+            format_table(&headers, &rows)
+        )
+    }
+}
+
+/// Measures effective bandwidth (payload bytes per bus cycle) for one
+/// machine configuration, transfer size, and scheme.
+///
+/// # Errors
+///
+/// Returns [`ExpError`] if the workload is invalid or the simulation does
+/// not complete.
+pub fn bandwidth_point(cfg: &SimConfig, transfer: usize, scheme: Scheme) -> Result<f64, ExpError> {
+    bandwidth_point_ordered(cfg, transfer, scheme, workloads::StoreOrder::Ascending)
+}
+
+/// [`bandwidth_point`] with an explicit per-line store issue order — the
+/// knob that separates pattern-based hardware combining (R10000, PowerPC
+/// 620) from block combining and the order-insensitive CSB.
+///
+/// # Errors
+///
+/// As for [`bandwidth_point`].
+pub fn bandwidth_point_ordered(
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+) -> Result<f64, ExpError> {
+    let mut cfg = cfg.clone();
+    let path = match scheme {
+        Scheme::Uncached { block } => {
+            cfg = cfg.combining_block(block);
+            StorePath::Uncached
+        }
+        Scheme::R10k => {
+            cfg.uncached = csb_uncached::UncachedConfig::r10000(cfg.line());
+            StorePath::Uncached
+        }
+        Scheme::Ppc620 => {
+            cfg.uncached = csb_uncached::UncachedConfig::ppc620();
+            StorePath::Uncached
+        }
+        Scheme::Csb => StorePath::Csb,
+    };
+    let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
+    let mut sim = Simulator::new(cfg, program)?;
+    let summary = sim.run(POINT_LIMIT)?;
+    Ok(summary.bus.effective_bandwidth())
+}
+
+/// Runs a full bandwidth panel over [`TRANSFERS`] and the scheme ladder of
+/// the machine's line size.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn bandwidth_panel(id: &str, title: &str, cfg: &SimConfig) -> Result<BandwidthPanel, ExpError> {
+    let schemes = Scheme::ladder(cfg.line());
+    let mut rows = Vec::new();
+    for &t in &TRANSFERS {
+        let mut values = Vec::new();
+        for &s in &schemes {
+            values.push(bandwidth_point(cfg, t, s)?);
+        }
+        rows.push(BandwidthRow {
+            transfer: t,
+            values,
+        });
+    }
+    Ok(BandwidthPanel {
+        id: id.to_string(),
+        title: title.to_string(),
+        schemes: schemes.iter().map(|s| s.to_string()).collect(),
+        rows,
+    })
+}
+
+/// Renders a fixed-width text table.
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_ladder_and_labels() {
+        let l = Scheme::ladder(64);
+        assert_eq!(l.len(), 5); // 8,16,32,64 + CSB
+        assert_eq!(l[0].to_string(), "none");
+        assert_eq!(l[2].to_string(), "32B");
+        assert_eq!(l[4].to_string(), "CSB");
+        assert_eq!(Scheme::ladder(32).len(), 4);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["a".into(), "bbb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbb"));
+    }
+
+    #[test]
+    fn bandwidth_point_baseline() {
+        // Cross-check the paper's 4 B/cycle non-combining anchor through
+        // the public harness entry point.
+        let cfg = SimConfig::default();
+        let bw = bandwidth_point(&cfg, 256, Scheme::Uncached { block: 8 }).unwrap();
+        assert!((bw - 4.0).abs() < 0.1, "got {bw}");
+    }
+
+    #[test]
+    fn csb_small_transfer_penalty() {
+        // A 16-byte transfer through the full-line CSB pays for a 64-byte
+        // burst: 16 bytes / 9 bus cycles.
+        let cfg = SimConfig::default();
+        let bw = bandwidth_point(&cfg, 16, Scheme::Csb).unwrap();
+        assert!((bw - 16.0 / 9.0).abs() < 0.05, "got {bw}");
+    }
+}

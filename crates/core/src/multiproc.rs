@@ -1,0 +1,345 @@
+//! Multi-process execution: context switches, CSB conflicts, livelock, and
+//! backoff.
+//!
+//! The CSB's non-blocking synchronization is only interesting when several
+//! processes compete for it. This module time-slices one core between
+//! processes (each with its own [`csb_cpu::CpuContext`] and PID) exactly the
+//! way the paper's §3.2 scenario describes: a context switch in the middle
+//! of a combining-store sequence lets the next process's first store clear
+//! the buffer, so the interrupted process's conditional flush fails and its
+//! software retry loop runs the sequence again.
+//!
+//! Two scheduling policies are provided:
+//!
+//! * [`SwitchPolicy::Fixed`] — switch every `n` CPU cycles. A slice shorter
+//!   than a sequence reproduces the theoretical livelock the paper notes:
+//!   every attempt is interrupted, every flush fails, nobody progresses.
+//! * [`SwitchPolicy::Backoff`] — exponential backoff: a process whose slice
+//!   ended with new flush failures gets a doubled slice next time (up to a
+//!   cap). The paper suggests software backoff; granting a longer
+//!   uninterrupted window models the same remedy at the scheduler level and
+//!   restores progress.
+
+use csb_cpu::CpuContext;
+use csb_isa::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::sim::{SimError, Simulator};
+
+/// Scheduling policy for the time-sliced core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchPolicy {
+    /// Round-robin with a fixed slice length in CPU cycles.
+    Fixed(u64),
+    /// Round-robin with exponential backoff: a slice that ends with new
+    /// conditional-flush failures doubles the process's next slice.
+    Backoff {
+        /// Initial slice length in CPU cycles.
+        base: u64,
+        /// Upper bound on the slice length.
+        max: u64,
+    },
+}
+
+/// Result of a multi-process run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSummary {
+    /// Total CPU cycles.
+    pub cycles: u64,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Conditional flushes that failed (conflicts + interrupted sequences).
+    pub flush_failures: u64,
+    /// Conditional flushes that succeeded.
+    pub flush_successes: u64,
+    /// Per-process completion cycle, indexed by process.
+    pub completions: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct Proc {
+    program: Program,
+    ctx: Option<CpuContext>, // None while running or never started
+    done: bool,
+}
+
+/// A time-sliced multi-process simulation on one core.
+///
+/// # Examples
+///
+/// Two processes hammering different CSB lines, switched every 200 cycles —
+/// every switch mid-sequence costs a failed flush and a retry, but both
+/// finish:
+///
+/// ```
+/// use csb_core::{multiproc::{MultiSim, SwitchPolicy}, SimConfig, workloads};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SimConfig::default();
+/// let programs = vec![
+///     workloads::csb_worker(5, 8, 0, &cfg)?,
+///     workloads::csb_worker(5, 8, 1, &cfg)?,
+/// ];
+/// let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(200))?;
+/// let summary = ms.run(10_000_000)?;
+/// assert_eq!(summary.flush_successes, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MultiSim {
+    sim: Simulator,
+    procs: Vec<Proc>,
+    slices: Vec<u64>,
+    policy: SwitchPolicy,
+    current: usize,
+    switches: u64,
+    completions: Vec<Option<u64>>,
+}
+
+impl MultiSim {
+    /// Creates a run of `programs`, process `i` receiving PID `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid machine configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn new(
+        cfg: SimConfig,
+        programs: Vec<Program>,
+        policy: SwitchPolicy,
+    ) -> Result<Self, SimError> {
+        assert!(!programs.is_empty(), "at least one process required");
+        let base_slice = match policy {
+            SwitchPolicy::Fixed(n) => n,
+            SwitchPolicy::Backoff { base, .. } => base,
+        };
+        let n = programs.len();
+        let sim = Simulator::new(cfg, programs[0].clone())?;
+        let procs = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| Proc {
+                program,
+                ctx: if i == 0 {
+                    None
+                } else {
+                    Some(CpuContext::new(i as u32))
+                },
+                done: false,
+            })
+            .collect();
+        Ok(MultiSim {
+            sim,
+            procs,
+            slices: vec![base_slice.max(1); n],
+            policy,
+            current: 0,
+            switches: 0,
+            completions: vec![None; n],
+        })
+    }
+
+    fn next_undone(&self) -> Option<usize> {
+        let n = self.procs.len();
+        (1..=n)
+            .map(|k| (self.current + k) % n)
+            .find(|&i| !self.procs[i].done)
+    }
+
+    fn switch_to(&mut self, next: usize) {
+        let incoming = self.procs[next]
+            .ctx
+            .take()
+            .expect("undone, non-running process has a saved context");
+        let program = self.procs[next].program.clone();
+        let outgoing = self.sim.cpu_mut().switch_context(incoming, Some(program));
+        if !self.procs[self.current].done {
+            self.procs[self.current].ctx = Some(outgoing);
+        }
+        self.current = next;
+        self.switches += 1;
+    }
+
+    /// Runs until every process has halted and the machine drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] on livelock (e.g. a fixed slice
+    /// shorter than the CSB sequence, so no flush ever succeeds).
+    pub fn run(&mut self, limit: u64) -> Result<MultiSummary, SimError> {
+        let mut slice_start = 0u64;
+        let mut failures_at_slice_start = 0u64;
+        let mut successes_at_slice_start = 0u64;
+        loop {
+            if self.procs.iter().all(|p| p.done) {
+                // Drain remaining bus traffic.
+                while !self.sim.complete() {
+                    if self.sim.cpu().now() >= limit {
+                        return Err(SimError::CycleLimit { limit });
+                    }
+                    self.sim.tick();
+                }
+                break;
+            }
+            let now = self.sim.cpu().now();
+            if now >= limit {
+                return Err(SimError::CycleLimit { limit });
+            }
+            self.sim.tick();
+            let now = self.sim.cpu().now();
+
+            if self.sim.cpu().halted() && !self.procs[self.current].done {
+                self.procs[self.current].done = true;
+                self.completions[self.current] = Some(now);
+            }
+
+            let cur_done = self.procs[self.current].done;
+            let slice_over = now.saturating_sub(slice_start) >= self.slices[self.current]
+                // A precise interrupt waits for an in-flight side-effecting
+                // head instruction (e.g. a conditional flush that already
+                // reached the CSB) to retire; switching under it would
+                // replay the I/O operation.
+                && self.sim.cpu().switch_safe();
+            if cur_done || slice_over {
+                // Backoff bookkeeping for the outgoing process: a slice that
+                // saw a failed flush doubles the next slice; a slice that
+                // made progress (successful flush) resets it; an inconclusive
+                // slice (sequence still mid-flight) keeps the current length
+                // so doubling can accumulate out of a livelock.
+                if let SwitchPolicy::Backoff { base, max } = self.policy {
+                    let stats = self.sim.csb_stats();
+                    let idx = self.current;
+                    if !cur_done && stats.flush_failures > failures_at_slice_start {
+                        self.slices[idx] = (self.slices[idx] * 2).min(max.max(base));
+                    } else if stats.flush_successes > successes_at_slice_start {
+                        self.slices[idx] = base.max(1);
+                    }
+                }
+                if let Some(next) = self.next_undone() {
+                    if next != self.current {
+                        self.switch_to(next);
+                    }
+                    slice_start = now;
+                    let stats = self.sim.csb_stats();
+                    failures_at_slice_start = stats.flush_failures;
+                    successes_at_slice_start = stats.flush_successes;
+                }
+            }
+        }
+        let summary = self.sim.summary();
+        Ok(MultiSummary {
+            cycles: summary.cycles,
+            switches: self.switches,
+            flush_failures: summary.csb.flush_failures,
+            flush_successes: summary.csb.flush_successes,
+            completions: self.completions.iter().map(|c| c.unwrap_or(0)).collect(),
+        })
+    }
+
+    /// The underlying simulator (device and statistics inspection).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn two_workers(cfg: &SimConfig, iters: usize) -> Vec<Program> {
+        vec![
+            workloads::csb_worker(iters, 8, 0, cfg).unwrap(),
+            workloads::csb_worker(iters, 8, 1, cfg).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn long_slices_avoid_conflicts() {
+        let cfg = SimConfig::default();
+        let programs = two_workers(&cfg, 3);
+        let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(100_000)).unwrap();
+        let s = ms.run(10_000_000).unwrap();
+        assert_eq!(s.flush_successes, 6);
+        assert_eq!(s.flush_failures, 0);
+        assert!(s.completions.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn short_slices_cause_conflicts_but_progress() {
+        let cfg = SimConfig::default();
+        let programs = two_workers(&cfg, 4);
+        // A sequence is ~15-20 cycles; 60-cycle slices interrupt often but
+        // leave room to finish sequences.
+        let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(60)).unwrap();
+        let s = ms.run(10_000_000).unwrap();
+        assert_eq!(s.flush_successes, 8);
+        assert!(
+            s.flush_failures > 0,
+            "interrupted sequences must fail flushes"
+        );
+        assert!(s.switches > 2);
+    }
+
+    #[test]
+    fn pathological_slices_livelock() {
+        let cfg = SimConfig::default();
+        let programs = two_workers(&cfg, 1);
+        // Slices far shorter than a sequence: no flush can ever succeed.
+        let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(6)).unwrap();
+        match ms.run(300_000) {
+            Err(SimError::CycleLimit { .. }) => {}
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_recovers_from_livelock() {
+        let cfg = SimConfig::default();
+        let programs = two_workers(&cfg, 2);
+        let mut ms =
+            MultiSim::new(cfg, programs, SwitchPolicy::Backoff { base: 6, max: 4096 }).unwrap();
+        let s = ms.run(10_000_000).unwrap();
+        assert_eq!(s.flush_successes, 4);
+        assert!(s.flush_failures > 0, "backoff should be exercised");
+    }
+
+    #[test]
+    fn retry_limit_fallback_survives_pathological_slicing() {
+        // The paper's first livelock remedy: "limit the number of failed
+        // conditional flushes". With 6-cycle slices the pure-CSB workers
+        // livelock (see pathological_slices_livelock); the fallback workers
+        // burn their retry budget and finish over the lock path instead.
+        let cfg = SimConfig::default();
+        let programs = vec![
+            workloads::csb_sequence_with_fallback(8, 3, &cfg).unwrap(),
+            workloads::csb_sequence_with_fallback(8, 3, &cfg).unwrap(),
+        ];
+        let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(6)).unwrap();
+        let s = ms.run(10_000_000).unwrap();
+        assert!(s.flush_failures >= 6, "both budgets must be exhausted");
+        assert_eq!(
+            s.flush_successes, 0,
+            "no flush can succeed under 6-cycle slices"
+        );
+        assert!(s.completions.iter().all(|&c| c > 0), "fallback must finish");
+        // The device still received both messages (16 dwords), via the
+        // uncached window.
+        assert_eq!(ms.simulator().device().payload_bytes(), 128);
+    }
+
+    #[test]
+    fn single_process_degenerates_to_plain_run() {
+        let cfg = SimConfig::default();
+        let programs = vec![workloads::csb_worker(2, 4, 0, &cfg).unwrap()];
+        let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(50)).unwrap();
+        let s = ms.run(1_000_000).unwrap();
+        assert_eq!(s.flush_successes, 2);
+        assert_eq!(s.flush_failures, 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! The clocked full-system simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use csb_bus::{BusStats, SystemBus, TxnKind};
+use csb_cpu::{Cpu, CpuStats, MemPort, Pid};
+use csb_isa::{Addr, AddressMap, AddressSpace, Program};
+use csb_mem::{AccessKind, FlatMemory, MemoryHierarchy, MemoryStats};
+use csb_uncached::{
+    ConditionalStoreBuffer, CsbError, CsbStats, PushOutcome, UncachedBuffer, UncachedStats,
+};
+
+use crate::config::{SimConfig, SimConfigError};
+use crate::device::IoDevice;
+
+/// Error from constructing or running a [`Simulator`].
+#[derive(Debug)]
+pub enum SimError {
+    /// Inconsistent machine configuration.
+    Config(SimConfigError),
+    /// A component rejected its configuration.
+    Component(String),
+    /// The program did not halt (and drain) within the cycle limit.
+    CycleLimit {
+        /// The limit that was hit, in CPU cycles.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid machine configuration: {e}"),
+            SimError::Component(e) => write!(f, "component configuration rejected: {e}"),
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation did not complete within {limit} CPU cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SimConfigError> for SimError {
+    fn from(e: SimConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Everything outside the core; implements [`MemPort`] for the CPU.
+#[derive(Debug)]
+pub(crate) struct Machine {
+    map: AddressMap,
+    pub(crate) flat: FlatMemory,
+    pub(crate) hier: MemoryHierarchy,
+    ubuf: UncachedBuffer,
+    csb: ConditionalStoreBuffer,
+    bus: SystemBus,
+    ratio: u64,
+    /// Mirror of the CPU clock, kept by the tick loop for latency math.
+    now: u64,
+    device: IoDevice,
+    /// Outstanding uncached reads: tag -> (ready CPU cycle, value).
+    pending_reads: HashMap<u64, (u64, u64)>,
+    /// Same, for uncached swaps.
+    pending_swaps: HashMap<u64, (u64, u64)>,
+    /// Uncached swaps in flight: tag -> (width, new value to write).
+    swap_writes: HashMap<u64, (usize, u64)>,
+}
+
+impl Machine {
+    fn bus_now(&self) -> u64 {
+        self.now / self.ratio
+    }
+
+    /// One bus cycle: hand ready transactions to the bus (uncached buffer
+    /// first — program order for strongly ordered I/O — then CSB bursts).
+    fn bus_tick(&mut self) {
+        let bus_now = self.bus_now();
+        while self.bus.can_accept(bus_now) {
+            if let Some(pt) = self.ubuf.peek_transaction() {
+                let issued = self
+                    .bus
+                    .try_issue(bus_now, pt.txn)
+                    .expect("uncached buffer emits only legal transactions")
+                    .expect("bus said it could accept");
+                self.ubuf.transaction_accepted();
+                self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
+            } else if self.csb.peek_transaction().is_some() {
+                let pt = {
+                    let front = self.csb.peek_transaction().expect("checked");
+                    front.clone()
+                };
+                let issued = self
+                    .bus
+                    .try_issue(bus_now, pt.txn)
+                    .expect("CSB emits only legal transactions")
+                    .expect("bus said it could accept");
+                self.csb.transaction_accepted();
+                self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        txn: csb_bus::Transaction,
+        data: Vec<u8>,
+        addr_cycle: u64,
+        completes_at: u64,
+    ) {
+        match txn.kind {
+            TxnKind::Write => {
+                self.flat.write_bytes(txn.addr, &data);
+                self.device.deliver(txn.addr, data, txn.payload, addr_cycle);
+            }
+            TxnKind::Read => {
+                // Value travels back with the data phase; the register is
+                // written the CPU cycle after the transaction completes.
+                let ready = (completes_at + 1) * self.ratio;
+                if let Some((width, new)) = self.swap_writes.remove(&txn.tag) {
+                    let old = self.flat.read(txn.addr, width);
+                    self.flat.write(txn.addr, width, new);
+                    self.pending_swaps.insert(txn.tag, (ready, old));
+                } else {
+                    let v = self.flat.read(txn.addr, txn.size.min(8));
+                    self.pending_reads.insert(txn.tag, (ready, v));
+                }
+            }
+        }
+    }
+
+    fn io_drained(&self) -> bool {
+        self.ubuf.is_drained() && self.csb.is_drained()
+    }
+}
+
+impl MemPort for Machine {
+    fn space_of(&self, addr: Addr) -> AddressSpace {
+        self.map.space_of(addr)
+    }
+
+    fn cached_access(&mut self, addr: Addr, kind: AccessKind, now: u64) -> u64 {
+        self.hier.access(addr, kind, now).0
+    }
+
+    fn read(&mut self, addr: Addr, width: usize) -> u64 {
+        self.flat.read(addr, width)
+    }
+
+    fn write(&mut self, addr: Addr, width: usize, value: u64) {
+        self.flat.write(addr, width, value);
+    }
+
+    fn swap_value(&mut self, addr: Addr, new: u64) -> u64 {
+        self.flat.swap(addr, new)
+    }
+
+    fn uncached_store(&mut self, addr: Addr, width: usize, value: u64) -> bool {
+        let bytes = value.to_le_bytes();
+        self.ubuf.push_store(addr, &bytes[..width]) != PushOutcome::Full
+    }
+
+    fn uncached_load(&mut self, addr: Addr, width: usize, tag: u64) -> bool {
+        self.ubuf.push_load(addr, width, tag)
+    }
+
+    fn uncached_load_poll(&mut self, tag: u64) -> Option<u64> {
+        let &(ready, v) = self.pending_reads.get(&tag)?;
+        if self.now >= ready {
+            self.pending_reads.remove(&tag);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn uncached_swap(&mut self, addr: Addr, width: usize, value: u64, tag: u64) -> bool {
+        if self.ubuf.push_load(addr, width, tag) {
+            self.swap_writes.insert(tag, (width, value));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn uncached_swap_poll(&mut self, tag: u64) -> Option<u64> {
+        let &(ready, v) = self.pending_swaps.get(&tag)?;
+        if self.now >= ready {
+            self.pending_swaps.remove(&tag);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn uncached_drained(&self) -> bool {
+        self.ubuf.is_drained()
+    }
+
+    fn csb_store(&mut self, pid: Pid, addr: Addr, width: usize, value: u64) -> bool {
+        let bytes = value.to_le_bytes();
+        match self.csb.store(pid, addr, &bytes[..width]) {
+            Ok(_) => true,
+            Err(CsbError::Busy) => false,
+            Err(e @ CsbError::BadStore { .. }) => {
+                panic!("program issued an illegal combining store: {e}")
+            }
+        }
+    }
+
+    fn csb_can_flush(&self) -> bool {
+        self.csb.can_accept_flush()
+    }
+
+    fn csb_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> u64 {
+        self.csb
+            .conditional_flush(pid, addr, expected)
+            .register_value(expected)
+    }
+}
+
+/// Aggregated results of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Total CPU cycles simulated (including post-halt bus drain).
+    pub cycles: u64,
+    /// Core statistics.
+    pub cpu: CpuStats,
+    /// Bus statistics (the bandwidth figures read these).
+    pub bus: BusStats,
+    /// Uncached buffer statistics.
+    pub uncached: UncachedStats,
+    /// Conditional store buffer statistics.
+    pub csb: CsbStats,
+    /// Cache hierarchy statistics.
+    pub mem: MemoryStats,
+}
+
+/// The complete simulated machine: one out-of-order core, caches, the
+/// uncached buffer, the CSB, and a system bus feeding an [`IoDevice`].
+///
+/// Time advances in CPU cycles; the bus ticks once every
+/// [`SimConfig::ratio`] CPU cycles. See the crate-level example.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    cpu: Cpu,
+    machine: Machine,
+}
+
+impl Simulator {
+    /// Builds a machine about to run `program` as process 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is inconsistent or a
+    /// component rejects its parameters.
+    pub fn new(cfg: SimConfig, program: Program) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let machine = Machine {
+            map: cfg.map.clone(),
+            flat: FlatMemory::new(),
+            hier: MemoryHierarchy::new(cfg.mem).map_err(|e| SimError::Component(e.to_string()))?,
+            ubuf: UncachedBuffer::new(cfg.uncached)
+                .map_err(|e| SimError::Component(e.to_string()))?,
+            csb: ConditionalStoreBuffer::new(cfg.csb)
+                .map_err(|e| SimError::Component(e.to_string()))?,
+            bus: SystemBus::new(cfg.bus),
+            ratio: cfg.ratio,
+            now: 0,
+            device: IoDevice::new(),
+            pending_reads: HashMap::new(),
+            pending_swaps: HashMap::new(),
+            swap_writes: HashMap::new(),
+        };
+        let cpu = Cpu::new(cfg.cpu, program);
+        Ok(Simulator { cfg, cpu, machine })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The core (for register and statistics inspection).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable core access (context setup for multi-process experiments).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The I/O device sink.
+    pub fn device(&self) -> &IoDevice {
+        &self.machine.device
+    }
+
+    /// Functional memory (test setup and inspection).
+    pub fn memory_mut(&mut self) -> &mut FlatMemory {
+        &mut self.machine.flat
+    }
+
+    /// Pre-loads the cache line containing `addr` (Figure 5(a) lock-hit
+    /// setup).
+    pub fn warm_line(&mut self, addr: Addr) {
+        self.machine.hier.warm(addr);
+    }
+
+    /// Evicts the cache line containing `addr` (Figure 5(b) lock-miss
+    /// setup).
+    pub fn evict_line(&mut self, addr: Addr) {
+        self.machine.hier.flush_line(addr);
+    }
+
+    /// Advances the machine by one CPU cycle (bus included on its ticks).
+    pub fn tick(&mut self) {
+        if self.machine.now.is_multiple_of(self.machine.ratio) {
+            self.machine.bus_tick();
+        }
+        self.cpu.tick(&mut self.machine);
+        self.machine.now = self.cpu.now();
+    }
+
+    /// `true` once the program halted *and* all buffered I/O reached the
+    /// bus.
+    pub fn complete(&self) -> bool {
+        self.cpu.halted() && self.machine.io_drained()
+    }
+
+    /// Runs until completion or `limit` CPU cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the run does not complete in
+    /// time (e.g. livelocked conditional-flush retries).
+    pub fn run(&mut self, limit: u64) -> Result<RunSummary, SimError> {
+        while !self.complete() {
+            if self.cpu.now() >= limit {
+                return Err(SimError::CycleLimit { limit });
+            }
+            self.tick();
+        }
+        Ok(self.summary())
+    }
+
+    /// Starts recording every bus transaction for
+    /// [`Simulator::bus_log`] / [`crate::trace`] rendering.
+    pub fn enable_bus_log(&mut self) {
+        self.machine.bus.enable_log();
+    }
+
+    /// The recorded bus-transaction log (empty unless
+    /// [`Simulator::enable_bus_log`] was called before running).
+    pub fn bus_log(&self) -> &[csb_bus::BusLogEntry] {
+        self.machine.bus.log()
+    }
+
+    /// Conditional store buffer counters (cheap accessor for schedulers).
+    pub fn csb_stats(&self) -> csb_uncached::CsbStats {
+        *self.machine.csb.stats()
+    }
+
+    /// Snapshot of all statistics.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cpu.now(),
+            cpu: self.cpu.stats().clone(),
+            bus: self.machine.bus.stats().clone(),
+            uncached: *self.machine.ubuf.stats(),
+            csb: *self.machine.csb.stats(),
+            mem: self.machine.hier.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{COMBINING_BASE, UNCACHED_BASE};
+    use crate::workloads;
+    use csb_isa::{Assembler, Reg};
+
+    fn assemble(f: impl FnOnce(&mut Assembler)) -> Program {
+        let mut a = Assembler::new();
+        f(&mut a);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn single_uncached_store_reaches_device() {
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.movi(Reg::L0, 0xabcd);
+            a.std(Reg::L0, Reg::O1, 0);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        let s = sim.run(100_000).unwrap();
+        assert_eq!(s.bus.transactions, 1);
+        assert_eq!(s.bus.payload_bytes, 8);
+        let d = sim.device();
+        assert_eq!(d.len(), 1);
+        assert_eq!(&d.writes()[0].data[..2], &[0xcd, 0xab]);
+    }
+
+    #[test]
+    fn csb_sequence_is_one_burst() {
+        let program = assemble(|a| {
+            let retry = a.new_label();
+            a.movi(Reg::O1, COMBINING_BASE as i64);
+            a.bind(retry).unwrap();
+            a.movi(Reg::L4, 8);
+            for i in 0..8 {
+                a.movi(Reg::L0, 0x10 + i);
+                a.std(Reg::L0, Reg::O1, 8 * i);
+            }
+            a.swap(Reg::L4, Reg::O1, 0);
+            a.cmpi(Reg::L4, 8);
+            a.bnz(retry);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        let s = sim.run(100_000).unwrap();
+        assert_eq!(s.bus.transactions, 1);
+        assert_eq!(s.csb.flush_successes, 1);
+        let w = &sim.device().writes()[0];
+        assert_eq!(w.data.len(), 64);
+        assert_eq!(w.payload, 64);
+        assert_eq!(w.data[0], 0x10);
+        assert_eq!(w.data[56], 0x17);
+    }
+
+    #[test]
+    fn uncached_load_round_trips_through_bus() {
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.ld(Reg::L1, Reg::O1, 0x40, csb_isa::MemWidth::B8);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        sim.memory_mut()
+            .write(Addr::new(UNCACHED_BASE + 0x40), 8, 0x7777);
+        let s = sim.run(100_000).unwrap();
+        assert_eq!(sim.cpu().context().int_reg(Reg::L1), 0x7777);
+        assert_eq!(s.bus.transactions, 1);
+        assert_eq!(s.cpu.uncached_ops, 1);
+    }
+
+    #[test]
+    fn non_combining_bandwidth_is_4_bytes_per_cycle() {
+        // The paper's headline baseline number.
+        let cfg = SimConfig::default();
+        let program =
+            workloads::store_bandwidth(1024, &cfg, workloads::StorePath::Uncached).unwrap();
+        let mut sim = Simulator::new(cfg, program).unwrap();
+        let s = sim.run(10_000_000).unwrap();
+        assert_eq!(s.bus.transactions, 128);
+        let bw = s.bus.effective_bandwidth();
+        assert!((bw - 4.0).abs() < 0.05, "expected ~4 B/cycle, got {bw}");
+    }
+
+    #[test]
+    fn run_summary_cycles_cover_drain() {
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.movi(Reg::L0, 1);
+            a.std(Reg::L0, Reg::O1, 0);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        let s = sim.run(100_000).unwrap();
+        assert!(sim.complete());
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let program = assemble(|a| {
+            let spin = a.new_label();
+            a.bind(spin).unwrap();
+            a.ba(spin);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        match sim.run(1000) {
+            Err(SimError::CycleLimit { limit: 1000 }) => {}
+            other => panic!("expected cycle limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let program = assemble(|a| {
+            a.halt();
+        });
+        let cfg = SimConfig::default().combining_block(128); // > 64B line
+        assert!(matches!(
+            Simulator::new(cfg, program),
+            Err(SimError::Config(SimConfigError::BlockExceedsLine { .. }))
+        ));
+    }
+}

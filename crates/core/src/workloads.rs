@@ -1,0 +1,576 @@
+//! Generators for the paper's microbenchmark kernels (§4.2).
+//!
+//! Two microbenchmarks drive the whole evaluation:
+//!
+//! * **Store bandwidth** — a tight, fully unrolled sequence of doubleword
+//!   stores covering `total_bytes` of ascending uncached addresses, putting
+//!   maximum pressure on the system bus. Through the CSB, each cache line's
+//!   worth of stores ends with a conditional flush (and a retry check, as in
+//!   the paper's assembly listing).
+//! * **Atomic device access** — either the conventional
+//!   lock/store/membar/unlock sequence (a swap-based spin lock on a cached
+//!   lock variable) or the CSB store/conditional-flush sequence; Figure 5
+//!   compares their latencies.
+//!
+//! All generators target the standard address layout of
+//! [`SimConfig::default_map`]: device registers live at [`UNCACHED_BASE`] or
+//! [`COMBINING_BASE`], the lock at [`LOCK_ADDR`].
+
+use std::fmt;
+
+use csb_isa::{Assembler, MemWidth, Program, ProgramError, Reg};
+
+use crate::config::{SimConfig, COMBINING_BASE, IO_WINDOW, LOCK_ADDR, UNCACHED_BASE};
+
+/// Mark id retired immediately before the measured sequence begins.
+pub const MARK_START: u32 = 0;
+/// Mark id retired when the measured sequence is architecturally complete.
+pub const MARK_END: u32 = 1;
+
+/// Which store path the bandwidth kernel exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorePath {
+    /// Plain uncached space: the uncached buffer (combining per its block
+    /// size) turns the stores into bus transactions.
+    Uncached,
+    /// Combining space: stores accumulate in the CSB; each line is committed
+    /// with a conditional flush.
+    Csb,
+}
+
+/// Issue order of the stores within each cache line.
+///
+/// Hardware pattern detectors (the R10000's uncached-accelerated mode, the
+/// PowerPC 620's pairing) only combine strictly sequential streams; the
+/// paper's §2 point is that they "fail if the sequence of stores is
+/// interrupted by a store to a different address". [`StoreOrder::Shuffled`]
+/// keeps every store inside its line but breaks consecutiveness, separating
+/// pattern-based combining from block-based combining and the CSB (whose
+/// stores may arrive in any order, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOrder {
+    /// Ascending consecutive addresses (the paper's unrolled loop).
+    Ascending,
+    /// A fixed even/odd interleave within each line: offsets 0, 2, 4, …
+    /// then 1, 3, 5, … (in doublewords).
+    Shuffled,
+}
+
+impl StoreOrder {
+    /// Doubleword visit order for a group of `n` doublewords.
+    fn order(self, n: usize) -> Vec<usize> {
+        match self {
+            StoreOrder::Ascending => (0..n).collect(),
+            StoreOrder::Shuffled => {
+                let mut v: Vec<usize> = (0..n).step_by(2).collect();
+                v.extend((1..n).step_by(2));
+                v
+            }
+        }
+    }
+}
+
+/// Invalid workload parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Transfer size must be a nonzero multiple of 8 that fits the I/O
+    /// window.
+    BadTransfer {
+        /// Requested bytes.
+        bytes: usize,
+    },
+    /// Doubleword count out of the supported range.
+    BadDwords {
+        /// Requested doublewords.
+        dwords: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// Program assembly failed (generator bug).
+    Assemble(ProgramError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::BadTransfer { bytes } => {
+                write!(f, "transfer of {bytes} bytes is not a positive multiple of 8 within the I/O window")
+            }
+            WorkloadError::BadDwords { dwords, max } => {
+                write!(f, "{dwords} doublewords outside supported range 1..={max}")
+            }
+            WorkloadError::Assemble(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<ProgramError> for WorkloadError {
+    fn from(e: ProgramError) -> Self {
+        WorkloadError::Assemble(e)
+    }
+}
+
+/// Builds the uncached-store-bandwidth kernel (§4.2): `total_bytes / 8`
+/// doubleword stores to consecutive addresses.
+///
+/// For [`StorePath::Csb`] the stores are grouped per cache line, each group
+/// followed by the conditional flush + check + retry idiom from the paper's
+/// §3.2 listing. A final partial line is flushed with its own (smaller)
+/// expected count.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadTransfer`] unless `total_bytes` is a nonzero
+/// multiple of 8 that fits in the I/O window.
+///
+/// # Examples
+///
+/// ```
+/// use csb_core::{workloads, SimConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SimConfig::default();
+/// let p = workloads::store_bandwidth(64, &cfg, workloads::StorePath::Uncached)?;
+/// assert!(p.len() > 8); // 8 stores plus setup
+/// # Ok(())
+/// # }
+/// ```
+pub fn store_bandwidth(
+    total_bytes: usize,
+    cfg: &SimConfig,
+    path: StorePath,
+) -> Result<Program, WorkloadError> {
+    store_bandwidth_ordered(total_bytes, cfg, path, StoreOrder::Ascending)
+}
+
+/// [`store_bandwidth`] with an explicit per-line store order (see
+/// [`StoreOrder`]).
+///
+/// # Errors
+///
+/// As for [`store_bandwidth`].
+pub fn store_bandwidth_ordered(
+    total_bytes: usize,
+    cfg: &SimConfig,
+    path: StorePath,
+    order: StoreOrder,
+) -> Result<Program, WorkloadError> {
+    if total_bytes == 0 || !total_bytes.is_multiple_of(8) || total_bytes as u64 > IO_WINDOW {
+        return Err(WorkloadError::BadTransfer { bytes: total_bytes });
+    }
+    let dwords = total_bytes / 8;
+    let line = cfg.line();
+    let per_line = line / 8;
+    let mut a = Assembler::new();
+    a.movi(Reg::L1, 0x5151_5151_5151_5151u64 as i64);
+    a.mark(MARK_START);
+    match path {
+        StorePath::Uncached => {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            let mut remaining = dwords;
+            let mut line_idx = 0i64;
+            while remaining > 0 {
+                let n = remaining.min(per_line);
+                let base_off = line_idx * line as i64;
+                for i in order.order(n) {
+                    a.std(Reg::L1, Reg::O1, base_off + 8 * i as i64);
+                }
+                remaining -= n;
+                line_idx += 1;
+            }
+        }
+        StorePath::Csb => {
+            a.movi(Reg::O1, COMBINING_BASE as i64);
+            let mut remaining = dwords;
+            let mut line_idx = 0i64;
+            while remaining > 0 {
+                let n = remaining.min(per_line);
+                let base_off = line_idx * line as i64;
+                let retry = a.new_label();
+                a.bind(retry)?;
+                a.movi(Reg::L4, n as i64);
+                for i in order.order(n) {
+                    a.std(Reg::L1, Reg::O1, base_off + 8 * i as i64);
+                }
+                a.swap(Reg::L4, Reg::O1, base_off);
+                a.cmpi(Reg::L4, n as i64);
+                a.bnz(retry);
+                remaining -= n;
+                line_idx += 1;
+            }
+        }
+    }
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Builds the conventional atomic-access kernel of §4.2: spin-lock acquire
+/// (SPARC `swap` in a retry loop), `dwords` uncached doubleword stores, a
+/// memory barrier, and the lock release, bracketed by timing marks.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadDwords`] unless `1 <= dwords <= 512`.
+pub fn lock_sequence(dwords: usize) -> Result<Program, WorkloadError> {
+    if dwords == 0 || dwords > 512 {
+        return Err(WorkloadError::BadDwords { dwords, max: 512 });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, LOCK_ADDR as i64);
+    a.movi(Reg::O1, UNCACHED_BASE as i64);
+    a.movi(Reg::L1, 0x6262_6262_6262_6262u64 as i64);
+    a.mark(MARK_START);
+    // Lock acquire: swap 1 into the lock until the old value was 0.
+    let retry = a.new_label();
+    a.bind(retry)?;
+    a.movi(Reg::L0, 1);
+    a.swap(Reg::L0, Reg::O0, 0);
+    a.cmpi(Reg::L0, 0);
+    a.bnz(retry);
+    // Barrier between the lock acquire and the device stores, as in §4.2.
+    a.membar();
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O1, 8 * i as i64);
+    }
+    // The lock may be released only after the last uncached store has left
+    // the uncached buffer.
+    a.membar();
+    a.std(Reg::G0, Reg::O0, 0); // release: store 0 (cached)
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Builds the CSB atomic-access kernel of §4.2: `dwords` combining stores
+/// followed by a conditional flush, its check, and a retry branch. The
+/// access is architecturally complete as soon as the flush succeeds.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadDwords`] unless `1 <= dwords <= line/8`.
+pub fn csb_sequence(dwords: usize, cfg: &SimConfig) -> Result<Program, WorkloadError> {
+    let max = cfg.line() / 8;
+    if dwords == 0 || dwords > max {
+        return Err(WorkloadError::BadDwords { dwords, max });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O1, COMBINING_BASE as i64);
+    a.movi(Reg::L1, 0x6262_6262_6262_6262u64 as i64);
+    a.mark(MARK_START);
+    let retry = a.new_label();
+    a.bind(retry)?;
+    a.movi(Reg::L4, dwords as i64);
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O1, 8 * i as i64);
+    }
+    a.swap(Reg::L4, Reg::O1, 0);
+    a.cmpi(Reg::L4, dwords as i64);
+    a.bnz(retry);
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Builds the CSB sequence with the paper's first livelock remedy (§3.2):
+/// after `max_retries` failed conditional flushes the program falls back to
+/// the heavyweight lock-based path, which tolerates preemption and thus
+/// guarantees progress.
+///
+/// The `mark` pair brackets the whole access either way; compare
+/// [`csb_sequence`] (retry forever) and [`lock_sequence`] (lock always).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadDwords`] for out-of-range sizes or a zero
+/// retry budget.
+pub fn csb_sequence_with_fallback(
+    dwords: usize,
+    max_retries: u64,
+    cfg: &SimConfig,
+) -> Result<Program, WorkloadError> {
+    let max = cfg.line() / 8;
+    if dwords == 0 || dwords > max || max_retries == 0 {
+        return Err(WorkloadError::BadDwords { dwords, max });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, LOCK_ADDR as i64);
+    a.movi(Reg::O1, COMBINING_BASE as i64);
+    a.movi(Reg::O2, UNCACHED_BASE as i64);
+    a.movi(Reg::L1, 0x6262_6262_6262_6262u64 as i64);
+    a.movi(Reg::L6, max_retries as i64);
+    a.mark(MARK_START);
+    let retry = a.new_label();
+    let done = a.new_label();
+    let fallback = a.new_label();
+    a.bind(retry)?;
+    a.movi(Reg::L4, dwords as i64);
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O1, 8 * i as i64);
+    }
+    a.swap(Reg::L4, Reg::O1, 0);
+    a.cmpi(Reg::L4, dwords as i64);
+    a.bz(done);
+    // Failed flush: burn one retry, fall back once the budget is gone.
+    a.alui(csb_isa::AluOp::Sub, Reg::L6, Reg::L6, 1);
+    a.cmpi(Reg::L6, 0);
+    a.bnz(retry);
+    a.bind(fallback)?;
+    let spin = a.new_label();
+    a.bind(spin)?;
+    a.movi(Reg::L0, 1);
+    a.swap(Reg::L0, Reg::O0, 0);
+    a.cmpi(Reg::L0, 0);
+    a.bnz(spin);
+    a.membar();
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O2, 8 * i as i64);
+    }
+    a.membar();
+    a.std(Reg::G0, Reg::O0, 0);
+    a.bind(done)?;
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Builds a worker for the multi-process conflict experiments: `iterations`
+/// CSB sequences of `dwords` stores each (each with the full retry loop),
+/// all to this process's own `line_index`-th line of the combining window.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] for out-of-range parameters.
+pub fn csb_worker(
+    iterations: usize,
+    dwords: usize,
+    line_index: usize,
+    cfg: &SimConfig,
+) -> Result<Program, WorkloadError> {
+    let max = cfg.line() / 8;
+    if dwords == 0 || dwords > max {
+        return Err(WorkloadError::BadDwords { dwords, max });
+    }
+    let line_off = (line_index * cfg.line()) as u64;
+    if line_off + cfg.line() as u64 > IO_WINDOW {
+        return Err(WorkloadError::BadTransfer {
+            bytes: line_off as usize,
+        });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O1, (COMBINING_BASE + line_off) as i64);
+    a.movi(Reg::L1, 0x7373_7373_7373_7373u64 as i64);
+    a.movi(Reg::L5, iterations as i64);
+    a.mark(MARK_START);
+    let outer = a.new_label();
+    a.bind(outer)?;
+    let retry = a.new_label();
+    a.bind(retry)?;
+    a.movi(Reg::L4, dwords as i64);
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O1, 8 * i as i64);
+    }
+    a.swap(Reg::L4, Reg::O1, 0);
+    a.cmpi(Reg::L4, dwords as i64);
+    a.bnz(retry);
+    a.alui(csb_isa::AluOp::Sub, Reg::L5, Reg::L5, 1);
+    a.cmpi(Reg::L5, 0);
+    a.bnz(outer);
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Parameters for [`random_mixed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomMix {
+    /// Instructions to generate (excluding the trailing `halt`).
+    pub ops: usize,
+    /// Percent (0–100) of generated instructions that are memory
+    /// operations; the rest are ALU work.
+    pub mem_percent: u8,
+}
+
+impl Default for RandomMix {
+    fn default() -> Self {
+        RandomMix {
+            ops: 200,
+            mem_percent: 40,
+        }
+    }
+}
+
+/// Generates a random but architecturally valid mixed workload: cached
+/// loads/stores to a scratch region, uncached and combining doubleword
+/// stores, occasional uncached loads, membars, and ALU filler — a stress
+/// harness for the whole machine rather than a benchmark.
+///
+/// Every memory access is naturally aligned and lands in a mapped window;
+/// combining stores are always committed with a matching conditional flush
+/// (the generator tracks its own store count), so a conflict-free run must
+/// end with zero failed flushes. Deterministic per `seed`.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if assembly fails (generator bug).
+pub fn random_mixed(seed: u64, mix: RandomMix, cfg: &SimConfig) -> Result<Program, WorkloadError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let line = cfg.line() as i64;
+    let per_line = (cfg.line() / 8) as i64;
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, 0x4000); // cached scratch
+    a.movi(Reg::O1, UNCACHED_BASE as i64);
+    a.movi(Reg::O2, COMBINING_BASE as i64);
+    a.movi(Reg::L1, 0x9a9a_9a9a_9a9a_9a9au64 as i64);
+    a.mark(MARK_START);
+
+    let mut csb_pending = 0i64; // stores accumulated toward the open line
+    let mut emitted = 0usize;
+    while emitted < mix.ops {
+        let is_mem = rng.gen_range(0..100) < mix.mem_percent;
+        if !is_mem {
+            // ALU filler over scratch registers L2/L3.
+            let dst = if rng.gen_bool(0.5) { Reg::L2 } else { Reg::L3 };
+            a.alui(csb_isa::AluOp::Add, dst, Reg::L1, rng.gen_range(0..64));
+            emitted += 1;
+            continue;
+        }
+        match rng.gen_range(0..5) {
+            0 => {
+                // Cached store then load (always within 4 KiB scratch).
+                let off = rng.gen_range(0..512) * 8;
+                a.st(Reg::L1, Reg::O0, off, MemWidth::B8);
+            }
+            1 => {
+                let off = rng.gen_range(0..512) * 8;
+                a.ld(Reg::L2, Reg::O0, off, MemWidth::B8);
+            }
+            2 => {
+                // Plain uncached store anywhere in the window's first 4 KiB.
+                let off = rng.gen_range(0..512) * 8;
+                a.std(Reg::L1, Reg::O1, off);
+            }
+            3 => {
+                // Uncached load (round trip).
+                let off = rng.gen_range(0..512) * 8;
+                a.ld(Reg::L3, Reg::O1, off, MemWidth::B8);
+            }
+            _ => {
+                // Combining store into line 0 of the CSB window; the flush
+                // below keeps the bookkeeping exact.
+                let slot = rng.gen_range(0..per_line);
+                a.std(Reg::L1, Reg::O2, slot * 8);
+                csb_pending += 1;
+                // Commit with some probability, or when the budget is rich.
+                if csb_pending > 0 && (rng.gen_bool(0.3) || csb_pending == per_line) {
+                    let retry = a.new_label();
+                    a.bind(retry)?;
+                    a.movi(Reg::L4, csb_pending);
+                    a.swap(Reg::L4, Reg::O2, 0);
+                    a.cmpi(Reg::L4, csb_pending);
+                    a.bnz(retry);
+                    csb_pending = 0;
+                }
+            }
+        }
+        if rng.gen_bool(0.05) {
+            a.membar();
+        }
+        emitted += 1;
+        let _ = line; // line retained for clarity in offsets above
+    }
+    // Close any open combining sequence so the run drains fully.
+    if csb_pending > 0 {
+        let retry = a.new_label();
+        a.bind(retry)?;
+        a.movi(Reg::L4, csb_pending);
+        a.swap(Reg::L4, Reg::O2, 0);
+        a.cmpi(Reg::L4, csb_pending);
+        a.bnz(retry);
+    }
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_program_shapes() {
+        let cfg = SimConfig::default();
+        let p = store_bandwidth(64, &cfg, StorePath::Uncached).unwrap();
+        // 2 setup + mark + 8 stores + mark + halt
+        assert_eq!(p.len(), 13);
+        let p = store_bandwidth(64, &cfg, StorePath::Csb).unwrap();
+        // adds movi/swap/cmp/bnz per line
+        assert_eq!(p.len(), 17);
+    }
+
+    #[test]
+    fn csb_partial_line_expected_count() {
+        let cfg = SimConfig::default();
+        // 24 bytes = 3 dwords: one group expecting 3.
+        let p = store_bandwidth(24, &cfg, StorePath::Csb).unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("set 3, %l4"), "listing:\n{listing}");
+    }
+
+    #[test]
+    fn multi_line_csb_groups() {
+        let cfg = SimConfig::default().line_size(32);
+        // 80 bytes over 32B lines: groups of 4, 4, 2 dwords.
+        let p = store_bandwidth(80, &cfg, StorePath::Csb).unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("set 4, %l4"));
+        assert!(listing.contains("set 2, %l4"));
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let cfg = SimConfig::default();
+        assert!(matches!(
+            store_bandwidth(0, &cfg, StorePath::Uncached),
+            Err(WorkloadError::BadTransfer { .. })
+        ));
+        assert!(matches!(
+            store_bandwidth(12, &cfg, StorePath::Uncached),
+            Err(WorkloadError::BadTransfer { .. })
+        ));
+        assert!(matches!(
+            lock_sequence(0),
+            Err(WorkloadError::BadDwords { .. })
+        ));
+        assert!(matches!(
+            lock_sequence(513),
+            Err(WorkloadError::BadDwords { .. })
+        ));
+        assert!(matches!(
+            csb_sequence(9, &cfg),
+            Err(WorkloadError::BadDwords { dwords: 9, max: 8 })
+        ));
+        assert!(!csb_sequence(9, &cfg).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn lock_sequence_contains_membar_and_release() {
+        let p = lock_sequence(4).unwrap();
+        let listing = p.listing();
+        assert_eq!(listing.matches("membar").count(), 2);
+        assert!(listing.contains("swap"));
+        assert!(listing.contains("%g0")); // release stores zero
+    }
+
+    #[test]
+    fn worker_respects_window() {
+        let cfg = SimConfig::default();
+        assert!(csb_worker(3, 4, 0, &cfg).is_ok());
+        assert!(csb_worker(3, 4, 2000, &cfg).is_err());
+    }
+}

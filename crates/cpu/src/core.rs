@@ -1,0 +1,980 @@
+//! The out-of-order pipeline: fetch, dispatch, issue, execute, retire.
+//!
+//! Stage processing runs in reverse order each cycle (writeback, retire,
+//! issue, dispatch, fetch) so an instruction advances at most one stage per
+//! cycle. Register renaming is implicit through the reorder buffer: each
+//! architectural register maps to the sequence number of its youngest
+//! in-flight writer, and consumers capture either a committed value or that
+//! producer reference at dispatch.
+//!
+//! Non-speculative semantics for uncached operations (§4.1 of the paper) are
+//! enforced in the retire stage: an uncached load, store, combining store,
+//! or `swap` only touches the [`MemPort`] once it is the oldest instruction
+//! in the machine, in program order, at most `uncached_per_cycle` per cycle,
+//! and is never replayed — a failed flow-control offer stalls retirement and
+//! is retried the next cycle, which is exactly the back-pressure that lets
+//! the uncached buffer combine stores while the bus is busy.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use csb_isa::{Addr, AddressSpace, Cond, Inst, InstKind, Operand, Program, RegRef};
+use csb_mem::AccessKind;
+
+use crate::config::CpuConfig;
+use crate::context::CpuContext;
+use crate::port::MemPort;
+use crate::stats::CpuStats;
+use crate::trace::InstTrace;
+
+/// Condition-code flag: operands compared equal.
+const FLAG_EQ: u64 = 1;
+/// Condition-code flag: first operand signed-less-than the second.
+const FLAG_LT: u64 = 2;
+
+fn flags_of(a: u64, b: u64) -> u64 {
+    let mut f = 0;
+    if a == b {
+        f |= FLAG_EQ;
+    }
+    if (a as i64) < (b as i64) {
+        f |= FLAG_LT;
+    }
+    f
+}
+
+fn cond_holds(cond: Cond, flags: u64) -> bool {
+    match cond {
+        Cond::Eq => flags & FLAG_EQ != 0,
+        Cond::Ne => flags & FLAG_EQ == 0,
+        Cond::Lt => flags & FLAG_LT != 0,
+        Cond::Ge => flags & FLAG_LT == 0,
+        Cond::Always => true,
+    }
+}
+
+/// Error returned by [`Cpu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle limit elapsed before the program halted (livelock guard).
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::CycleLimit { limit } => {
+                write!(f, "program did not halt within {limit} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Ready(u64),
+    Wait(u64), // producer sequence number
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OperandSlot {
+    reg: RegRef,
+    src: Src,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    /// Waiting for operands / a functional unit.
+    Waiting,
+    /// Address generation in flight.
+    Agen { done_at: u64 },
+    /// Effective address known; memory action not yet started.
+    AddrReady,
+    /// Cached access (load or atomic) in flight.
+    MemAccess { done_at: u64 },
+    /// Uncached split transaction in flight; poll the port.
+    UncachedWait,
+    /// Functional-unit execution in flight.
+    Exec { done_at: u64 },
+    /// Result available; eligible for in-order retirement.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: usize,
+    inst: Inst,
+    st: St,
+    ops: Vec<OperandSlot>,
+    /// Result value: ALU result, condition flags, load value, swap result,
+    /// or (for branches) the resolved next pc.
+    value: u64,
+    addr: Option<Addr>,
+    space: Option<AddressSpace>,
+    predicted_next: usize,
+    /// Head-triggered memory action already started (never replay).
+    mem_started: bool,
+    /// Stage timestamps for the optional pipeline trace.
+    t_fetch: u64,
+    t_dispatch: u64,
+    t_issue: Option<u64>,
+    t_complete: Option<u64>,
+}
+
+impl RobEntry {
+    fn op_val(&self, i: usize) -> u64 {
+        match self.ops[i].src {
+            Src::Ready(v) => v,
+            Src::Wait(_) => panic!("operand {i} of {} not ready", self.inst),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: usize,
+    inst: Inst,
+    predicted_next: usize,
+    t_fetch: u64,
+}
+
+fn mem_width(inst: &Inst) -> usize {
+    match inst {
+        Inst::Load { width, .. } | Inst::Store { width, .. } => width.bytes(),
+        Inst::StoreF { .. } | Inst::Swap { .. } => 8,
+        other => panic!("mem_width on non-memory {other}"),
+    }
+}
+
+/// The out-of-order core.
+///
+/// See the crate-level docs for the machine model and an end-to-end
+/// example. Drive it either cycle by cycle with [`Cpu::tick`] (the
+/// simulator facade does this, interleaving bus ticks) or to completion
+/// with [`Cpu::run`].
+#[derive(Debug)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    program: Program,
+    ctx: CpuContext,
+    fetch_pc: usize,
+    fetch_stopped: bool,
+    fetch_q: VecDeque<Fetched>,
+    rob: VecDeque<RobEntry>,
+    front_seq: u64,
+    next_seq: u64,
+    rename: HashMap<RegRef, u64>,
+    halted: bool,
+    now: u64,
+    stats: CpuStats,
+    trace: Option<Vec<InstTrace>>,
+}
+
+impl Cpu {
+    /// Creates a core about to execute `program` as process 0.
+    pub fn new(cfg: CpuConfig, program: Program) -> Self {
+        Self::with_context(cfg, program, CpuContext::new(0))
+    }
+
+    /// Creates a core with an explicit initial context (PID, registers, pc).
+    pub fn with_context(cfg: CpuConfig, program: Program, ctx: CpuContext) -> Self {
+        let fetch_pc = ctx.pc();
+        Cpu {
+            cfg,
+            program,
+            ctx,
+            fetch_pc,
+            fetch_stopped: false,
+            fetch_q: VecDeque::new(),
+            rob: VecDeque::new(),
+            front_seq: 0,
+            next_seq: 0,
+            rename: HashMap::new(),
+            halted: false,
+            now: 0,
+            stats: CpuStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Starts recording one [`InstTrace`] per instruction that leaves the
+    /// pipeline (retired or squashed), for [`Cpu::trace`] /
+    /// [`crate::trace::render`]. Costs memory per instruction; intended
+    /// for short diagnostic runs.
+    pub fn enable_trace(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded pipeline trace (empty unless enabled).
+    pub fn trace(&self) -> &[InstTrace] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record_trace(&mut self, e: &RobEntry, retired: Option<u64>) {
+        if let Some(t) = &mut self.trace {
+            t.push(InstTrace {
+                seq: e.seq,
+                pc: e.pc,
+                text: e.inst.to_string(),
+                fetched: e.t_fetch,
+                dispatched: e.t_dispatch,
+                issued: e.t_issue,
+                completed: e.t_complete,
+                retired,
+                squashed: retired.is_none(),
+            });
+        }
+    }
+
+    /// The committed architectural context.
+    pub fn context(&self) -> &CpuContext {
+        &self.ctx
+    }
+
+    /// Mutable access to the committed context (test setup; mutating
+    /// registers with instructions in flight is not meaningful).
+    pub fn context_mut(&mut self) -> &mut CpuContext {
+        &mut self.ctx
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// `true` once a `halt` instruction has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// `true` when a context switch would not replay a side effect: the
+    /// ROB head has not started a non-restartable memory action (atomic
+    /// swap, conditional flush, uncached load/swap round trip).
+    ///
+    /// A precise-interrupt machine drains such an instruction before taking
+    /// the interrupt; schedulers should poll this and delay
+    /// [`Cpu::switch_context`] for the few cycles it takes to retire —
+    /// otherwise the resumed process would re-execute an I/O operation that
+    /// already reached the device, violating exactly-once semantics.
+    pub fn switch_safe(&self) -> bool {
+        self.rob.front().is_none_or(|e| !e.mem_started)
+    }
+
+    /// Performs a context switch: squashes all in-flight work (a precise
+    /// interrupt), installs `new` (and its program, if given), and returns
+    /// the outgoing context.
+    ///
+    /// The outgoing context's pc is its committed pc, so resuming it re-runs
+    /// exactly the unretired instructions — which is how an interrupted CSB
+    /// store sequence comes back and finds its conditional flush failing.
+    /// Callers must respect [`Cpu::switch_safe`]; switching past it replays
+    /// a side-effecting instruction.
+    pub fn switch_context(&mut self, new: CpuContext, program: Option<Program>) -> CpuContext {
+        self.stats.squashed += self.rob.len() as u64;
+        self.rob.clear();
+        self.front_seq = self.next_seq;
+        self.rename.clear();
+        self.fetch_q.clear();
+        let old = std::mem::replace(&mut self.ctx, new);
+        if let Some(p) = program {
+            self.program = p;
+        }
+        self.fetch_pc = self.ctx.pc();
+        self.fetch_stopped = false;
+        self.halted = false;
+        old
+    }
+
+    /// Runs until `halt` retires or `limit` cycles elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::CycleLimit`] if the program does not halt in
+    /// time.
+    pub fn run<P: MemPort>(&mut self, port: &mut P, limit: u64) -> Result<CpuStats, RunError> {
+        while !self.halted {
+            if self.now >= limit {
+                return Err(RunError::CycleLimit { limit });
+            }
+            self.tick(port);
+        }
+        Ok(self.stats.clone())
+    }
+
+    /// Advances the core by one cycle.
+    pub fn tick<P: MemPort>(&mut self, port: &mut P) {
+        if !self.halted {
+            self.writeback(port);
+            self.retire(port);
+            self.issue(port);
+            self.dispatch(port);
+            self.fetch();
+        }
+        self.now += 1;
+        self.stats.cycles = self.now;
+    }
+
+    fn arch_value(&self, r: RegRef) -> u64 {
+        match r {
+            RegRef::Int(reg) => self.ctx.int_reg(reg),
+            RegRef::Fp(f) => self.ctx.fp_reg(f),
+            RegRef::Cc => self.ctx.cc(),
+        }
+    }
+
+    /// Resolves pending operand references; returns `true` when all ready.
+    fn ops_ready(&mut self, idx: usize) -> bool {
+        let front = self.front_seq;
+        let mut updates: Vec<(usize, u64)> = Vec::new();
+        let mut all = true;
+        for (i, op) in self.rob[idx].ops.iter().enumerate() {
+            if let Src::Wait(seq) = op.src {
+                if seq < front {
+                    // Producer already retired; its value is architectural.
+                    updates.push((i, self.arch_value(op.reg)));
+                } else {
+                    let p = &self.rob[(seq - front) as usize];
+                    if p.st == St::Done {
+                        updates.push((i, p.value));
+                    } else {
+                        all = false;
+                    }
+                }
+            }
+        }
+        let e = &mut self.rob[idx];
+        for (i, v) in updates {
+            e.ops[i].src = Src::Ready(v);
+        }
+        all
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback: complete in-flight operations, resolve branches.
+    // ------------------------------------------------------------------
+    fn writeback<P: MemPort>(&mut self, port: &mut P) {
+        let now = self.now;
+        let mut redirect: Option<(usize, usize)> = None; // (rob idx, next pc)
+        for idx in 0..self.rob.len() {
+            let e = &mut self.rob[idx];
+            match e.st {
+                St::Agen { done_at } if done_at <= now => {
+                    e.st = St::AddrReady;
+                }
+                St::Exec { done_at } if done_at <= now => {
+                    e.st = St::Done;
+                    e.t_complete = Some(now);
+                    if e.inst.kind() == InstKind::Branch && e.value as usize != e.predicted_next {
+                        redirect = Some((idx, e.value as usize));
+                        break;
+                    }
+                }
+                St::MemAccess { done_at } if done_at <= now => {
+                    e.st = St::Done;
+                    e.t_complete = Some(now);
+                }
+                St::UncachedWait => {
+                    let seq = e.seq;
+                    let is_swap = matches!(e.inst, Inst::Swap { .. });
+                    let polled = if is_swap {
+                        port.uncached_swap_poll(seq)
+                    } else {
+                        port.uncached_load_poll(seq)
+                    };
+                    if let Some(v) = polled {
+                        let e = &mut self.rob[idx];
+                        e.value = v;
+                        e.st = St::Done;
+                        e.t_complete = Some(now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((idx, next)) = redirect {
+            self.stats.mispredicts += 1;
+            self.squash_after(idx);
+            self.fetch_q.clear();
+            self.fetch_pc = next;
+            self.fetch_stopped = false;
+        }
+    }
+
+    /// Removes every entry younger than `idx` and rebuilds the rename map.
+    fn squash_after(&mut self, idx: usize) {
+        let removed = self.rob.len() - (idx + 1);
+        self.stats.squashed += removed as u64;
+        if self.trace.is_some() {
+            for i in idx + 1..self.rob.len() {
+                let e = self.rob[i].clone();
+                self.record_trace(&e, None);
+            }
+        }
+        self.rob.truncate(idx + 1);
+        // Recycle the squashed sequence numbers so the ROB invariant
+        // `rob[i].seq == front_seq + i` keeps holding for new dispatches.
+        // Squashed entries never issued uncached transactions (only the ROB
+        // head does), so their tags cannot be in flight.
+        self.next_seq = self.front_seq + self.rob.len() as u64;
+        self.rename.clear();
+        for e in &self.rob {
+            if let Some(d) = e.inst.def() {
+                self.rename.insert(d, e.seq);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retire: in-order commit; non-speculative uncached issue at the head.
+    // ------------------------------------------------------------------
+    fn retire<P: MemPort>(&mut self, port: &mut P) {
+        let mut budget = self.cfg.retire_width;
+        let mut uncached_budget = self.cfg.uncached_per_cycle;
+        while budget > 0 && !self.halted {
+            let Some(head) = self.rob.front() else { break };
+            match head.st {
+                St::Done => {
+                    if self.membar_blocked(port) {
+                        break;
+                    }
+                    self.commit_head(port);
+                    budget -= 1;
+                }
+                St::AddrReady => {
+                    // Head-triggered, non-speculative memory action.
+                    if !self.head_mem_action(port, &mut uncached_budget, &mut budget) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Attempts the head's non-speculative memory action. Returns `false`
+    /// when retirement must stall this cycle. `budget`/`uncached_budget`
+    /// are decremented for ops that complete instantly (uncached stores).
+    fn head_mem_action<P: MemPort>(
+        &mut self,
+        port: &mut P,
+        uncached_budget: &mut usize,
+        budget: &mut usize,
+    ) -> bool {
+        if !self.ops_ready(0) {
+            return false;
+        }
+        let e = &self.rob[0];
+        let addr = e.addr.expect("AddrReady implies address");
+        let space = e.space.expect("AddrReady implies space");
+        let now = self.now;
+        let pid = self.ctx.pid();
+        match (&e.inst, space) {
+            // Cached stores complete in issue; cached loads in MemAccess.
+            // The only cached op handled here is the atomic swap, which must
+            // execute non-speculatively at the head.
+            (Inst::Swap { .. }, AddressSpace::Cached) => {
+                if e.mem_started {
+                    return false; // access in flight; wait for writeback
+                }
+                let new = e.op_val(0);
+                let done_at = port.cached_access(addr, AccessKind::Atomic, now);
+                let old = port.swap_value(addr, new);
+                let e = &mut self.rob[0];
+                e.value = old;
+                e.mem_started = true;
+                e.st = St::MemAccess { done_at };
+                false
+            }
+            (Inst::Swap { .. }, AddressSpace::UncachedCombining) => {
+                // The conditional flush (§3.2).
+                if e.mem_started {
+                    return false;
+                }
+                if *uncached_budget == 0 {
+                    return false;
+                }
+                if !port.csb_can_flush() {
+                    self.stats.uncached_stall_cycles += 1;
+                    return false;
+                }
+                let expected = e.op_val(0);
+                let result = port.csb_flush(pid, addr, expected);
+                if result == expected {
+                    self.stats.flush_successes += 1;
+                } else {
+                    self.stats.flush_failures += 1;
+                }
+                *uncached_budget -= 1;
+                let done_at = now + self.cfg.flush_latency;
+                let e = &mut self.rob[0];
+                e.value = result;
+                e.mem_started = true;
+                e.st = St::Exec { done_at };
+                false
+            }
+            (Inst::Swap { .. }, AddressSpace::Uncached) => {
+                if e.mem_started {
+                    return false;
+                }
+                if *uncached_budget == 0 {
+                    return false;
+                }
+                let (seq, new) = (e.seq, e.op_val(0));
+                if !port.uncached_swap(addr, 8, new, seq) {
+                    self.stats.uncached_stall_cycles += 1;
+                    return false;
+                }
+                *uncached_budget -= 1;
+                let e = &mut self.rob[0];
+                e.mem_started = true;
+                e.st = St::UncachedWait;
+                false
+            }
+            (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::Uncached) => {
+                if *uncached_budget == 0 {
+                    return false;
+                }
+                let (val, width) = (e.op_val(0), mem_width(&e.inst));
+                if !port.uncached_store(addr, width, val) {
+                    self.stats.uncached_stall_cycles += 1;
+                    return false;
+                }
+                *uncached_budget -= 1;
+                let e = &mut self.rob[0];
+                e.st = St::Done;
+                e.t_issue = Some(now);
+                e.t_complete = Some(now);
+                self.commit_head(port);
+                *budget -= 1;
+                true
+            }
+            (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::UncachedCombining) => {
+                if *uncached_budget == 0 {
+                    return false;
+                }
+                let (val, width) = (e.op_val(0), mem_width(&e.inst));
+                if !port.csb_store(pid, addr, width, val) {
+                    self.stats.uncached_stall_cycles += 1;
+                    return false;
+                }
+                *uncached_budget -= 1;
+                self.stats.combining_stores += 1;
+                let e = &mut self.rob[0];
+                e.st = St::Done;
+                e.t_issue = Some(now);
+                e.t_complete = Some(now);
+                self.commit_head(port);
+                *budget -= 1;
+                true
+            }
+            (Inst::Load { .. }, AddressSpace::Uncached | AddressSpace::UncachedCombining) => {
+                // Uncached loads bypass combined stores (§3.2): both spaces
+                // route through the uncached buffer.
+                if e.mem_started {
+                    return false;
+                }
+                if *uncached_budget == 0 {
+                    return false;
+                }
+                let (seq, width) = (e.seq, mem_width(&e.inst));
+                if !port.uncached_load(addr, width, seq) {
+                    self.stats.uncached_stall_cycles += 1;
+                    return false;
+                }
+                *uncached_budget -= 1;
+                let e = &mut self.rob[0];
+                e.mem_started = true;
+                e.st = St::UncachedWait;
+                false
+            }
+            // Cached loads/stores never reach here in AddrReady at the
+            // head for long: issue() advances them. Stall until it does.
+            _ => false,
+        }
+    }
+
+    /// Commits the head entry (which must be `Done`).
+    fn commit_head<P: MemPort>(&mut self, port: &mut P) {
+        let e = self.rob.pop_front().expect("commit on empty ROB");
+        self.front_seq = e.seq + 1;
+        debug_assert_eq!(e.st, St::Done);
+        let now = self.now;
+        self.record_trace(&e, Some(now));
+
+        // Cached stores write memory at commit (release semantics of the
+        // store buffer); uncached stores were delivered at head-issue time.
+        if let (Inst::Store { .. } | Inst::StoreF { .. }, Some(AddressSpace::Cached)) =
+            (&e.inst, e.space)
+        {
+            let addr = e.addr.expect("store has address");
+            port.cached_access(addr, AccessKind::Write, now);
+            port.write(addr, mem_width(&e.inst), e.op_val(0));
+        }
+
+        // Architectural register update.
+        if let Some(d) = e.inst.def() {
+            match d {
+                RegRef::Int(r) => self.ctx.set_int_reg(r, e.value),
+                RegRef::Fp(r) => self.ctx.set_fp_reg(r, e.value),
+                RegRef::Cc => self.ctx.set_cc(e.value),
+            }
+            if self.rename.get(&d) == Some(&e.seq) {
+                self.rename.remove(&d);
+            }
+        }
+
+        // Committed pc.
+        let next_pc = if e.inst.kind() == InstKind::Branch {
+            e.value as usize
+        } else {
+            e.pc + 1
+        };
+        self.ctx.set_pc(next_pc);
+
+        // Bookkeeping.
+        self.stats.retired += 1;
+        match e.inst.kind() {
+            InstKind::Load => {
+                self.stats.loads += 1;
+                if e.space.is_some_and(|s| s.is_uncached()) {
+                    self.stats.uncached_ops += 1;
+                }
+            }
+            InstKind::Store => {
+                self.stats.stores += 1;
+                if e.space.is_some_and(|s| s.is_uncached()) {
+                    self.stats.uncached_ops += 1;
+                }
+            }
+            InstKind::Swap if e.space.is_some_and(|s| s.is_uncached()) => {
+                self.stats.uncached_ops += 1;
+            }
+            InstKind::Mark => {
+                if let Inst::Mark { id } = e.inst {
+                    self.stats.marks.entry(id).or_default().push(now);
+                }
+            }
+            InstKind::Halt => {
+                self.halted = true;
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue: out-of-order dispatch-queue scan, oldest first.
+    // ------------------------------------------------------------------
+    fn issue<P: MemPort>(&mut self, port: &mut P) {
+        let now = self.now;
+        let mut int_avail = self.cfg.int_units;
+        let mut fp_avail = self.cfg.fp_units;
+        let mut agen_avail = self.cfg.agen_units;
+
+        for idx in 0..self.rob.len() {
+            if int_avail == 0 && fp_avail == 0 && agen_avail == 0 {
+                break;
+            }
+            match self.rob[idx].st {
+                St::Waiting => {
+                    let kind = self.rob[idx].inst.kind();
+                    match kind {
+                        InstKind::IntAlu | InstKind::Branch
+                            if int_avail > 0 && self.ops_ready(idx) =>
+                        {
+                            int_avail -= 1;
+                            let e = &self.rob[idx];
+                            let value = self.compute(e);
+                            let e = &mut self.rob[idx];
+                            e.value = value;
+                            e.t_issue = Some(now);
+                            e.st = St::Exec {
+                                done_at: now + self.cfg.int_latency,
+                            };
+                        }
+                        InstKind::FpAlu if fp_avail > 0 && self.ops_ready(idx) => {
+                            fp_avail -= 1;
+                            let e = &self.rob[idx];
+                            let value = self.compute(e);
+                            let e = &mut self.rob[idx];
+                            e.value = value;
+                            e.t_issue = Some(now);
+                            e.st = St::Exec {
+                                done_at: now + self.cfg.fp_latency,
+                            };
+                        }
+                        InstKind::Load | InstKind::Store | InstKind::Swap
+                            if agen_avail > 0 && self.ops_ready(idx) =>
+                        {
+                            agen_avail -= 1;
+                            let e = &self.rob[idx];
+                            let base_idx = match e.inst {
+                                Inst::Load { .. } => 0,
+                                _ => 1, // Store/StoreF/Swap: [data, base]
+                            };
+                            let offset = match e.inst {
+                                Inst::Load { offset, .. }
+                                | Inst::Store { offset, .. }
+                                | Inst::StoreF { offset, .. }
+                                | Inst::Swap { offset, .. } => offset,
+                                _ => unreachable!(),
+                            };
+                            let addr = Addr::new(e.op_val(base_idx)).offset(offset);
+                            let space = port.space_of(addr);
+                            let e = &mut self.rob[idx];
+                            e.addr = Some(addr);
+                            e.space = Some(space);
+                            e.t_issue = Some(now);
+                            e.st = St::Agen {
+                                done_at: now + self.cfg.agen_latency,
+                            };
+                        }
+                        // Nop/Mark/Halt/Membar were Done at dispatch.
+                        _ => {}
+                    }
+                }
+                St::AddrReady => {
+                    let e = &self.rob[idx];
+                    match (e.inst.kind(), e.space) {
+                        (InstKind::Load, Some(AddressSpace::Cached))
+                            if agen_avail > 0 && self.load_may_proceed(idx) =>
+                        {
+                            agen_avail -= 1;
+                            let e = &self.rob[idx];
+                            let (addr, width) = (e.addr.unwrap(), mem_width(&e.inst));
+                            let done_at = port.cached_access(addr, AccessKind::Read, now);
+                            let value = port.read(addr, width);
+                            let e = &mut self.rob[idx];
+                            e.value = value;
+                            e.st = St::MemAccess { done_at };
+                        }
+                        (InstKind::Store, Some(AddressSpace::Cached)) => {
+                            // Completes now; memory written at commit.
+                            let e = &mut self.rob[idx];
+                            e.st = St::Done;
+                            e.t_complete = Some(now);
+                        }
+                        // Uncached ops and atomics wait for the head.
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Conservative memory disambiguation: a cached load may start only when
+    /// no older store/atomic might write an overlapping byte.
+    fn load_may_proceed(&self, idx: usize) -> bool {
+        let (l_addr, l_w) = {
+            let e = &self.rob[idx];
+            (
+                e.addr.expect("load addr known").raw(),
+                mem_width(&e.inst) as u64,
+            )
+        };
+        for older in self.rob.iter().take(idx) {
+            let is_write = matches!(older.inst.kind(), InstKind::Store | InstKind::Swap);
+            if !is_write {
+                continue;
+            }
+            match older.addr {
+                None => return false, // unknown address: must wait
+                Some(a) => {
+                    let (s_addr, s_w) = (a.raw(), mem_width(&older.inst) as u64);
+                    if l_addr < s_addr + s_w && s_addr < l_addr + l_w {
+                        return false; // overlap: wait for the store to retire
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Computes the result of a ready ALU/branch instruction.
+    fn compute(&self, e: &RobEntry) -> u64 {
+        match e.inst {
+            Inst::Alu { op, a: _, b, .. } => {
+                let av = e.op_val(0);
+                let bv = match b {
+                    Operand::Imm(i) => i as u64,
+                    Operand::Reg(_) => e.op_val(1),
+                };
+                op.apply(av, bv)
+            }
+            Inst::Movi { imm, .. } => imm as u64,
+            Inst::Fpu { op, .. } => op.apply(e.op_val(0), e.op_val(1)),
+            Inst::FMovi { bits, .. } => bits,
+            Inst::Cmp { b, .. } => {
+                let av = e.op_val(0);
+                let bv = match b {
+                    Operand::Imm(i) => i as u64,
+                    Operand::Reg(_) => e.op_val(1),
+                };
+                flags_of(av, bv)
+            }
+            Inst::Branch { cond, .. } => {
+                let flags = if cond == Cond::Always { 0 } else { e.op_val(0) };
+                let taken = cond_holds(cond, flags);
+                let next = if taken {
+                    self.program.branch_target(&e.inst)
+                } else {
+                    e.pc + 1
+                };
+                next as u64
+            }
+            ref other => panic!("compute on {other}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch: fetch queue -> ROB, with register renaming.
+    // ------------------------------------------------------------------
+    fn dispatch<P: MemPort>(&mut self, _port: &mut P) {
+        for _ in 0..self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            let Some(f) = self.fetch_q.pop_front() else {
+                break;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut ops = Vec::with_capacity(3);
+            for reg in f.inst.uses() {
+                let src = match self.rename.get(&reg) {
+                    Some(&pseq) => {
+                        let idx = (pseq - self.front_seq) as usize;
+                        let p = &self.rob[idx];
+                        if p.st == St::Done {
+                            Src::Ready(p.value)
+                        } else {
+                            Src::Wait(pseq)
+                        }
+                    }
+                    None => Src::Ready(self.arch_value(reg)),
+                };
+                ops.push(OperandSlot { reg, src });
+            }
+            if let Some(d) = f.inst.def() {
+                self.rename.insert(d, seq);
+            }
+
+            let st = match f.inst.kind() {
+                InstKind::Nop | InstKind::Mark | InstKind::Halt | InstKind::Membar => St::Done,
+                _ => St::Waiting,
+            };
+            self.rob.push_back(RobEntry {
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+                st,
+                ops,
+                value: 0,
+                addr: None,
+                space: None,
+                predicted_next: f.predicted_next,
+                mem_started: false,
+                t_fetch: f.t_fetch,
+                t_dispatch: self.now,
+                t_issue: None,
+                t_complete: None,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch: static backward-taken / forward-not-taken prediction.
+    // ------------------------------------------------------------------
+    fn fetch(&mut self) {
+        if self.fetch_stopped {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_q.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let Some(inst) = self.program.fetch(self.fetch_pc) else {
+                self.fetch_stopped = true;
+                break;
+            };
+            let predicted_next = match inst {
+                Inst::Branch { cond, .. } => {
+                    let target = self.program.branch_target(&inst);
+                    if cond == Cond::Always || target <= self.fetch_pc {
+                        target
+                    } else {
+                        self.fetch_pc + 1
+                    }
+                }
+                _ => self.fetch_pc + 1,
+            };
+            self.fetch_q.push_back(Fetched {
+                pc: self.fetch_pc,
+                inst,
+                predicted_next,
+                t_fetch: self.now,
+            });
+            if matches!(inst, Inst::Halt) {
+                self.fetch_stopped = true;
+                break;
+            }
+            self.fetch_pc = predicted_next;
+        }
+    }
+
+    /// `true` if the machine has no in-flight instructions (ROB and fetch
+    /// queue empty) — a safe point for a context switch that must not
+    /// replay committed work.
+    pub fn pipeline_empty(&self) -> bool {
+        self.rob.is_empty() && self.fetch_q.is_empty()
+    }
+
+    /// `true` when retirement is currently stalled on a membar waiting for
+    /// the uncached buffer (diagnostic; used by the scheduler to avoid
+    /// switching at unhelpful points in some experiments).
+    pub fn head_is_membar(&self) -> bool {
+        self.rob
+            .front()
+            .is_some_and(|e| e.inst.kind() == InstKind::Membar)
+    }
+}
+
+// Membar retirement gating lives in `retire` via commit ordering: a membar
+// is `Done` from dispatch but `commit_head` must not run until the uncached
+// buffer drains. That check needs the port, so it is done here rather than
+// in `commit_head`.
+impl Cpu {
+    fn membar_blocked<P: MemPort>(&mut self, port: &P) -> bool {
+        if self
+            .rob
+            .front()
+            .is_some_and(|e| e.inst.kind() == InstKind::Membar)
+            && !port.uncached_drained()
+        {
+            self.stats.membar_stall_cycles += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,281 @@
+//! Architectural equivalence: the out-of-order pipeline must compute
+//! exactly what the sequential reference interpreter computes, on random
+//! programs. This pins down register renaming, operand forwarding, memory
+//! disambiguation, branch squashing, and in-order uncached issue.
+
+use csb_cpu::{Cpu, CpuConfig, Interpreter, MemPort, SimpleMemPort};
+use csb_isa::{Addr, AddressMap, AddressSpace, AluOp, Assembler, MemWidth, Program, Reg};
+use proptest::prelude::*;
+
+const SCRATCH: i64 = 0x4000;
+const UNCACHED_BASE: u64 = 0x1000_0000;
+
+fn io_map() -> AddressMap {
+    let mut map = AddressMap::new();
+    map.add_region(Addr::new(UNCACHED_BASE), 0x1000, AddressSpace::Uncached)
+        .unwrap();
+    map
+}
+
+/// One randomly generated operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        imm: Option<i64>,
+        b: u8,
+    },
+    Cmp {
+        a: u8,
+        imm: i64,
+    },
+    SkipIfEq {
+        body: Vec<Op>,
+    },
+    Loop {
+        count: i64,
+        body: Vec<Op>,
+    },
+    CachedStore {
+        slot: i64,
+        width: MemWidth,
+        src: u8,
+    },
+    CachedLoad {
+        slot: i64,
+        width: MemWidth,
+        dst: u8,
+    },
+    UncachedStore {
+        slot: i64,
+        src: u8,
+    },
+    Swap {
+        slot: i64,
+        reg: u8,
+    },
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+    ]
+}
+
+fn width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8)
+    ]
+}
+
+/// Registers L0..=L7 plus %g0 (index 8 encodes g0).
+fn reg(idx: u8) -> Reg {
+    if idx >= 8 {
+        Reg::G0
+    } else {
+        Reg::new(16 + idx)
+    }
+}
+
+/// Destination registers exclude L7, which bounded loops use as their
+/// counter — a body write to it could make a loop effectively unbounded.
+fn dst_reg() -> impl Strategy<Value = u8> {
+    (0..8u8).prop_map(|d| if d == 7 { 8 } else { d })
+}
+
+fn simple_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            alu_op(),
+            dst_reg(),
+            0..9u8,
+            proptest::option::of(-64i64..64),
+            0..9u8
+        )
+            .prop_map(|(op, dst, a, imm, b)| Op::Alu { op, dst, a, imm, b }),
+        (0..9u8, -4i64..8).prop_map(|(a, imm)| Op::Cmp { a, imm }),
+        (0..32i64, width(), 0..9u8).prop_map(|(slot, width, src)| Op::CachedStore {
+            slot,
+            width,
+            src
+        }),
+        (0..32i64, width(), dst_reg()).prop_map(|(slot, width, dst)| Op::CachedLoad {
+            slot,
+            width,
+            dst
+        }),
+        (0..16i64, 0..9u8).prop_map(|(slot, src)| Op::UncachedStore { slot, src }),
+        (0..8i64, dst_reg()).prop_map(|(slot, reg)| Op::Swap { slot, reg }),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => simple_op(),
+        1 => proptest::collection::vec(simple_op(), 1..4)
+            .prop_map(|body| Op::SkipIfEq { body }),
+        1 => (1i64..5, proptest::collection::vec(simple_op(), 1..4))
+            .prop_map(|(count, body)| Op::Loop { count, body }),
+    ]
+}
+
+fn emit(a: &mut Assembler, op: &Op) {
+    match op {
+        Op::Alu {
+            op,
+            dst,
+            a: ra,
+            imm,
+            b,
+        } => match imm {
+            Some(i) => {
+                a.alui(*op, reg(*dst), reg(*ra), *i);
+            }
+            None => {
+                a.alu(*op, reg(*dst), reg(*ra), reg(*b));
+            }
+        },
+        Op::Cmp { a: ra, imm } => {
+            a.cmpi(reg(*ra), *imm);
+        }
+        Op::SkipIfEq { body } => {
+            let skip = a.new_label();
+            a.bz(skip);
+            for o in body {
+                emit(a, o);
+            }
+            a.bind(skip).expect("fresh label");
+        }
+        Op::Loop { count, body } => {
+            // A dedicated counter register (L7) bounds the loop.
+            a.movi(Reg::L7, *count);
+            let top = a.new_label();
+            a.bind(top).expect("fresh label");
+            for o in body {
+                emit(a, o);
+            }
+            a.alui(AluOp::Sub, Reg::L7, Reg::L7, 1);
+            a.cmpi(Reg::L7, 0);
+            a.bnz(top);
+        }
+        Op::CachedStore { slot, width, src } => {
+            let w = width.bytes() as i64;
+            a.st(reg(*src), Reg::O0, slot * w, *width);
+        }
+        Op::CachedLoad { slot, width, dst } => {
+            let w = width.bytes() as i64;
+            a.ld(reg(*dst), Reg::O0, slot * w, *width);
+        }
+        Op::UncachedStore { slot, src } => {
+            a.std(reg(*src), Reg::O1, slot * 8);
+        }
+        Op::Swap { slot, reg: r } => {
+            a.swap(reg(*r), Reg::O0, slot * 8);
+        }
+    }
+}
+
+fn build(ops: &[Op], seeds: &[i64]) -> Program {
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, SCRATCH);
+    a.movi(Reg::O1, UNCACHED_BASE as i64);
+    for (i, &v) in seeds.iter().enumerate() {
+        a.movi(reg(i as u8 % 8), v);
+    }
+    for op in ops {
+        // A loop's body must not contain nested Loop (flat by strategy
+        // construction), so L7 usage cannot collide.
+        emit(&mut a, op);
+    }
+    a.halt();
+    a.assemble().expect("generated programs assemble")
+}
+
+fn compare_state(cpu: &Cpu, interp: &Interpreter, oo: &mut SimpleMemPort, seq: &mut SimpleMemPort) {
+    for i in 0..32 {
+        let r = Reg::new(i);
+        assert_eq!(
+            cpu.context().int_reg(r),
+            interp.context().int_reg(r),
+            "register {r} diverged"
+        );
+    }
+    assert_eq!(
+        cpu.context().cc(),
+        interp.context().cc(),
+        "condition codes diverged"
+    );
+    for slot in 0..64u64 {
+        let addr = Addr::new(SCRATCH as u64 + slot * 8);
+        assert_eq!(
+            oo.read(addr, 8),
+            seq.read(addr, 8),
+            "cached memory diverged at {addr}"
+        );
+    }
+    for slot in 0..16u64 {
+        let addr = Addr::new(UNCACHED_BASE + slot * 8);
+        assert_eq!(
+            oo.read(addr, 8),
+            seq.read(addr, 8),
+            "uncached memory diverged at {addr}"
+        );
+    }
+    assert_eq!(
+        oo.uncached_log(),
+        seq.uncached_log(),
+        "uncached order diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pipeline_matches_reference(
+        ops in proptest::collection::vec(op(), 1..30),
+        seeds in proptest::collection::vec(-1000i64..1000, 8),
+    ) {
+        let program = build(&ops, &seeds);
+
+        let mut cpu = Cpu::new(CpuConfig::default(), program.clone());
+        let mut oo_port = SimpleMemPort::with_map(io_map(), 2);
+        cpu.run(&mut oo_port, 200_000).expect("pipeline halts");
+
+        let mut interp = Interpreter::new(program);
+        let mut seq_port = SimpleMemPort::with_map(io_map(), 2);
+        interp.run(&mut seq_port, 200_000).expect("reference halts");
+
+        compare_state(&cpu, &interp, &mut oo_port, &mut seq_port);
+    }
+
+    #[test]
+    fn pipeline_matches_reference_on_narrow_and_wide_machines(
+        ops in proptest::collection::vec(simple_op(), 1..20),
+        seeds in proptest::collection::vec(-100i64..100, 8),
+        width in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let program = build(&ops, &seeds);
+
+        let mut cpu = Cpu::new(CpuConfig::superscalar(width), program.clone());
+        let mut oo_port = SimpleMemPort::with_map(io_map(), 2);
+        cpu.run(&mut oo_port, 200_000).expect("pipeline halts");
+
+        let mut interp = Interpreter::new(program);
+        let mut seq_port = SimpleMemPort::with_map(io_map(), 2);
+        interp.run(&mut seq_port, 200_000).expect("reference halts");
+
+        compare_state(&cpu, &interp, &mut oo_port, &mut seq_port);
+    }
+}

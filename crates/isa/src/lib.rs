@@ -1,0 +1,57 @@
+//! SPARC-flavored instruction set, program representation, and address-space
+//! attribute model for the conditional-store-buffer (CSB) simulator.
+//!
+//! This crate is the lowest layer of the reproduction of Schaelicke & Davis,
+//! *"Improving I/O Performance with a Conditional Store Buffer"* (MICRO 1998).
+//! It provides:
+//!
+//! * [`Addr`] and alignment helpers used by every other crate,
+//! * [`AddressSpace`] / [`AddressMap`] — the paper's page-table-attribute
+//!   extension that marks pages as cached, uncached, or *uncached combining*
+//!   (the CSB-controlled region, §3.1 of the paper),
+//! * [`Inst`] — the semantic instruction set executed by the out-of-order
+//!   core (integer/FP ALU, branches, cached/uncached loads and stores,
+//!   doubleword `std`, the atomic `swap` used both for locks and for the
+//!   CSB *conditional flush*, and `membar`),
+//! * [`Assembler`] / [`Program`] — a builder for the microbenchmark kernels.
+//!
+//! # Examples
+//!
+//! Building the paper's CSB access sequence (§3.2) — store eight doublewords
+//! and conditionally flush them as one atomic burst:
+//!
+//! ```
+//! use csb_isa::{Assembler, Reg};
+//!
+//! # fn main() -> Result<(), csb_isa::ProgramError> {
+//! let mut a = Assembler::new();
+//! let retry = a.new_label();
+//! a.bind(retry)?;
+//! a.movi(Reg::L4, 8); // expected hit count
+//! for i in 0..8 {
+//!     a.std(Reg::G1, Reg::O1, 8 * i); // eight combining stores
+//! }
+//! a.swap(Reg::L4, Reg::O1, 0); // conditional flush
+//! a.cmpi(Reg::L4, 8);
+//! a.bnz(retry); // retry on conflict
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.len(), 13);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod inst;
+pub mod parse;
+pub mod program;
+pub mod reg;
+
+pub use addr::{Addr, AddressMap, AddressSpace, MapError, PAGE_SIZE};
+pub use inst::{AluOp, Cond, FpuOp, Inst, InstKind, MemWidth, Operand, RegRef};
+pub use parse::{parse_asm, ParseError};
+pub use program::{Assembler, Label, Program, ProgramError};
+pub use reg::{FReg, Reg};

@@ -1,0 +1,159 @@
+//! Sparse functional memory.
+
+use std::collections::HashMap;
+
+/// Size of each internally allocated memory chunk.
+const CHUNK: u64 = 4096;
+
+/// Sparse byte-addressable memory holding the simulated machine's data.
+///
+/// Unwritten locations read as zero. Values are little-endian.
+///
+/// # Examples
+///
+/// ```
+/// use csb_isa::Addr;
+/// use csb_mem::FlatMemory;
+///
+/// let mut mem = FlatMemory::new();
+/// mem.write(Addr::new(0x1000), 8, 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read(Addr::new(0x1000), 8), 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read(Addr::new(0x1004), 4), 0xdead_beef);
+/// assert_eq!(mem.read(Addr::new(0x9999), 8), 0); // untouched reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlatMemory {
+    chunks: HashMap<u64, Box<[u8]>>,
+}
+
+impl FlatMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn chunk_mut(&mut self, base: u64) -> &mut [u8] {
+        self.chunks
+            .entry(base)
+            .or_insert_with(|| vec![0u8; CHUNK as usize].into_boxed_slice())
+    }
+
+    /// Reads `width` bytes (1–8) at `addr` as a little-endian value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn read(&self, addr: csb_isa::Addr, width: usize) -> u64 {
+        assert!((1..=8).contains(&width), "width {width} out of range");
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..width]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `width` bytes (1–8) of `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn write(&mut self, addr: csb_isa::Addr, width: usize, value: u64) {
+        assert!((1..=8).contains(&width), "width {width} out of range");
+        let bytes = value.to_le_bytes();
+        self.write_bytes(addr, &bytes[..width]);
+    }
+
+    /// Atomically swaps `value` with the 8-byte word at `addr`, returning the
+    /// old contents (the SPARC `swap` semantics the lock benchmark relies on).
+    pub fn swap(&mut self, addr: csb_isa::Addr, value: u64) -> u64 {
+        let old = self.read(addr, 8);
+        self.write(addr, 8, value);
+        old
+    }
+
+    /// Copies bytes out of memory into `buf`.
+    pub fn read_bytes(&self, addr: csb_isa::Addr, buf: &mut [u8]) {
+        let mut a = addr.raw();
+        for b in buf.iter_mut() {
+            let (base, off) = (a & !(CHUNK - 1), (a & (CHUNK - 1)) as usize);
+            *b = self.chunks.get(&base).map_or(0, |c| c[off]);
+            a = a.wrapping_add(1);
+        }
+    }
+
+    /// Copies `buf` into memory.
+    pub fn write_bytes(&mut self, addr: csb_isa::Addr, buf: &[u8]) {
+        let mut a = addr.raw();
+        for &b in buf {
+            let (base, off) = (a & !(CHUNK - 1), (a & (CHUNK - 1)) as usize);
+            self.chunk_mut(base)[off] = b;
+            a = a.wrapping_add(1);
+        }
+    }
+
+    /// Number of distinct chunks touched (for tests and memory accounting).
+    pub fn touched_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_isa::Addr;
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut m = FlatMemory::new();
+        for (w, v) in [
+            (1usize, 0xabu64),
+            (2, 0xabcd),
+            (4, 0xdead_beef),
+            (8, u64::MAX - 5),
+        ] {
+            m.write(Addr::new(0x100), w, v);
+            assert_eq!(m.read(Addr::new(0x100), w), v);
+        }
+    }
+
+    #[test]
+    fn cross_chunk_access() {
+        let mut m = FlatMemory::new();
+        let boundary = Addr::new(CHUNK - 4);
+        m.write(boundary, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(boundary, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.touched_chunks(), 2);
+    }
+
+    #[test]
+    fn swap_returns_old_value() {
+        let mut m = FlatMemory::new();
+        m.write(Addr::new(0x40), 8, 7);
+        let old = m.swap(Addr::new(0x40), 99);
+        assert_eq!(old, 7);
+        assert_eq!(m.read(Addr::new(0x40), 8), 99);
+        // Swap on untouched memory returns zero (unlocked lock).
+        assert_eq!(m.swap(Addr::new(0x80), 1), 0);
+    }
+
+    #[test]
+    fn partial_overwrite_is_little_endian() {
+        let mut m = FlatMemory::new();
+        m.write(Addr::new(0), 8, 0xffff_ffff_ffff_ffff);
+        m.write(Addr::new(0), 2, 0);
+        assert_eq!(m.read(Addr::new(0), 8), 0xffff_ffff_ffff_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        FlatMemory::new().read(Addr::new(0), 0);
+    }
+
+    #[test]
+    fn byte_slice_io() {
+        let mut m = FlatMemory::new();
+        m.write_bytes(Addr::new(0x10), &[1, 2, 3, 4, 5]);
+        let mut buf = [0u8; 5];
+        m.read_bytes(Addr::new(0x10), &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property test: the set-associative cache must agree, access for access,
+//! with an independently written (and obviously correct) LRU model.
+
+use csb_isa::Addr;
+use csb_mem::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// The oracle: per set, a most-recently-used-last list of tags.
+struct OracleCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line: u64,
+}
+
+impl OracleCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        OracleCache {
+            sets: vec![Vec::new(); cfg.sets()],
+            assoc: cfg.assoc,
+            line: cfg.line as u64,
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.line;
+        (
+            (line_addr % self.sets.len() as u64) as usize,
+            line_addr / self.sets.len() as u64,
+        )
+    }
+
+    /// Access with allocate-on-miss; returns `true` on a hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let set = &mut self.sets[set];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t); // most recently used at the back
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0); // evict LRU (front)
+            }
+            set.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_oracle(
+        accesses in proptest::collection::vec((0u64..4096, proptest::bool::ANY), 1..300),
+        assoc in 1usize..=4,
+        sets_log in 1u32..=4,
+    ) {
+        let line = 32usize;
+        let sets = 1usize << sets_log;
+        let cfg = CacheConfig {
+            size: sets * assoc * line,
+            assoc,
+            line,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg).unwrap();
+        let mut oracle = OracleCache::new(&cfg);
+        for (i, &(slot, write)) in accesses.iter().enumerate() {
+            let addr = Addr::new(slot * 8);
+            let oracle_hit = oracle.access(addr.raw());
+            let cache_hit = cache.lookup(addr, write);
+            if !cache_hit {
+                cache.fill(addr, write);
+            }
+            prop_assert_eq!(
+                cache_hit,
+                oracle_hit,
+                "access #{} to {} diverged (assoc {}, sets {})",
+                i,
+                addr,
+                assoc,
+                sets
+            );
+        }
+        // Tag state agrees at the end, too.
+        for slot in 0..4096u64 {
+            let addr = Addr::new(slot * 8);
+            let (s, tag) = oracle.index(addr.raw());
+            prop_assert_eq!(
+                cache.probe(addr),
+                oracle.sets[s].contains(&tag),
+                "final residency diverged at {}",
+                addr
+            );
+        }
+    }
+}

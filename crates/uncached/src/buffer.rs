@@ -1,0 +1,818 @@
+//! The FIFO uncached buffer with hardware-transparent store combining.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use csb_bus::Transaction;
+use csb_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+use crate::mask::{decompose, ByteMask, Chunk, MAX_BLOCK};
+use crate::PreparedTxn;
+
+/// How the buffer decides which stores may combine and how entries drain.
+///
+/// The paper's figures sweep [`CombineRule::Block`] sizes; the other two
+/// rules model the specific processors named in its related-work section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CombineRule {
+    /// Combine any store falling in the same block-aligned window
+    /// (idealized combining; what the figures call "16B"/"32B"/…). Entries
+    /// drain as the minimal set of naturally aligned power-of-two chunks.
+    #[default]
+    Block,
+    /// MIPS R10000 uncached-accelerated mode: combining continues only
+    /// while stores arrive at strictly sequential ascending addresses; a
+    /// store breaking the pattern closes the entry. An entry drains as a
+    /// single burst only if it filled the entire block — otherwise as a
+    /// series of single-beat (store-sized) transfers.
+    Sequential,
+    /// PowerPC 620: at most two same-size stores to consecutive addresses
+    /// merge into one double-width transaction (and only when the pair is
+    /// naturally aligned for it).
+    Pair,
+}
+
+impl fmt::Display for CombineRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineRule::Block => f.write_str("block"),
+            CombineRule::Sequential => f.write_str("sequential (R10000)"),
+            CombineRule::Pair => f.write_str("pair (PowerPC 620)"),
+        }
+    }
+}
+
+/// Uncached buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncachedConfig {
+    /// Combining block size in bytes: the width of one buffer entry and the
+    /// largest transaction the buffer can emit. 8 = non-combining (every
+    /// doubleword store is its own transaction); a full cache line models
+    /// R10000-style uncached-accelerated combining.
+    pub block: usize,
+    /// Number of entries the buffer can hold before the processor stalls.
+    pub capacity: usize,
+    /// Pattern rule governing combining and draining.
+    pub rule: CombineRule,
+}
+
+impl UncachedConfig {
+    /// A buffer with the given combining block, the default 8 entries, and
+    /// the idealized [`CombineRule::Block`] rule.
+    pub fn with_block(block: usize) -> Self {
+        UncachedConfig {
+            block,
+            capacity: 8,
+            rule: CombineRule::Block,
+        }
+    }
+
+    /// The non-combining baseline (8-byte entries).
+    pub fn non_combining() -> Self {
+        Self::with_block(8)
+    }
+
+    /// The MIPS R10000 uncached-accelerated baseline over a full `line`.
+    pub fn r10000(line: usize) -> Self {
+        UncachedConfig {
+            block: line,
+            capacity: 8,
+            rule: CombineRule::Sequential,
+        }
+    }
+
+    /// The PowerPC 620 pairing baseline (16-byte entries, pair rule).
+    pub fn ppc620() -> Self {
+        UncachedConfig {
+            block: 16,
+            capacity: 8,
+            rule: CombineRule::Pair,
+        }
+    }
+}
+
+/// Invalid [`UncachedConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UncachedConfigError {
+    /// Block must be a power of two in `8..=MAX_BLOCK`.
+    BadBlock(usize),
+    /// Capacity must be nonzero.
+    ZeroCapacity,
+}
+
+impl fmt::Display for UncachedConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UncachedConfigError::BadBlock(b) => {
+                write!(
+                    f,
+                    "combining block {b} is not a power of two in 8..={MAX_BLOCK}"
+                )
+            }
+            UncachedConfigError::ZeroCapacity => f.write_str("buffer capacity must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for UncachedConfigError {}
+
+/// Result of offering a store to the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Coalesced into an existing waiting entry (no new bus transaction).
+    Coalesced,
+    /// Allocated a new entry.
+    NewEntry,
+    /// Buffer full — the processor must stall and retry.
+    Full,
+}
+
+/// Counters accumulated by [`UncachedBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncachedStats {
+    /// Stores accepted.
+    pub stores: u64,
+    /// Stores that coalesced into an existing entry.
+    pub coalesced: u64,
+    /// Store entries allocated.
+    pub entries: u64,
+    /// Loads accepted.
+    pub loads: u64,
+    /// Stalls reported (push attempts while full).
+    pub full_stalls: u64,
+    /// Transactions handed to the bus.
+    pub transactions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    base: Addr, // block-aligned
+    mask: ByteMask,
+    data: Box<[u8]>, // `block` bytes
+    /// Once the entry starts draining it no longer accepts coalescing.
+    locked: bool,
+    /// Pattern rules close an entry against further coalescing without
+    /// locking it (e.g. an R10000 sequence broken by a non-sequential
+    /// store).
+    closed: bool,
+    /// Next strictly-sequential address ([`CombineRule::Sequential`] /
+    /// [`CombineRule::Pair`]).
+    expected_next: u64,
+    /// Width of the stores accumulated (the single-beat size).
+    beat: usize,
+    /// Number of stores merged into the entry.
+    stores: usize,
+    /// Remaining decomposed chunks once locked.
+    pending: VecDeque<Chunk>,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Store(StoreEntry),
+    Load { addr: Addr, width: usize, tag: u64 },
+    Barrier,
+}
+
+/// The FIFO buffer between the processor's memory queue and the system
+/// interface, holding uncached loads and stores until the bus accepts them.
+///
+/// Combining model (paper §4.1): a store coalesces into an existing entry
+/// iff its address falls in the same `block`-aligned window and it would not
+/// bypass an earlier load or barrier (or an entry already draining).
+/// Entries drain in FIFO order as the minimal sequence of naturally aligned
+/// power-of-two transactions covering their present bytes — so partial
+/// blocks degrade into multiple single-beat transfers, which is exactly the
+/// guarantee hardware combining cannot make and the CSB can.
+///
+/// # Examples
+///
+/// ```
+/// use csb_isa::Addr;
+/// use csb_uncached::{PushOutcome, UncachedBuffer, UncachedConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = UncachedBuffer::new(UncachedConfig::with_block(64))?;
+/// let base = Addr::new(0x1000_0000);
+/// assert_eq!(buf.push_store(base, &[1u8; 8]), PushOutcome::NewEntry);
+/// assert_eq!(buf.push_store(base.offset(8), &[2u8; 8]), PushOutcome::Coalesced);
+///
+/// // Both doublewords drain as one 16-byte transaction.
+/// let txn = buf.peek_transaction().expect("entry ready");
+/// assert_eq!(txn.txn.size, 16);
+/// buf.transaction_accepted();
+/// assert!(buf.is_drained());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UncachedBuffer {
+    cfg: UncachedConfig,
+    entries: VecDeque<Entry>,
+    stats: UncachedStats,
+}
+
+impl UncachedBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UncachedConfigError`] if the block size is not a power of
+    /// two in `8..=128` or the capacity is zero.
+    pub fn new(cfg: UncachedConfig) -> Result<Self, UncachedConfigError> {
+        if cfg.block < 8 || cfg.block > MAX_BLOCK || !cfg.block.is_power_of_two() {
+            return Err(UncachedConfigError::BadBlock(cfg.block));
+        }
+        if cfg.capacity == 0 {
+            return Err(UncachedConfigError::ZeroCapacity);
+        }
+        Ok(UncachedBuffer {
+            cfg,
+            entries: VecDeque::new(),
+            stats: UncachedStats::default(),
+        })
+    }
+
+    /// The buffer configuration.
+    pub fn config(&self) -> &UncachedConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &UncachedStats {
+        &self.stats
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when every entry has been handed to the bus — the
+    /// condition a `membar` waits for before letting retirement proceed.
+    pub fn is_drained(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers an uncached store of `data.len()` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is wider than the combining block or not
+    /// naturally aligned to its own width.
+    pub fn push_store(&mut self, addr: Addr, data: &[u8]) -> PushOutcome {
+        let width = data.len();
+        assert!(
+            width > 0 && width <= self.cfg.block && width.is_power_of_two(),
+            "store width {width} invalid for block {}",
+            self.cfg.block
+        );
+        assert!(
+            addr.is_aligned(width as u64),
+            "store at {addr} not aligned to {width}"
+        );
+
+        let base = addr.align_down(self.cfg.block as u64);
+        let off = addr.offset_in(self.cfg.block as u64) as usize;
+
+        if self.try_coalesce(addr, base, off, data, width) {
+            self.stats.stores += 1;
+            self.stats.coalesced += 1;
+            return PushOutcome::Coalesced;
+        }
+
+        if self.entries.len() >= self.cfg.capacity {
+            self.stats.full_stalls += 1;
+            return PushOutcome::Full;
+        }
+        let mut se = StoreEntry {
+            base,
+            mask: ByteMask::empty(),
+            data: vec![0u8; self.cfg.block].into_boxed_slice(),
+            locked: false,
+            closed: false,
+            expected_next: addr.raw() + width as u64,
+            beat: width,
+            stores: 1,
+            pending: VecDeque::new(),
+        };
+        se.mask.set_range(off, width);
+        se.data[off..off + width].copy_from_slice(data);
+        self.entries.push_back(Entry::Store(se));
+        self.stats.stores += 1;
+        self.stats.entries += 1;
+        PushOutcome::NewEntry
+    }
+
+    /// Attempts to merge the store into an existing entry under the
+    /// configured rule. Returns `true` on success.
+    fn try_coalesce(
+        &mut self,
+        addr: Addr,
+        base: Addr,
+        off: usize,
+        data: &[u8],
+        width: usize,
+    ) -> bool {
+        match self.cfg.rule {
+            CombineRule::Block => {
+                // Scan from the tail; stop at the first load, barrier, or
+                // draining store — coalescing past those would reorder.
+                for entry in self.entries.iter_mut().rev() {
+                    match entry {
+                        Entry::Store(se) if !se.locked => {
+                            if se.base == base {
+                                se.mask.set_range(off, width);
+                                se.data[off..off + width].copy_from_slice(data);
+                                se.stores += 1;
+                                return true;
+                            }
+                            // Keep scanning: an older unlocked store to a
+                            // different block does not order against this
+                            // store.
+                        }
+                        _ => return false,
+                    }
+                }
+                false
+            }
+            CombineRule::Sequential => {
+                // Only the youngest entry detects the pattern; breaking it
+                // closes that entry for good (R10000 behaviour).
+                let Some(Entry::Store(se)) = self.entries.back_mut() else {
+                    return false;
+                };
+                if se.locked || se.closed {
+                    return false;
+                }
+                if se.base == base && addr.raw() == se.expected_next && width == se.beat {
+                    se.mask.set_range(off, width);
+                    se.data[off..off + width].copy_from_slice(data);
+                    se.expected_next += width as u64;
+                    se.stores += 1;
+                    true
+                } else {
+                    se.closed = true;
+                    false
+                }
+            }
+            CombineRule::Pair => {
+                let Some(Entry::Store(se)) = self.entries.back_mut() else {
+                    return false;
+                };
+                if se.locked || se.closed || se.stores != 1 {
+                    return false;
+                }
+                let first_off = se.mask.bits().trailing_zeros() as usize;
+                let pair_aligned = first_off.is_multiple_of(2 * se.beat);
+                if se.base == base
+                    && addr.raw() == se.expected_next
+                    && width == se.beat
+                    && pair_aligned
+                {
+                    se.mask.set_range(off, width);
+                    se.data[off..off + width].copy_from_slice(data);
+                    se.stores = 2;
+                    se.closed = true; // a pair is complete
+                    true
+                } else {
+                    se.closed = true;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Offers an uncached load. Loads never combine and act as ordering
+    /// fences for later stores. Returns `false` (and counts a stall) if the
+    /// buffer is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a power of two in `1..=8` or the address
+    /// is not naturally aligned.
+    pub fn push_load(&mut self, addr: Addr, width: usize, tag: u64) -> bool {
+        assert!(
+            (1..=8).contains(&width) && width.is_power_of_two(),
+            "load width {width} invalid"
+        );
+        assert!(
+            addr.is_aligned(width as u64),
+            "load at {addr} not aligned to {width}"
+        );
+        if self.entries.len() >= self.cfg.capacity {
+            self.stats.full_stalls += 1;
+            return false;
+        }
+        self.entries.push_back(Entry::Load { addr, width, tag });
+        self.stats.loads += 1;
+        true
+    }
+
+    /// Inserts an explicit ordering barrier entry.
+    ///
+    /// The simulated `membar` does not need this (it stalls retirement, so
+    /// no later ops reach the buffer), but device drivers composed from raw
+    /// operations can use it to fence combining without stalling.
+    pub fn push_barrier(&mut self) {
+        self.entries.push_back(Entry::Barrier);
+    }
+
+    /// Returns the next transaction to present to the bus, locking the head
+    /// entry against further coalescing. Returns `None` when nothing is
+    /// ready. Call [`UncachedBuffer::transaction_accepted`] once the bus
+    /// takes it.
+    pub fn peek_transaction(&mut self) -> Option<PreparedTxn> {
+        // Discard leading barriers: they are ordering markers, not traffic.
+        while matches!(self.entries.front(), Some(Entry::Barrier)) {
+            self.entries.pop_front();
+        }
+        match self.entries.front_mut()? {
+            Entry::Store(se) => {
+                if !se.locked {
+                    se.locked = true;
+                    se.pending = match self.cfg.rule {
+                        CombineRule::Block => decompose(se.mask, self.cfg.block).into(),
+                        CombineRule::Sequential => {
+                            if se.mask.covers(0, self.cfg.block) {
+                                // Complete line: one burst (R10000).
+                                vec![Chunk {
+                                    offset: 0,
+                                    size: self.cfg.block,
+                                }]
+                                .into()
+                            } else {
+                                // Pattern incomplete: single-beat transfers.
+                                let first = se.mask.bits().trailing_zeros() as usize;
+                                (0..se.stores)
+                                    .map(|i| Chunk {
+                                        offset: first + i * se.beat,
+                                        size: se.beat,
+                                    })
+                                    .collect()
+                            }
+                        }
+                        CombineRule::Pair => {
+                            let first = se.mask.bits().trailing_zeros() as usize;
+                            vec![Chunk {
+                                offset: first,
+                                size: se.beat * se.stores,
+                            }]
+                            .into()
+                        }
+                    };
+                }
+                let chunk = *se.pending.front().expect("locked store entry has chunks");
+                let data = se.data[chunk.offset..chunk.offset + chunk.size].to_vec();
+                Some(PreparedTxn {
+                    txn: Transaction::write(se.base.offset(chunk.offset as i64), chunk.size),
+                    data,
+                })
+            }
+            Entry::Load { addr, width, tag } => Some(PreparedTxn {
+                txn: Transaction::read(*addr, *width).tag(*tag),
+                data: Vec::new(),
+            }),
+            Entry::Barrier => unreachable!("leading barriers were discarded"),
+        }
+    }
+
+    /// Acknowledges that the bus accepted the transaction most recently
+    /// returned by [`UncachedBuffer::peek_transaction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction was pending.
+    pub fn transaction_accepted(&mut self) {
+        self.stats.transactions += 1;
+        match self.entries.front_mut().expect("no pending transaction") {
+            Entry::Store(se) => {
+                assert!(se.locked, "no pending transaction");
+                se.pending.pop_front().expect("no pending chunk");
+                if se.pending.is_empty() {
+                    self.entries.pop_front();
+                }
+            }
+            Entry::Load { .. } => {
+                self.entries.pop_front();
+            }
+            Entry::Barrier => unreachable!("barriers are skipped by peek_transaction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(block: usize) -> UncachedBuffer {
+        UncachedBuffer::new(UncachedConfig::with_block(block)).unwrap()
+    }
+
+    fn dword(v: u64) -> [u8; 8] {
+        v.to_le_bytes()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            UncachedBuffer::new(UncachedConfig::with_block(4)),
+            Err(UncachedConfigError::BadBlock(4))
+        ));
+        assert!(matches!(
+            UncachedBuffer::new(UncachedConfig::with_block(48)),
+            Err(UncachedConfigError::BadBlock(48))
+        ));
+        assert!(matches!(
+            UncachedBuffer::new(UncachedConfig {
+                capacity: 0,
+                ..UncachedConfig::with_block(64)
+            }),
+            Err(UncachedConfigError::ZeroCapacity)
+        ));
+        assert_eq!(UncachedConfig::non_combining().block, 8);
+    }
+
+    #[test]
+    fn non_combining_never_coalesces() {
+        let mut b = buf(8);
+        let base = Addr::new(0x1000);
+        assert_eq!(b.push_store(base, &dword(1)), PushOutcome::NewEntry);
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(b.len(), 2);
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.txn.size, 8);
+        assert_eq!(t.data, dword(1));
+    }
+
+    #[test]
+    fn sequential_dwords_coalesce_to_full_line() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        for i in 0..8 {
+            b.push_store(base.offset(8 * i), &dword(i as u64));
+        }
+        assert_eq!(b.len(), 1);
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.txn.size, 64);
+        assert_eq!(t.txn.addr, base);
+        assert_eq!(&t.data[8..16], &dword(1));
+        b.transaction_accepted();
+        assert!(b.is_drained());
+        assert_eq!(b.stats().coalesced, 7);
+    }
+
+    #[test]
+    fn partial_block_drains_as_aligned_chunks() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        // Dwords 1..8 -> 8B@8, 16B@16, 32B@32.
+        for i in 1..8 {
+            b.push_store(base.offset(8 * i), &dword(i as u64));
+        }
+        let mut sizes = Vec::new();
+        while let Some(t) = b.peek_transaction() {
+            sizes.push(t.txn.size);
+            b.transaction_accepted();
+        }
+        assert_eq!(sizes, vec![8, 16, 32]);
+        assert_eq!(b.stats().transactions, 3);
+    }
+
+    #[test]
+    fn locked_entry_rejects_coalescing() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(1));
+        let _ = b.peek_transaction().unwrap(); // locks the entry
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn load_fences_later_stores() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(1));
+        assert!(b.push_load(base.offset(32), 8, 7));
+        // Same block, but an intervening load forbids coalescing.
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn barrier_fences_and_is_skipped() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(1));
+        b.push_barrier();
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        // Drain: store, (skip barrier), store.
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.txn.addr, base);
+        b.transaction_accepted();
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.txn.addr, base.offset(8));
+        b.transaction_accepted();
+        assert!(b.is_drained());
+    }
+
+    #[test]
+    fn interleaved_blocks_coalesce_independently() {
+        // A store to a different block does not stop older-entry coalescing.
+        let mut b = buf(64);
+        let (b0, b1) = (Addr::new(0x2000), Addr::new(0x2040));
+        b.push_store(b0, &dword(1));
+        b.push_store(b1, &dword(2));
+        assert_eq!(
+            b.push_store(b0.offset(8), &dword(3)),
+            PushOutcome::Coalesced
+        );
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn capacity_stalls() {
+        let mut b = UncachedBuffer::new(UncachedConfig {
+            capacity: 2,
+            ..UncachedConfig::with_block(8)
+        })
+        .unwrap();
+        b.push_store(Addr::new(0), &dword(1));
+        b.push_store(Addr::new(8), &dword(2));
+        assert_eq!(b.push_store(Addr::new(16), &dword(3)), PushOutcome::Full);
+        assert!(!b.push_load(Addr::new(24), 8, 0));
+        assert_eq!(b.stats().full_stalls, 2);
+    }
+
+    #[test]
+    fn loads_drain_as_reads() {
+        let mut b = buf(64);
+        b.push_load(Addr::new(0x3000), 4, 99);
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.txn.kind, csb_bus::TxnKind::Read);
+        assert_eq!(t.txn.size, 4);
+        assert_eq!(t.txn.tag, 99);
+        b.transaction_accepted();
+        assert!(b.is_drained());
+    }
+
+    #[test]
+    fn overwrite_within_entry_keeps_latest_data() {
+        let mut b = buf(64);
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(1));
+        b.push_store(base, &dword(2));
+        let t = b.peek_transaction().unwrap();
+        assert_eq!(t.data, dword(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_store_rejected() {
+        buf(64).push_store(Addr::new(0x2004), &dword(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending transaction")]
+    fn accept_without_peek_panics() {
+        buf(64).transaction_accepted();
+    }
+
+    fn drain_sizes(b: &mut UncachedBuffer) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        while let Some(t) = b.peek_transaction() {
+            sizes.push(t.txn.size);
+            b.transaction_accepted();
+        }
+        sizes
+    }
+
+    #[test]
+    fn r10000_full_line_is_one_burst() {
+        let mut b = UncachedBuffer::new(UncachedConfig::r10000(64)).unwrap();
+        let base = Addr::new(0x2000);
+        for i in 0..8 {
+            b.push_store(base.offset(8 * i), &dword(i as u64));
+        }
+        assert_eq!(b.len(), 1);
+        assert_eq!(drain_sizes(&mut b), vec![64]);
+    }
+
+    #[test]
+    fn r10000_partial_line_degrades_to_single_beats() {
+        // Unlike Block combining (which would emit 8B+16B+32B aligned
+        // chunks), the R10000 issues a series of single-beat transfers when
+        // the line is incomplete.
+        let mut b = UncachedBuffer::new(UncachedConfig::r10000(64)).unwrap();
+        let base = Addr::new(0x2000);
+        for i in 1..8 {
+            b.push_store(base.offset(8 * i), &dword(i as u64));
+        }
+        assert_eq!(drain_sizes(&mut b), vec![8; 7]);
+    }
+
+    #[test]
+    fn r10000_pattern_break_closes_entry() {
+        let mut b = UncachedBuffer::new(UncachedConfig::r10000(64)).unwrap();
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(0));
+        b.push_store(base.offset(8), &dword(1));
+        // Out-of-order store to the same line: breaks the pattern.
+        assert_eq!(
+            b.push_store(base.offset(32), &dword(4)),
+            PushOutcome::NewEntry
+        );
+        // The original entry is closed: even a sequential continuation of
+        // it cannot reopen combining there, and the new entry expects its
+        // own continuation.
+        assert_eq!(
+            b.push_store(base.offset(16), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn r10000_descending_never_combines() {
+        let mut b = UncachedBuffer::new(UncachedConfig::r10000(64)).unwrap();
+        let base = Addr::new(0x2000);
+        for i in (0..4).rev() {
+            b.push_store(base.offset(8 * i), &dword(i as u64));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn ppc620_pairs_two_consecutive_same_size_stores() {
+        let mut b = UncachedBuffer::new(UncachedConfig::ppc620()).unwrap();
+        let base = Addr::new(0x2000);
+        assert_eq!(b.push_store(base, &dword(1)), PushOutcome::NewEntry);
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::Coalesced
+        );
+        // Third consecutive store cannot join the completed pair.
+        assert_eq!(
+            b.push_store(base.offset(16), &dword(3)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(
+            b.push_store(base.offset(24), &dword(4)),
+            PushOutcome::Coalesced
+        );
+        assert_eq!(drain_sizes(&mut b), vec![16, 16]);
+    }
+
+    #[test]
+    fn ppc620_rejects_misaligned_pairs() {
+        let mut b = UncachedBuffer::new(UncachedConfig::ppc620()).unwrap();
+        // A pair starting at offset 8 would form a misaligned 16B txn.
+        let base = Addr::new(0x2008);
+        assert_eq!(b.push_store(base, &dword(1)), PushOutcome::NewEntry);
+        assert_eq!(
+            b.push_store(base.offset(8), &dword(2)),
+            PushOutcome::NewEntry
+        );
+        assert_eq!(drain_sizes(&mut b), vec![8, 8]);
+    }
+
+    #[test]
+    fn ppc620_rejects_mixed_width_pairs() {
+        let mut b = UncachedBuffer::new(UncachedConfig::ppc620()).unwrap();
+        let base = Addr::new(0x2000);
+        b.push_store(base, &dword(1));
+        // Consecutive address but different width: no pairing.
+        assert_eq!(
+            b.push_store(base.offset(8), &[2u8; 4]),
+            PushOutcome::NewEntry
+        );
+    }
+
+    #[test]
+    fn rule_display_and_defaults() {
+        assert_eq!(CombineRule::default(), CombineRule::Block);
+        assert!(CombineRule::Sequential.to_string().contains("R10000"));
+        assert!(CombineRule::Pair.to_string().contains("620"));
+        assert_eq!(UncachedConfig::r10000(64).rule, CombineRule::Sequential);
+        assert_eq!(UncachedConfig::ppc620().block, 16);
+    }
+}

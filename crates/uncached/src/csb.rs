@@ -1,0 +1,605 @@
+//! The conditional store buffer (the paper's contribution, §3.2).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use csb_bus::Transaction;
+use csb_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+use crate::mask::{decompose, ByteMask, MAX_BLOCK};
+use crate::PreparedTxn;
+
+/// A process identifier as seen by the CSB.
+///
+/// Real implementations source this from the supervisor-mode process ID /
+/// address-space register (MIPS ASID, PA-RISC space ID, Alpha PID — §3.1).
+pub type Pid = u32;
+
+/// CSB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsbConfig {
+    /// Line size in bytes — the data register is exactly one cache line.
+    pub line: usize,
+    /// Adds the second line buffer suggested in §3.2, letting new combining
+    /// stores proceed while a flushed line awaits the system interface.
+    pub double_buffered: bool,
+    /// Relaxes the always-full-line rule: emit the smallest set of naturally
+    /// aligned bursts covering the written bytes instead of one padded line
+    /// (the paper notes this option for buses with multiple burst sizes).
+    pub variable_burst: bool,
+}
+
+impl CsbConfig {
+    /// Baseline single-buffered, full-line CSB with the given line size.
+    pub fn new(line: usize) -> Self {
+        CsbConfig {
+            line,
+            double_buffered: false,
+            variable_burst: false,
+        }
+    }
+
+    /// Enables the second line buffer.
+    pub fn double_buffered(mut self) -> Self {
+        self.double_buffered = true;
+        self
+    }
+
+    /// Enables variable-size bursts.
+    pub fn variable_burst(mut self) -> Self {
+        self.variable_burst = true;
+        self
+    }
+}
+
+/// Invalid [`CsbConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsbConfigError {
+    /// The rejected line size.
+    pub line: usize,
+}
+
+impl fmt::Display for CsbConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CSB line size {} is not a power of two in 8..={MAX_BLOCK}",
+            self.line
+        )
+    }
+}
+
+impl std::error::Error for CsbConfigError {}
+
+/// Error returned by [`ConditionalStoreBuffer::store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsbError {
+    /// The buffer is busy delivering a flushed line (single-buffered CSB):
+    /// the processor must stall the store and retry.
+    Busy,
+    /// The store is wider than a register, misaligned, or crosses a line.
+    BadStore {
+        /// Offending address.
+        addr: Addr,
+        /// Store width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for CsbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsbError::Busy => f.write_str("CSB busy delivering a flushed line"),
+            CsbError::BadStore { addr, width } => {
+                write!(f, "invalid combining store: {width}B at {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsbError {}
+
+/// Result of one combining store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Matched the buffered line and PID; hit counter incremented.
+    Merged {
+        /// Hit counter value after the store.
+        count: u64,
+    },
+    /// Mismatch (different line, different PID, or empty buffer): the buffer
+    /// was cleared and restarted with this store; hit counter is 1.
+    Reset,
+}
+
+/// Result of a conditional flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Line, PID, and expected count all matched: the line was committed as
+    /// an atomic burst. The `swap` destination register keeps its value.
+    Success,
+    /// A condition failed: the buffer was cleared, nothing was issued, and
+    /// the `swap` destination register receives 0.
+    Fail,
+}
+
+impl FlushOutcome {
+    /// The value the conditional-flush `swap` leaves in its register, given
+    /// the expected count it carried in (§3.2: unchanged on success, 0 on
+    /// failure).
+    pub fn register_value(self, expected: u64) -> u64 {
+        match self {
+            FlushOutcome::Success => expected,
+            FlushOutcome::Fail => 0,
+        }
+    }
+}
+
+/// Counters accumulated by the CSB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsbStats {
+    /// Combining stores accepted.
+    pub stores: u64,
+    /// Stores that reset the buffer (conflict or cold start).
+    pub resets: u64,
+    /// Successful conditional flushes.
+    pub flush_successes: u64,
+    /// Failed conditional flushes.
+    pub flush_failures: u64,
+    /// Burst transactions handed to the bus.
+    pub bursts: u64,
+    /// Payload bytes committed.
+    pub payload_bytes: u64,
+    /// Stalls reported while busy.
+    pub busy_stalls: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LineBuf {
+    base: Addr,
+    pid: Pid,
+    mask: ByteMask,
+    data: Box<[u8]>,
+    count: u64,
+}
+
+/// The conditional store buffer.
+///
+/// State per Figure 2 of the paper: one cache line of data, the owning
+/// process ID, the line-aligned address of the most recent combining store,
+/// and a hit counter counting consecutive unconflicted stores.
+///
+/// * A combining store whose (line address, PID) match the buffered values
+///   merges and increments the counter; any mismatch clears the buffer and
+///   restarts it with the new store (counter = 1). Stores may arrive in any
+///   order within the line — only the count matters for conflict detection.
+/// * A conditional flush carrying the expected count succeeds iff line
+///   address, PID, *and* count match; it then emits the line as one burst
+///   (unwritten bytes padded with zero, avoiding information leaks between
+///   processes) and clears the buffer. On any mismatch it clears the buffer,
+///   emits nothing, and signals failure so software can retry.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct ConditionalStoreBuffer {
+    cfg: CsbConfig,
+    current: Option<LineBuf>,
+    /// Flushed bursts awaiting the system interface.
+    pending: VecDeque<PreparedTxn>,
+    stats: CsbStats,
+}
+
+impl ConditionalStoreBuffer {
+    /// Creates an empty CSB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsbConfigError`] if the line size is not a power of two in
+    /// `8..=128`.
+    pub fn new(cfg: CsbConfig) -> Result<Self, CsbConfigError> {
+        if cfg.line < 8 || cfg.line > MAX_BLOCK || !cfg.line.is_power_of_two() {
+            return Err(CsbConfigError { line: cfg.line });
+        }
+        Ok(ConditionalStoreBuffer {
+            cfg,
+            current: None,
+            pending: VecDeque::new(),
+            stats: CsbStats::default(),
+        })
+    }
+
+    /// The CSB configuration.
+    pub fn config(&self) -> &CsbConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &CsbStats {
+        &self.stats
+    }
+
+    fn flush_capacity(&self) -> usize {
+        if self.cfg.double_buffered {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Returns `true` if a combining store would be accepted right now.
+    ///
+    /// A single-buffered CSB stalls stores that follow a flush until the
+    /// flushed line has been handed to the system interface (§3.2); the
+    /// double-buffered variant hides that latency.
+    pub fn can_accept_store(&self) -> bool {
+        // `variable_burst` may leave several chunks pending from one flush;
+        // they count as one logical line in flight.
+        self.pending.is_empty() || self.cfg.double_buffered
+    }
+
+    /// Returns `true` if a conditional flush would be accepted right now
+    /// (there is room to queue the resulting burst).
+    pub fn can_accept_flush(&self) -> bool {
+        self.pending.len() < self.flush_capacity()
+    }
+
+    /// Performs a combining store of `data.len()` bytes at `addr` on behalf
+    /// of process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsbError::Busy`] if the CSB cannot accept stores (see
+    ///   [`ConditionalStoreBuffer::can_accept_store`]); the processor stalls
+    ///   and retries — this is flow control, not a conflict.
+    /// * [`CsbError::BadStore`] if the width is not a power of two in
+    ///   `1..=8` or the address is not naturally aligned.
+    pub fn store(&mut self, pid: Pid, addr: Addr, data: &[u8]) -> Result<StoreOutcome, CsbError> {
+        let width = data.len();
+        if !(1..=8).contains(&width) || !width.is_power_of_two() || !addr.is_aligned(width as u64) {
+            return Err(CsbError::BadStore { addr, width });
+        }
+        if !self.can_accept_store() {
+            self.stats.busy_stalls += 1;
+            return Err(CsbError::Busy);
+        }
+        let base = addr.align_down(self.cfg.line as u64);
+        let off = addr.offset_in(self.cfg.line as u64) as usize;
+        self.stats.stores += 1;
+
+        match &mut self.current {
+            Some(line) if line.base == base && line.pid == pid => {
+                line.mask.set_range(off, width);
+                line.data[off..off + width].copy_from_slice(data);
+                line.count += 1;
+                Ok(StoreOutcome::Merged { count: line.count })
+            }
+            slot => {
+                // Mismatch or cold buffer: clear (zero padding) and restart.
+                self.stats.resets += 1;
+                let mut line = LineBuf {
+                    base,
+                    pid,
+                    mask: ByteMask::empty(),
+                    data: vec![0u8; self.cfg.line].into_boxed_slice(),
+                    count: 1,
+                };
+                line.mask.set_range(off, width);
+                line.data[off..off + width].copy_from_slice(data);
+                *slot = Some(line);
+                Ok(StoreOutcome::Reset)
+            }
+        }
+    }
+
+    /// Executes a conditional flush: process `pid` claims the line at `addr`
+    /// holds exactly `expected` of its stores.
+    ///
+    /// On success the line is queued as an atomic burst for the system
+    /// interface (retrieve it with
+    /// [`ConditionalStoreBuffer::peek_transaction`]). On failure the buffer
+    /// is cleared and nothing is issued.
+    ///
+    /// Callers should gate on [`ConditionalStoreBuffer::can_accept_flush`];
+    /// a flush issued while the burst queue is full fails unconditionally
+    /// (and still clears the buffer), mirroring hardware that cannot accept
+    /// the commit.
+    pub fn conditional_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> FlushOutcome {
+        let base = addr.align_down(self.cfg.line as u64);
+        let ok = self.can_accept_flush()
+            && self
+                .current
+                .as_ref()
+                .is_some_and(|line| line.base == base && line.pid == pid && line.count == expected);
+        let line = self.current.take();
+        if !ok {
+            self.stats.flush_failures += 1;
+            return FlushOutcome::Fail;
+        }
+        let line = line.expect("checked above");
+        self.stats.flush_successes += 1;
+        let payload_total = line.mask.count();
+        self.stats.payload_bytes += payload_total as u64;
+        if self.cfg.variable_burst {
+            for c in decompose(line.mask, self.cfg.line) {
+                self.pending.push_back(PreparedTxn {
+                    txn: Transaction::write(line.base.offset(c.offset as i64), c.size),
+                    data: line.data[c.offset..c.offset + c.size].to_vec(),
+                });
+                self.stats.bursts += 1;
+            }
+        } else {
+            // Always a full line; unwritten bytes are zero padding.
+            self.pending.push_back(PreparedTxn {
+                txn: Transaction::write(line.base, self.cfg.line).payload(payload_total),
+                data: line.data.into_vec(),
+            });
+            self.stats.bursts += 1;
+        }
+        FlushOutcome::Success
+    }
+
+    /// Clears the data register without issuing anything — the effect of a
+    /// cold reset or a supervisor-initiated clear.
+    pub fn clear(&mut self) {
+        self.current = None;
+    }
+
+    /// Returns the next committed burst to present to the bus, if any.
+    pub fn peek_transaction(&self) -> Option<&PreparedTxn> {
+        self.pending.front()
+    }
+
+    /// Acknowledges that the bus accepted the burst most recently returned
+    /// by [`ConditionalStoreBuffer::peek_transaction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no burst was pending.
+    pub fn transaction_accepted(&mut self) -> PreparedTxn {
+        self.pending.pop_front().expect("no pending CSB burst")
+    }
+
+    /// Returns `true` if no committed burst is waiting for the bus.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csb() -> ConditionalStoreBuffer {
+        ConditionalStoreBuffer::new(CsbConfig::new(64)).unwrap()
+    }
+
+    fn dword(v: u64) -> [u8; 8] {
+        v.to_le_bytes()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ConditionalStoreBuffer::new(CsbConfig::new(4)).is_err());
+        assert!(ConditionalStoreBuffer::new(CsbConfig::new(96)).is_err());
+        assert!(ConditionalStoreBuffer::new(CsbConfig::new(256)).is_err());
+        let err = ConditionalStoreBuffer::new(CsbConfig::new(4)).unwrap_err();
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn stores_in_any_order_commit() {
+        // §3.2: "combining stores can be issued in any order, since only the
+        // total number of stores is needed for conflict detection."
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        let order = [0i64, 5, 1, 7, 2, 6, 3, 4];
+        for (n, &i) in order.iter().enumerate() {
+            let out = c.store(1, line.offset(8 * i), &dword(i as u64)).unwrap();
+            if n == 0 {
+                assert_eq!(out, StoreOutcome::Reset);
+            } else {
+                assert_eq!(
+                    out,
+                    StoreOutcome::Merged {
+                        count: n as u64 + 1
+                    }
+                );
+            }
+        }
+        assert_eq!(c.conditional_flush(1, line, 8), FlushOutcome::Success);
+        let t = c.transaction_accepted();
+        assert_eq!(t.txn.size, 64);
+        assert_eq!(t.txn.payload, 64);
+        for i in 0..8usize {
+            assert_eq!(&t.data[8 * i..8 * i + 8], &dword(i as u64));
+        }
+    }
+
+    #[test]
+    fn wrong_expected_count_fails() {
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        c.store(1, line.offset(8), &dword(2)).unwrap();
+        assert_eq!(c.conditional_flush(1, line, 3), FlushOutcome::Fail);
+        // Buffer was cleared: restarting gives count 1 again.
+        assert_eq!(c.store(1, line, &dword(1)).unwrap(), StoreOutcome::Reset);
+        assert_eq!(c.stats().flush_failures, 1);
+    }
+
+    #[test]
+    fn competing_pid_resets_and_original_flush_fails() {
+        // The scenario narrated in §3.2: a process is interrupted before its
+        // flush; the competitor's first store clears the buffer.
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        for i in 0..4i64 {
+            c.store(1, line.offset(8 * i), &dword(9)).unwrap();
+        }
+        assert_eq!(c.store(2, line, &dword(7)).unwrap(), StoreOutcome::Reset);
+        let out = c.conditional_flush(1, line, 4);
+        assert_eq!(out, FlushOutcome::Fail);
+        assert_eq!(out.register_value(4), 0);
+        // And PID 2's own sequence still works.
+        c.store(2, line.offset(8), &dword(8)).unwrap();
+        // First store by pid 2 above was cleared by the failed flush, so
+        // count restarted at 1.
+        assert_eq!(c.conditional_flush(2, line, 1), FlushOutcome::Success);
+    }
+
+    #[test]
+    fn different_line_same_pid_conflicts() {
+        // §3.2: including the address detects conflicts between threads
+        // sharing a PID.
+        let mut c = csb();
+        c.store(1, Addr::new(0x1000), &dword(1)).unwrap();
+        assert_eq!(
+            c.store(1, Addr::new(0x2000), &dword(2)).unwrap(),
+            StoreOutcome::Reset
+        );
+        assert_eq!(
+            c.conditional_flush(1, Addr::new(0x1000), 1),
+            FlushOutcome::Fail
+        );
+    }
+
+    #[test]
+    fn partial_line_pads_with_zeroes() {
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        c.store(1, line.offset(16), &dword(0xffff_ffff_ffff_ffff))
+            .unwrap();
+        assert_eq!(c.conditional_flush(1, line, 1), FlushOutcome::Success);
+        let t = c.transaction_accepted();
+        assert_eq!(t.txn.size, 64);
+        assert_eq!(t.txn.payload, 8);
+        assert!(t.data[..16].iter().all(|&b| b == 0));
+        assert!(t.data[16..24].iter().all(|&b| b == 0xff));
+        assert!(t.data[24..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn single_buffered_stalls_until_drained() {
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        c.conditional_flush(1, line, 1);
+        assert!(!c.can_accept_store());
+        assert_eq!(c.store(1, line, &dword(2)), Err(CsbError::Busy));
+        assert_eq!(c.stats().busy_stalls, 1);
+        c.transaction_accepted();
+        assert!(c.can_accept_store());
+        assert!(c.store(1, line, &dword(2)).is_ok());
+    }
+
+    #[test]
+    fn double_buffered_overlaps_flush_with_stores() {
+        let mut c = ConditionalStoreBuffer::new(CsbConfig::new(64).double_buffered()).unwrap();
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        c.conditional_flush(1, line, 1);
+        // Burst still pending, but the second line buffer accepts stores.
+        assert!(c.can_accept_store());
+        c.store(1, line.offset(64), &dword(2)).unwrap();
+        assert!(c.can_accept_flush());
+        assert_eq!(
+            c.conditional_flush(1, line.offset(64), 1),
+            FlushOutcome::Success
+        );
+        // Both buffers now full: a third flush cannot be accepted.
+        c.store(1, line.offset(128), &dword(3)).unwrap();
+        assert!(!c.can_accept_flush());
+        assert_eq!(
+            c.conditional_flush(1, line.offset(128), 1),
+            FlushOutcome::Fail
+        );
+        c.transaction_accepted();
+        c.transaction_accepted();
+        assert!(c.is_drained());
+        assert_eq!(c.stats().flush_successes, 2);
+    }
+
+    #[test]
+    fn variable_burst_emits_aligned_chunks() {
+        let mut c = ConditionalStoreBuffer::new(CsbConfig::new(64).variable_burst()).unwrap();
+        let line = Addr::new(0x1000);
+        for i in 1..8i64 {
+            c.store(1, line.offset(8 * i), &dword(i as u64)).unwrap();
+        }
+        assert_eq!(c.conditional_flush(1, line, 7), FlushOutcome::Success);
+        let mut sizes = Vec::new();
+        while c.peek_transaction().is_some() {
+            sizes.push(c.transaction_accepted().txn.size);
+        }
+        assert_eq!(sizes, vec![8, 16, 32]);
+        assert_eq!(c.stats().bursts, 3);
+    }
+
+    #[test]
+    fn bad_store_rejected() {
+        let mut c = csb();
+        assert!(matches!(
+            c.store(1, Addr::new(0x1004), &dword(1)),
+            Err(CsbError::BadStore { .. })
+        ));
+        assert!(matches!(
+            c.store(1, Addr::new(0x1000), &[0u8; 3]),
+            Err(CsbError::BadStore { .. })
+        ));
+        assert!(matches!(
+            c.store(1, Addr::new(0x1000), &[]),
+            Err(CsbError::BadStore { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_on_empty_buffer_fails() {
+        let mut c = csb();
+        assert_eq!(
+            c.conditional_flush(1, Addr::new(0x1000), 0),
+            FlushOutcome::Fail
+        );
+    }
+
+    #[test]
+    fn clear_discards_state() {
+        let mut c = csb();
+        c.store(1, Addr::new(0x1000), &dword(1)).unwrap();
+        c.clear();
+        assert_eq!(
+            c.conditional_flush(1, Addr::new(0x1000), 1),
+            FlushOutcome::Fail
+        );
+    }
+
+    #[test]
+    fn repeated_store_to_same_byte_counts() {
+        // The counter counts stores, not bytes: two stores to the same
+        // doubleword give count 2 with 8 payload bytes.
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        c.store(1, line, &dword(2)).unwrap();
+        assert_eq!(c.conditional_flush(1, line, 2), FlushOutcome::Success);
+        let t = c.transaction_accepted();
+        assert_eq!(t.txn.payload, 8);
+        assert_eq!(&t.data[..8], &dword(2));
+    }
+
+    #[test]
+    fn register_value_semantics() {
+        assert_eq!(FlushOutcome::Success.register_value(8), 8);
+        assert_eq!(FlushOutcome::Fail.register_value(8), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!CsbError::Busy.to_string().is_empty());
+        let e = CsbError::BadStore {
+            addr: Addr::new(4),
+            width: 3,
+        };
+        assert!(e.to_string().contains("3B"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The uncached buffer, hardware combining baselines, and the conditional
+//! store buffer (CSB).
+//!
+//! This crate implements the paper's primary contribution and the baseline
+//! mechanisms it is compared against:
+//!
+//! * [`UncachedBuffer`] — the FIFO buffer between the processor and the
+//!   system interface that holds uncached loads and stores. Configured with
+//!   a combining block size it models the spectrum of hardware-transparent
+//!   write combining found in 1990s processors: 8 B (non-combining, every
+//!   store is its own bus transaction), 16 B (PowerPC 620-style pairing), up
+//!   to a full cache line (MIPS R10000 uncached-accelerated mode). Combining
+//!   is opportunistic: a store coalesces into a waiting entry only while the
+//!   bus keeps that entry waiting, and the resulting transactions must be
+//!   naturally aligned powers of two — which is why hardware combining
+//!   cannot guarantee a single burst.
+//! * [`ConditionalStoreBuffer`] — the paper's CSB (§3.2): one cache line of
+//!   data plus the issuing process's ID, the line-aligned target address,
+//!   and a hit counter. Software accumulates *combining stores* and commits
+//!   them with a *conditional flush* that atomically emits the line as a
+//!   single burst — or fails, returning 0, if a competing process disturbed
+//!   the buffer. This provides lock-free, exactly-once device access.
+//! * [`ByteMask`] / [`decompose`] — the natural-alignment burst decomposition
+//!   shared by both mechanisms.
+//!
+//! # Examples
+//!
+//! An uninterrupted CSB sequence commits atomically; an interleaved store
+//! from another process makes the flush fail:
+//!
+//! ```
+//! use csb_isa::Addr;
+//! use csb_uncached::{ConditionalStoreBuffer, CsbConfig, FlushOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut csb = ConditionalStoreBuffer::new(CsbConfig::new(64))?;
+//! let line = Addr::new(0x2000_0000);
+//!
+//! for i in 0..8u64 {
+//!     csb.store(1, line.offset(8 * i as i64), &i.to_le_bytes())?;
+//! }
+//! assert_eq!(csb.conditional_flush(1, line, 8), FlushOutcome::Success);
+//! let burst = csb.transaction_accepted(); // the bus takes the line
+//! assert_eq!(burst.txn.size, 64);
+//!
+//! // Second attempt by PID 1, but PID 2 sneaks a store in.
+//! csb.store(1, line, &[0xff; 8])?;
+//! csb.store(2, line.offset(8), &[0xee; 8])?; // clears the buffer, count=1
+//! assert_eq!(csb.conditional_flush(1, line, 2), FlushOutcome::Fail);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod csb;
+mod mask;
+
+pub use buffer::{
+    CombineRule, PushOutcome, UncachedBuffer, UncachedConfig, UncachedConfigError, UncachedStats,
+};
+pub use csb::{
+    ConditionalStoreBuffer, CsbConfig, CsbConfigError, CsbError, CsbStats, FlushOutcome,
+    StoreOutcome,
+};
+pub use mask::{decompose, ByteMask, Chunk, MAX_BLOCK};
+
+/// A bus transaction paired with the data bytes it carries.
+///
+/// [`csb_bus::Transaction`] is timing-only; I/O devices in the simulator
+/// also need the written values, which travel alongside here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedTxn {
+    /// The timing-level transaction to hand to the bus.
+    pub txn: csb_bus::Transaction,
+    /// The `txn.size` data bytes (padding already zeroed).
+    pub data: Vec<u8>,
+}

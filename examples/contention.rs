@@ -1,0 +1,78 @@
+//! Contention study: competing processes, conflicts, livelock, and backoff.
+//!
+//! The CSB is optimistic: no lock is ever taken, and a process interrupted
+//! mid-sequence simply fails its conditional flush and retries (§3.2). This
+//! example time-slices one core between processes that all use the CSB and
+//! shows:
+//!
+//! * long slices → no conflicts at all,
+//! * realistic slices → occasional failed flushes, full progress,
+//! * pathological slices (shorter than a sequence) → the theoretical
+//!   livelock the paper mentions,
+//! * exponential backoff → recovery from that livelock.
+//!
+//! Run with: `cargo run --example contention`
+
+use csb_core::multiproc::{MultiSim, SwitchPolicy};
+use csb_core::{workloads, SimConfig, SimError};
+
+fn workers(cfg: &SimConfig, n: usize, iterations: usize) -> Vec<csb_isa::Program> {
+    (0..n)
+        .map(|i| workloads::csb_worker(iterations, 8, i, cfg).expect("valid worker"))
+        .collect()
+}
+
+fn report(label: &str, policy: SwitchPolicy, n: usize, iterations: usize) {
+    let cfg = SimConfig::default();
+    let mut ms =
+        MultiSim::new(cfg.clone(), workers(&cfg, n, iterations), policy).expect("valid machine");
+    match ms.run(3_000_000) {
+        Ok(s) => {
+            let expected = (n * iterations) as u64;
+            println!(
+                "{label:<28} {:>8} cycles, {:>4} switches, {:>3} conflicts (failed flushes), {}/{} sequences",
+                s.cycles, s.switches, s.flush_failures, s.flush_successes, expected
+            );
+        }
+        Err(SimError::CycleLimit { limit }) => {
+            println!("{label:<28} LIVELOCK: no progress within {limit} cycles");
+        }
+        Err(e) => println!("{label:<28} error: {e}"),
+    }
+}
+
+fn main() {
+    let (n, iterations) = (3, 5);
+    println!(
+        "{n} processes x {iterations} CSB sequences of 8 doublewords each, one core, time-sliced\n"
+    );
+    report(
+        "slice 10000 (generous)",
+        SwitchPolicy::Fixed(10_000),
+        n,
+        iterations,
+    );
+    report("slice 100 (tight)", SwitchPolicy::Fixed(100), n, iterations);
+    report(
+        "slice 45 (adversarial)",
+        SwitchPolicy::Fixed(45),
+        n,
+        iterations,
+    );
+    report(
+        "slice 6 (pathological)",
+        SwitchPolicy::Fixed(6),
+        n,
+        iterations,
+    );
+    report(
+        "slice 6 + backoff",
+        SwitchPolicy::Backoff { base: 6, max: 4096 },
+        n,
+        iterations,
+    );
+    println!();
+    println!("A failed flush costs only the software retry — no process ever blocks,");
+    println!("no priority inversion, no deadlock; and exponential backoff resolves");
+    println!("the (contrived) livelock, as §3.2 argues.");
+}
