@@ -1,0 +1,31 @@
+//! Serial vs. parallel execution of one Figure 3 panel through the
+//! experiment runner — the speedup measurement for the engine itself.
+//!
+//! Run with `cargo bench -p csb-bench --bench runner_bench`; the numbers
+//! are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csb_core::experiments::fig3;
+use csb_core::experiments::runner::run_bandwidth_panels;
+
+fn bench_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+
+    // Panel 3e: the default machine (64-byte line, ratio 6) — 7 transfer
+    // sizes × 5 schemes = 35 independent simulation points. `jobs1` is the
+    // serial baseline; the speedup of the other legs tracks the host's
+    // core count (on a single-core host they only measure pool overhead).
+    let spec = fig3::PANELS[4].spec();
+    let specs = std::slice::from_ref(&spec);
+
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("fig3e", format!("jobs{jobs}")), |b| {
+            b.iter(|| run_bandwidth_panels(specs, jobs).expect("panel simulates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -2,15 +2,18 @@
 //! overhead (§4.3.2), the double-buffered CSB, the variable-burst CSB
 //! (§3.2), and the PIO/DMA break-even sweep (§5).
 //!
-//! Usage: `cargo run -p csb-bench --bin ablations [--json out.json]`
+//! Usage: `cargo run -p csb-bench --bin ablations [--jobs N] [--json out.json]`
 
 use csb_core::dma::{DmaModel, PioMethod, MESSAGE_SIZES};
 use csb_core::experiments::{ablations, format_table};
 use csb_core::SimConfig;
 
 fn main() {
+    let jobs = csb_bench::jobs_from_args();
+
     // --- Superscalar width vs. lock overhead --------------------------
-    let widths = ablations::superscalar_widths(4).expect("width ablation simulates");
+    let (widths, mut report) =
+        ablations::superscalar_widths_jobs(4, jobs).expect("width ablation simulates");
     let headers = vec![
         "width".to_string(),
         "lock cycles".to_string(),
@@ -46,15 +49,20 @@ fn main() {
             })
             .collect()
     };
-    let double = ablations::double_buffered().expect("double-buffer ablation simulates");
+    let (double, r) =
+        ablations::double_buffered_jobs(jobs).expect("double-buffer ablation simulates");
+    report.merge(&r);
     println!("Double-buffered CSB (second line buffer, §3.2)");
     println!("{}", format_table(&headers, &render(&double)));
-    let variable = ablations::variable_burst().expect("variable-burst ablation simulates");
+    let (variable, r) =
+        ablations::variable_burst_jobs(jobs).expect("variable-burst ablation simulates");
+    report.merge(&r);
     println!("Variable-burst CSB (multiple burst sizes, §3.2)");
     println!("{}", format_table(&headers, &render(&variable)));
 
     // --- Related-work baselines under store-order pressure --------------
-    let rows = ablations::related_work().expect("related-work ablation simulates");
+    let (rows, r) = ablations::related_work_jobs(jobs).expect("related-work ablation simulates");
+    report.merge(&r);
     let headers = vec![
         "bytes".to_string(),
         "scheme".to_string(),
@@ -76,7 +84,8 @@ fn main() {
     println!("{}", format_table(&headers, &table));
 
     // --- Buffer depth and uncached issue rate ---------------------------
-    let rows = ablations::buffer_capacity().expect("capacity ablation simulates");
+    let (rows, r) = ablations::buffer_capacity_jobs(jobs).expect("capacity ablation simulates");
+    report.merge(&r);
     let headers = vec![
         "entries".to_string(),
         "none B/c".to_string(),
@@ -95,7 +104,9 @@ fn main() {
     println!("Uncached buffer depth vs. bandwidth (1 KiB)");
     println!("{}", format_table(&headers, &table));
 
-    let rows = ablations::uncached_issue_rate().expect("issue-rate ablation simulates");
+    let (rows, r) =
+        ablations::uncached_issue_rate_jobs(jobs).expect("issue-rate ablation simulates");
+    report.merge(&r);
     let headers = vec![
         "uncached/cycle".to_string(),
         "CSB cycles (8 dwords)".to_string(),
@@ -108,7 +119,8 @@ fn main() {
     println!("{}", format_table(&headers, &table));
 
     // --- Loaded bus: turnaround approximation vs. real contention -------
-    let rows = ablations::loaded_bus().expect("loaded-bus ablation simulates");
+    let (rows, r) = ablations::loaded_bus_jobs(jobs).expect("loaded-bus ablation simulates");
+    report.merge(&r);
     let headers = vec![
         "scheme".to_string(),
         "idle B/c".to_string(),
@@ -164,6 +176,7 @@ fn main() {
         }
     }
 
+    eprintln!("{}", report.render());
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &(widths, double, variable));
     }

@@ -5,8 +5,13 @@
 //! cargo run -p csb-bench --bin explore -- \
 //!     [--bus mux|split] [--width N] [--line N] [--ratio N] \
 //!     [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
-//!     [--bytes N] [--timeline N] [--asm FILE]
+//!     [--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE]
 //! ```
+//!
+//! `--bytes` accepts a comma-separated list, turning the explorer into a
+//! transfer-size sweep executed on the parallel experiment runner
+//! (`--jobs N` workers, default all cores); the timeline is only shown
+//! for a single point.
 //!
 //! With `--asm FILE` the workload is assembled from a SPARC-flavored
 //! source file (see `csb_isa::parse_asm`) instead of generated.
@@ -15,6 +20,9 @@
 //! cache line.
 
 use csb_bus::BusConfig;
+use csb_core::experiments::runner::{run_points, PointSpec, PointWork};
+use csb_core::experiments::{format_table, Scheme};
+use csb_core::workloads::StoreOrder;
 use csb_core::{trace, workloads, SimConfig, Simulator};
 
 #[derive(Debug)]
@@ -26,7 +34,8 @@ struct Args {
     turnaround: u64,
     delay: u64,
     scheme: String,
-    bytes: usize,
+    bytes: Vec<usize>,
+    jobs: usize,
     timeline: u64,
     asm: Option<String>,
 }
@@ -41,7 +50,8 @@ impl Default for Args {
             turnaround: 0,
             delay: 0,
             scheme: "csb".into(),
-            bytes: 64,
+            bytes: vec![64],
+            jobs: 0,
             timeline: 40,
             asm: None,
         }
@@ -66,13 +76,38 @@ fn parse_args() -> Args {
             }
             "--delay" => args.delay = val("--delay").parse().expect("numeric --delay"),
             "--scheme" => args.scheme = val("--scheme"),
-            "--bytes" => args.bytes = val("--bytes").parse().expect("numeric --bytes"),
+            "--bytes" => {
+                args.bytes = val("--bytes")
+                    .split(',')
+                    .map(|b| b.parse().expect("numeric --bytes list"))
+                    .collect();
+                assert!(!args.bytes.is_empty(), "--bytes requires at least one size");
+            }
+            "--jobs" => {
+                args.jobs = val("--jobs").parse().expect("numeric --jobs");
+                assert!(args.jobs > 0, "--jobs requires a positive integer");
+            }
             "--timeline" => args.timeline = val("--timeline").parse().expect("numeric --timeline"),
             "--asm" => args.asm = Some(val("--asm")),
             other => panic!("unknown flag {other}; see the binary's doc comment"),
         }
     }
     args
+}
+
+/// Maps the `--scheme` flag to the experiment layer's scheme enum.
+fn scheme_from_flag(flag: &str, line: usize) -> Scheme {
+    match flag {
+        "csb" => Scheme::Csb,
+        "none" => Scheme::Uncached { block: 8 },
+        "r10k" => Scheme::R10k,
+        "ppc620" => Scheme::Ppc620,
+        n => Scheme::Uncached {
+            block: n.parse().unwrap_or_else(|_| {
+                panic!("--scheme none|16|32|64|128|r10k|ppc620|csb, got {n} (line {line}B)")
+            }),
+        },
+    }
 }
 
 fn main() {
@@ -92,6 +127,68 @@ fn main() {
         .bus(bus)
         .frequency_ratio(args.ratio);
     cfg.validate().expect("consistent machine configuration");
+
+    // A comma list of transfer sizes runs as a sweep on the parallel
+    // experiment runner instead of the single-point timeline path.
+    if args.bytes.len() > 1 {
+        assert!(
+            args.asm.is_none(),
+            "--asm is a single-point mode; drop the --bytes list"
+        );
+        let scheme = scheme_from_flag(&args.scheme, args.line);
+        let specs: Vec<PointSpec> = args
+            .bytes
+            .iter()
+            .map(|&transfer| PointSpec {
+                label: format!("explore/{transfer}B/{scheme}"),
+                cfg: cfg.clone(),
+                work: PointWork::Bandwidth {
+                    transfer,
+                    scheme,
+                    order: StoreOrder::Ascending,
+                },
+            })
+            .collect();
+        let (results, report) = run_points(&specs, args.jobs);
+        println!(
+            "machine : {} bus, {}B wide, {}B line, ratio {}, turnaround {}, delay {}",
+            cfg.bus.kind(),
+            cfg.bus.width(),
+            cfg.line(),
+            cfg.ratio,
+            cfg.bus.turnaround(),
+            cfg.bus.min_addr_delay()
+        );
+        println!(
+            "sweep   : {} over {} transfer sizes\n",
+            scheme,
+            args.bytes.len()
+        );
+        let headers = vec![
+            "bytes".to_string(),
+            "B/bus-cycle".to_string(),
+            "sim cycles".to_string(),
+            "wall ms".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = args
+            .bytes
+            .iter()
+            .zip(&results)
+            .map(|(&b, r)| {
+                let o = r.as_ref().expect("sweep point simulates");
+                vec![
+                    b.to_string(),
+                    format!("{:.2}", o.value.bandwidth().expect("bandwidth point")),
+                    o.sim_cycles.to_string(),
+                    format!("{:.1}", o.wall.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect();
+        println!("{}", format_table(&headers, &rows));
+        eprintln!("{}", report.render());
+        return;
+    }
+    let bytes = args.bytes[0];
 
     let (path, ucfg) = match args.scheme.as_str() {
         "csb" => (workloads::StorePath::Csb, None),
@@ -128,7 +225,7 @@ fn main() {
                 std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
             csb_isa::parse_asm(&source).unwrap_or_else(|e| panic!("{file}: {e}"))
         }
-        None => workloads::store_bandwidth(args.bytes, &cfg, path).expect("valid transfer size"),
+        None => workloads::store_bandwidth(bytes, &cfg, path).expect("valid transfer size"),
     };
     let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
     sim.enable_bus_log();
@@ -145,7 +242,7 @@ fn main() {
     );
     match &args.asm {
         Some(f) => println!("workload: assembled from {f}"),
-        None => println!("workload: {} bytes via {}", args.bytes, args.scheme),
+        None => println!("workload: {} bytes via {}", bytes, args.scheme),
     }
     println!(
         "result  : {:.2} bytes/bus-cycle over {} bus cycles, {} transactions, {} CPU cycles",

@@ -1,13 +1,17 @@
 //! Regenerates Figure 3: uncached store bandwidth on a multiplexed bus,
-//! panels (a)-(i). Usage: `cargo run -p csb-bench --bin fig3 [--json out.json]`
+//! panels (a)-(i).
+//!
+//! Usage: `cargo run -p csb-bench --bin fig3 [--jobs N] [--json out.json]`
 
 use csb_core::experiments::fig3;
 
 fn main() {
-    let panels = fig3::run().expect("Figure 3 panels simulate");
+    let jobs = csb_bench::jobs_from_args();
+    let (panels, report) = fig3::run_jobs(jobs).expect("Figure 3 panels simulate");
     for p in &panels {
         println!("{}", p.to_table());
     }
+    eprintln!("{}", report.render());
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &panels);
     }

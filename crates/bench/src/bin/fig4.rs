@@ -1,13 +1,17 @@
 //! Regenerates Figure 4: uncached store bandwidth on a split address/data
-//! bus, panels (a)-(e). Usage: `cargo run -p csb-bench --bin fig4 [--json out.json]`
+//! bus, panels (a)-(e).
+//!
+//! Usage: `cargo run -p csb-bench --bin fig4 [--jobs N] [--json out.json]`
 
 use csb_core::experiments::fig4;
 
 fn main() {
-    let panels = fig4::run().expect("Figure 4 panels simulate");
+    let jobs = csb_bench::jobs_from_args();
+    let (panels, report) = fig4::run_jobs(jobs).expect("Figure 4 panels simulate");
     for p in &panels {
         println!("{}", p.to_table());
     }
+    eprintln!("{}", report.render());
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &panels);
     }

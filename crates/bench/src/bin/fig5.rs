@@ -1,13 +1,16 @@
 //! Regenerates Figure 5: lock/access/unlock vs. CSB latency, panels (a)-(b).
-//! Usage: `cargo run -p csb-bench --bin fig5 [--json out.json]`
+//!
+//! Usage: `cargo run -p csb-bench --bin fig5 [--jobs N] [--json out.json]`
 
 use csb_core::experiments::fig5;
 
 fn main() {
-    let panels = fig5::run().expect("Figure 5 panels simulate");
+    let jobs = csb_bench::jobs_from_args();
+    let (panels, report) = fig5::run_jobs(jobs).expect("Figure 5 panels simulate");
     for p in &panels {
         println!("{}", p.to_table());
     }
+    eprintln!("{}", report.render());
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &panels);
     }

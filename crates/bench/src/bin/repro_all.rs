@@ -1,29 +1,43 @@
 //! Runs every figure harness back to back — the one-shot reproduction of
 //! the paper's whole evaluation section.
 //!
-//! Usage: `cargo run --release -p csb-bench --bin repro_all`
+//! Usage: `cargo run --release -p csb-bench --bin repro_all [--jobs N]`
+//!
+//! `--jobs N` fans the simulation points of each figure out over `N`
+//! worker threads (default: all cores). The tables on stdout are
+//! byte-identical for every worker count; the engine's aggregate
+//! `RunReport` is printed to stderr at the end.
 
 use csb_core::experiments::{fig3, fig4, fig5};
 
 fn main() {
+    let jobs = csb_bench::jobs_from_args();
+
     println!("==================================================================");
     println!("Figure 3: uncached store bandwidth, 8-byte multiplexed bus");
     println!("==================================================================\n");
-    for p in fig3::run().expect("Figure 3 simulates") {
+    let (panels, mut report) = fig3::run_jobs(jobs).expect("Figure 3 simulates");
+    for p in panels {
         println!("{}", p.to_table());
     }
 
     println!("==================================================================");
     println!("Figure 4: uncached store bandwidth, split address/data bus");
     println!("==================================================================\n");
-    for p in fig4::run().expect("Figure 4 simulates") {
+    let (panels, r4) = fig4::run_jobs(jobs).expect("Figure 4 simulates");
+    report.merge(&r4);
+    for p in panels {
         println!("{}", p.to_table());
     }
 
     println!("==================================================================");
     println!("Figure 5: locking vs. conditional store buffer (CPU cycles)");
     println!("==================================================================\n");
-    for p in fig5::run().expect("Figure 5 simulates") {
+    let (panels, r5) = fig5::run_jobs(jobs).expect("Figure 5 simulates");
+    report.merge(&r5);
+    for p in panels {
         println!("{}", p.to_table());
     }
+
+    eprintln!("{}", report.render());
 }

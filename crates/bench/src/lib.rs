@@ -3,7 +3,11 @@
 //! Each binary (`fig3`, `fig4`, `fig5`, `ablations`, `repro_all`) regenerates
 //! the corresponding table/figure of the paper and prints it as fixed-width
 //! text; pass `--json <path>` to also dump the raw panel data for further
-//! processing (EXPERIMENTS.md is generated from these dumps).
+//! processing (EXPERIMENTS.md is generated from these dumps). Pass
+//! `--jobs N` to fan the simulation points out over `N` worker threads
+//! (default: all cores; `--jobs 1` is the serial path) — the tables on
+//! stdout are byte-identical either way, and the engine's `RunReport`
+//! goes to stderr.
 
 use std::fs;
 use std::path::PathBuf;
@@ -22,6 +26,30 @@ pub fn json_path_from_args() -> Option<PathBuf> {
         }
     }
     None
+}
+
+/// Parses an optional `--jobs <N>` (or `--jobs=N`) argument: the worker
+/// count for the parallel experiment runner. Returns `0` ("all cores",
+/// which the runner resolves via `available_parallelism`) when absent.
+///
+/// # Panics
+///
+/// Panics if `--jobs` is given without a positive integer.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--jobs" {
+            Some(args.next().expect("--jobs requires a worker count"))
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            let n: usize = v.parse().expect("--jobs requires a positive integer");
+            assert!(n > 0, "--jobs requires a positive integer");
+            return n;
+        }
+    }
+    0
 }
 
 /// Serializes `value` to `path` as pretty-printed JSON.

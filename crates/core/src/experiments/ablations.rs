@@ -12,9 +12,57 @@
 use csb_cpu::CpuConfig;
 use serde::{Deserialize, Serialize};
 
-use super::{bandwidth_point, bandwidth_point_ordered, fig5, ExpError, Scheme, TRANSFERS};
+use super::fig5::LockResidency;
+use super::runner::{self, PointSpec, PointValue, PointWork, RunReport};
+use super::{ExpError, Scheme, TRANSFERS};
 use crate::config::SimConfig;
 use crate::workloads::StoreOrder;
+
+/// Builds a bandwidth point spec for the ablation sweeps.
+fn bw_spec(label: String, cfg: &SimConfig, transfer: usize, scheme: Scheme) -> PointSpec {
+    bw_spec_ordered(label, cfg, transfer, scheme, StoreOrder::Ascending)
+}
+
+/// [`bw_spec`] with an explicit store order.
+fn bw_spec_ordered(
+    label: String,
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: StoreOrder,
+) -> PointSpec {
+    PointSpec {
+        label,
+        cfg: cfg.clone(),
+        work: PointWork::Bandwidth {
+            transfer,
+            scheme,
+            order,
+        },
+    }
+}
+
+/// Builds a lock-hit latency point spec for the ablation sweeps.
+fn lat_spec(label: String, cfg: &SimConfig, dwords: usize, scheme: Scheme) -> PointSpec {
+    PointSpec {
+        label,
+        cfg: cfg.clone(),
+        work: PointWork::Latency {
+            dwords,
+            scheme,
+            residency: LockResidency::Hit,
+        },
+    }
+}
+
+fn expect_bw(v: PointValue) -> f64 {
+    v.bandwidth()
+        .expect("ablation enumerated a bandwidth point")
+}
+
+fn expect_lat(v: PointValue) -> u64 {
+    v.latency().expect("ablation enumerated a latency point")
+}
 
 /// Lock/CSB latency at a fixed transfer size for one machine width.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,23 +81,45 @@ pub struct WidthRow {
 ///
 /// Propagates simulation failures.
 pub fn superscalar_widths(dwords: usize) -> Result<Vec<WidthRow>, ExpError> {
-    let mut rows = Vec::new();
-    for width in [2usize, 4, 8] {
-        let cfg = SimConfig::default().cpu(CpuConfig::superscalar(width));
-        let lock_cycles = fig5::latency_point(
-            &cfg,
-            dwords,
-            Scheme::Uncached { block: 8 },
-            fig5::LockResidency::Hit,
-        )?;
-        let csb_cycles = fig5::latency_point(&cfg, dwords, Scheme::Csb, fig5::LockResidency::Hit)?;
-        rows.push(WidthRow {
+    Ok(superscalar_widths_jobs(dwords, 1)?.0)
+}
+
+/// [`superscalar_widths`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn superscalar_widths_jobs(
+    dwords: usize,
+    jobs: usize,
+) -> Result<(Vec<WidthRow>, RunReport), ExpError> {
+    let widths = [2usize, 4, 8];
+    let specs: Vec<PointSpec> = widths
+        .iter()
+        .flat_map(|&width| {
+            let cfg = SimConfig::default().cpu(CpuConfig::superscalar(width));
+            [
+                lat_spec(
+                    format!("width/{width}/lock"),
+                    &cfg,
+                    dwords,
+                    Scheme::Uncached { block: 8 },
+                ),
+                lat_spec(format!("width/{width}/csb"), &cfg, dwords, Scheme::Csb),
+            ]
+        })
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = widths
+        .iter()
+        .zip(values.chunks(2))
+        .map(|(&width, pair)| WidthRow {
             width,
-            lock_cycles,
-            csb_cycles,
-        });
-    }
-    Ok(rows)
+            lock_cycles: expect_lat(pair[0]),
+            csb_cycles: expect_lat(pair[1]),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// Bandwidth comparison between two CSB configurations over [`TRANSFERS`].
@@ -69,18 +139,16 @@ pub struct CsbVariantRow {
 ///
 /// Propagates simulation failures.
 pub fn double_buffered() -> Result<Vec<CsbVariantRow>, ExpError> {
-    let base_cfg = SimConfig::default();
-    let var_cfg = SimConfig::default().csb_double_buffered();
-    TRANSFERS
-        .iter()
-        .map(|&t| {
-            Ok(CsbVariantRow {
-                transfer: t,
-                baseline: bandwidth_point(&base_cfg, t, Scheme::Csb)?,
-                variant: bandwidth_point(&var_cfg, t, Scheme::Csb)?,
-            })
-        })
-        .collect()
+    Ok(double_buffered_jobs(1)?.0)
+}
+
+/// [`double_buffered`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn double_buffered_jobs(jobs: usize) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
+    csb_variant_jobs(SimConfig::default().csb_double_buffered(), "double", jobs)
 }
 
 /// Compares the baseline CSB against the variable-burst extension.
@@ -89,18 +157,46 @@ pub fn double_buffered() -> Result<Vec<CsbVariantRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn variable_burst() -> Result<Vec<CsbVariantRow>, ExpError> {
+    Ok(variable_burst_jobs(1)?.0)
+}
+
+/// [`variable_burst`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn variable_burst_jobs(jobs: usize) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
+    csb_variant_jobs(SimConfig::default().csb_variable_burst(), "varburst", jobs)
+}
+
+/// Shared sweep for the CSB extensions: baseline vs. variant over
+/// [`TRANSFERS`], through the engine.
+fn csb_variant_jobs(
+    var_cfg: SimConfig,
+    tag: &str,
+    jobs: usize,
+) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
     let base_cfg = SimConfig::default();
-    let var_cfg = SimConfig::default().csb_variable_burst();
-    TRANSFERS
+    let specs: Vec<PointSpec> = TRANSFERS
         .iter()
-        .map(|&t| {
-            Ok(CsbVariantRow {
-                transfer: t,
-                baseline: bandwidth_point(&base_cfg, t, Scheme::Csb)?,
-                variant: bandwidth_point(&var_cfg, t, Scheme::Csb)?,
-            })
+        .flat_map(|&t| {
+            [
+                bw_spec(format!("{tag}/{t}B/base"), &base_cfg, t, Scheme::Csb),
+                bw_spec(format!("{tag}/{t}B/variant"), &var_cfg, t, Scheme::Csb),
+            ]
         })
-        .collect()
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = TRANSFERS
+        .iter()
+        .zip(values.chunks(2))
+        .map(|(&transfer, pair)| CsbVariantRow {
+            transfer,
+            baseline: expect_bw(pair[0]),
+            variant: expect_bw(pair[1]),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// One scheme's bandwidth under three bus-load models.
@@ -126,6 +222,15 @@ pub struct LoadedBusRow {
 ///
 /// Propagates simulation failures.
 pub fn loaded_bus() -> Result<Vec<LoadedBusRow>, ExpError> {
+    Ok(loaded_bus_jobs(1)?.0)
+}
+
+/// [`loaded_bus`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn loaded_bus_jobs(jobs: usize) -> Result<(Vec<LoadedBusRow>, RunReport), ExpError> {
     let idle_cfg = SimConfig::default();
     let approx_cfg = SimConfig::default().bus(
         csb_bus::BusConfig::multiplexed(8)
@@ -146,17 +251,28 @@ pub fn loaded_bus() -> Result<Vec<LoadedBusRow>, ExpError> {
         Scheme::Uncached { block: 64 },
         Scheme::Csb,
     ];
-    schemes
+    let specs: Vec<PointSpec> = schemes
         .iter()
-        .map(|&s| {
-            Ok(LoadedBusRow {
-                scheme: s.to_string(),
-                idle: bandwidth_point(&idle_cfg, 1024, s)?,
-                turnaround_approx: bandwidth_point(&approx_cfg, 1024, s)?,
-                contention: bandwidth_point(&loaded_cfg, 1024, s)?,
-            })
+        .flat_map(|&s| {
+            [
+                bw_spec(format!("load/{s}/idle"), &idle_cfg, 1024, s),
+                bw_spec(format!("load/{s}/approx"), &approx_cfg, 1024, s),
+                bw_spec(format!("load/{s}/contention"), &loaded_cfg, 1024, s),
+            ]
         })
-        .collect()
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = schemes
+        .iter()
+        .zip(values.chunks(3))
+        .map(|(&s, triple)| LoadedBusRow {
+            scheme: s.to_string(),
+            idle: expect_bw(triple[0]),
+            turnaround_approx: expect_bw(triple[1]),
+            contention: expect_bw(triple[2]),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// Bandwidth as a function of uncached-buffer capacity for one scheme.
@@ -179,20 +295,50 @@ pub struct CapacityRow {
 ///
 /// Propagates simulation failures.
 pub fn buffer_capacity() -> Result<Vec<CapacityRow>, ExpError> {
-    [2usize, 4, 8, 16]
+    Ok(buffer_capacity_jobs(1)?.0)
+}
+
+/// [`buffer_capacity`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn buffer_capacity_jobs(jobs: usize) -> Result<(Vec<CapacityRow>, RunReport), ExpError> {
+    let capacities = [2usize, 4, 8, 16];
+    let specs: Vec<PointSpec> = capacities
         .iter()
-        .map(|&capacity| {
+        .flat_map(|&capacity| {
             let mut none_cfg = SimConfig::default();
             none_cfg.uncached.capacity = capacity;
             let mut full_cfg = SimConfig::default().combining_block(64);
             full_cfg.uncached.capacity = capacity;
-            Ok(CapacityRow {
-                capacity,
-                none: bandwidth_point(&none_cfg, 1024, Scheme::Uncached { block: 8 })?,
-                full_line: bandwidth_point(&full_cfg, 1024, Scheme::Uncached { block: 64 })?,
-            })
+            [
+                bw_spec(
+                    format!("depth/{capacity}/none"),
+                    &none_cfg,
+                    1024,
+                    Scheme::Uncached { block: 8 },
+                ),
+                bw_spec(
+                    format!("depth/{capacity}/full"),
+                    &full_cfg,
+                    1024,
+                    Scheme::Uncached { block: 64 },
+                ),
+            ]
         })
-        .collect()
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = capacities
+        .iter()
+        .zip(values.chunks(2))
+        .map(|(&capacity, pair)| CapacityRow {
+            capacity,
+            none: expect_bw(pair[0]),
+            full_line: expect_bw(pair[1]),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// CSB sequence latency as a function of the core's uncached issue rate.
@@ -213,18 +359,34 @@ pub struct IssueRateRow {
 ///
 /// Propagates simulation failures.
 pub fn uncached_issue_rate() -> Result<Vec<IssueRateRow>, ExpError> {
-    [1usize, 2, 4]
+    Ok(uncached_issue_rate_jobs(1)?.0)
+}
+
+/// [`uncached_issue_rate`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn uncached_issue_rate_jobs(jobs: usize) -> Result<(Vec<IssueRateRow>, RunReport), ExpError> {
+    let rates = [1usize, 2, 4];
+    let specs: Vec<PointSpec> = rates
         .iter()
         .map(|&per_cycle| {
             let mut cfg = SimConfig::default();
             cfg.cpu.uncached_per_cycle = per_cycle;
-            let csb_cycles = fig5::latency_point(&cfg, 8, Scheme::Csb, fig5::LockResidency::Hit)?;
-            Ok(IssueRateRow {
-                per_cycle,
-                csb_cycles,
-            })
+            lat_spec(format!("issue/{per_cycle}/csb"), &cfg, 8, Scheme::Csb)
         })
-        .collect()
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = rates
+        .iter()
+        .zip(values)
+        .map(|(&per_cycle, v)| IssueRateRow {
+            per_cycle,
+            csb_cycles: expect_lat(v),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// Store-order sensitivity of one scheme at one transfer size.
@@ -250,6 +412,15 @@ pub struct OrderSensitivityRow {
 ///
 /// Propagates simulation failures.
 pub fn related_work() -> Result<Vec<OrderSensitivityRow>, ExpError> {
+    Ok(related_work_jobs(1)?.0)
+}
+
+/// [`related_work`] on `jobs` workers, with the sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn related_work_jobs(jobs: usize) -> Result<(Vec<OrderSensitivityRow>, RunReport), ExpError> {
     let cfg = SimConfig::default();
     let schemes = [
         Scheme::Uncached { block: 8 },
@@ -258,23 +429,49 @@ pub fn related_work() -> Result<Vec<OrderSensitivityRow>, ExpError> {
         Scheme::Uncached { block: 64 },
         Scheme::Csb,
     ];
-    let mut rows = Vec::new();
-    for &transfer in &[64usize, 256, 1024] {
-        for &s in &schemes {
-            rows.push(OrderSensitivityRow {
-                transfer,
-                scheme: s.to_string(),
-                ascending: bandwidth_point_ordered(&cfg, transfer, s, StoreOrder::Ascending)?,
-                shuffled: bandwidth_point_ordered(&cfg, transfer, s, StoreOrder::Shuffled)?,
-            });
-        }
-    }
-    Ok(rows)
+    let grid: Vec<(usize, Scheme)> = [64usize, 256, 1024]
+        .iter()
+        .flat_map(|&t| schemes.iter().map(move |&s| (t, s)))
+        .collect();
+    let specs: Vec<PointSpec> = grid
+        .iter()
+        .flat_map(|&(t, s)| {
+            [
+                bw_spec_ordered(
+                    format!("order/{t}B/{s}/asc"),
+                    &cfg,
+                    t,
+                    s,
+                    StoreOrder::Ascending,
+                ),
+                bw_spec_ordered(
+                    format!("order/{t}B/{s}/shuf"),
+                    &cfg,
+                    t,
+                    s,
+                    StoreOrder::Shuffled,
+                ),
+            ]
+        })
+        .collect();
+    let (values, report) = runner::run_values(&specs, jobs)?;
+    let rows = grid
+        .iter()
+        .zip(values.chunks(2))
+        .map(|(&(transfer, s), pair)| OrderSensitivityRow {
+            transfer,
+            scheme: s.to_string(),
+            ascending: expect_bw(pair[0]),
+            shuffled: expect_bw(pair[1]),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::{bandwidth_point, bandwidth_point_ordered};
 
     #[test]
     fn r10000_matches_full_line_on_ascending_streams() {

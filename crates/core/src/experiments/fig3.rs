@@ -14,7 +14,8 @@
 
 use csb_bus::BusConfig;
 
-use super::{bandwidth_panel, BandwidthPanel, ExpError};
+use super::runner::{run_bandwidth_panels, BandwidthPanelSpec, RunReport};
+use super::{BandwidthPanel, ExpError};
 use crate::config::SimConfig;
 
 /// Frequency ratios swept by panels (a)–(c).
@@ -23,6 +24,90 @@ pub const RATIOS: [u64; 3] = [3, 6, 9];
 pub const LINES: [usize; 3] = [32, 64, 128];
 /// Acknowledgment delays swept by panels (h)–(i).
 pub const DELAYS: [u64; 2] = [4, 8];
+
+/// One panel's machine parameters — the whole figure as a declarative
+/// table consumed by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelDef {
+    /// Panel id, e.g. `"3a"`.
+    pub id: &'static str,
+    /// Cache line (= max burst) size in bytes.
+    pub line: usize,
+    /// CPU:bus frequency ratio.
+    pub ratio: u64,
+    /// Turnaround cycles after every transaction.
+    pub turnaround: u64,
+    /// Minimum address-to-address delay in bus cycles.
+    pub delay: u64,
+}
+
+/// All nine panels. (a)–(c) sweep the frequency ratio, (d)–(f) the line
+/// size, (g) adds a turnaround cycle, (h)–(i) sweep the ack delay.
+pub const PANELS: [PanelDef; 9] = [
+    PanelDef {
+        id: "3a",
+        line: 32,
+        ratio: RATIOS[0],
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3b",
+        line: 32,
+        ratio: RATIOS[1],
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3c",
+        line: 32,
+        ratio: RATIOS[2],
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3d",
+        line: LINES[0],
+        ratio: 6,
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3e",
+        line: LINES[1],
+        ratio: 6,
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3f",
+        line: LINES[2],
+        ratio: 6,
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3g",
+        line: 64,
+        ratio: 6,
+        turnaround: 1,
+        delay: 0,
+    },
+    PanelDef {
+        id: "3h",
+        line: 64,
+        ratio: 6,
+        turnaround: 0,
+        delay: DELAYS[0],
+    },
+    PanelDef {
+        id: "3i",
+        line: 64,
+        ratio: 6,
+        turnaround: 0,
+        delay: DELAYS[1],
+    },
+];
 
 fn mux_bus(line: usize, turnaround: u64, delay: u64) -> BusConfig {
     BusConfig::multiplexed(8)
@@ -33,66 +118,50 @@ fn mux_bus(line: usize, turnaround: u64, delay: u64) -> BusConfig {
         .expect("static Figure 3 bus configs are valid")
 }
 
-/// Runs all nine panels.
+impl PanelDef {
+    /// Expands the table row into the engine's panel spec.
+    pub fn spec(&self) -> BandwidthPanelSpec {
+        let suffix = if self.turnaround > 0 {
+            format!("{}-cycle turnaround", self.turnaround)
+        } else if self.delay > 0 {
+            format!("min addr delay {}", self.delay)
+        } else {
+            "no turnaround".to_string()
+        };
+        let title = format!(
+            "8B multiplexed bus, {}B line, CPU:bus ratio {}, {suffix}",
+            self.line, self.ratio
+        );
+        let cfg = SimConfig::default()
+            .line_size(self.line)
+            .bus(mux_bus(self.line, self.turnaround, self.delay))
+            .frequency_ratio(self.ratio);
+        BandwidthPanelSpec::new(self.id, title, cfg)
+    }
+}
+
+/// The figure's panel specs, in panel order.
+pub fn panel_specs() -> Vec<BandwidthPanelSpec> {
+    PANELS.iter().map(PanelDef::spec).collect()
+}
+
+/// Runs all nine panels serially.
 ///
 /// # Errors
 ///
 /// Propagates the first failing simulation point.
 pub fn run() -> Result<Vec<BandwidthPanel>, ExpError> {
-    let mut panels = Vec::new();
+    Ok(run_jobs(1)?.0)
+}
 
-    // (a)-(c): vary processor:bus frequency ratio; 32-byte line.
-    for (idx, &ratio) in RATIOS.iter().enumerate() {
-        let id = ['a', 'b', 'c'][idx];
-        let cfg = SimConfig::default()
-            .line_size(32)
-            .bus(mux_bus(32, 0, 0))
-            .frequency_ratio(ratio);
-        panels.push(bandwidth_panel(
-            &format!("3{id}"),
-            &format!("8B multiplexed bus, 32B line, CPU:bus ratio {ratio}, no turnaround"),
-            &cfg,
-        )?);
-    }
-
-    // (d)-(f): vary block (line) size; ratio 6.
-    for (idx, &line) in LINES.iter().enumerate() {
-        let id = ['d', 'e', 'f'][idx];
-        let cfg = SimConfig::default()
-            .line_size(line)
-            .bus(mux_bus(line, 0, 0))
-            .frequency_ratio(6);
-        panels.push(bandwidth_panel(
-            &format!("3{id}"),
-            &format!("8B multiplexed bus, {line}B line, CPU:bus ratio 6, no turnaround"),
-            &cfg,
-        )?);
-    }
-
-    // (g): turnaround cycle after every transaction.
-    let cfg = SimConfig::default()
-        .bus(mux_bus(64, 1, 0))
-        .frequency_ratio(6);
-    panels.push(bandwidth_panel(
-        "3g",
-        "8B multiplexed bus, 64B line, CPU:bus ratio 6, 1-cycle turnaround",
-        &cfg,
-    )?);
-
-    // (h)-(i): minimum delay between address cycles.
-    for (idx, &delay) in DELAYS.iter().enumerate() {
-        let id = ['h', 'i'][idx];
-        let cfg = SimConfig::default()
-            .bus(mux_bus(64, 0, delay))
-            .frequency_ratio(6);
-        panels.push(bandwidth_panel(
-            &format!("3{id}"),
-            &format!("8B multiplexed bus, 64B line, CPU:bus ratio 6, min addr delay {delay}"),
-            &cfg,
-        )?);
-    }
-
-    Ok(panels)
+/// Runs all nine panels on `jobs` workers (`0` = all cores), with the
+/// sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates the first failing point, lowest point index first.
+pub fn run_jobs(jobs: usize) -> Result<(Vec<BandwidthPanel>, RunReport), ExpError> {
+    run_bandwidth_panels(&panel_specs(), jobs)
 }
 
 #[cfg(test)]

@@ -13,13 +13,63 @@
 
 use csb_bus::BusConfig;
 
-use super::{bandwidth_panel, BandwidthPanel, ExpError};
+use super::runner::{run_bandwidth_panels, BandwidthPanelSpec, RunReport};
+use super::{BandwidthPanel, ExpError};
 use crate::config::SimConfig;
 
 /// Bus widths swept by panels (a)–(b), in bytes.
 pub const WIDTHS: [usize; 2] = [16, 32];
 /// Acknowledgment delays swept by panels (d)–(e).
 pub const DELAYS: [u64; 2] = [4, 8];
+
+/// One panel's machine parameters — the whole figure as a declarative
+/// table consumed by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelDef {
+    /// Panel id, e.g. `"4a"`.
+    pub id: &'static str,
+    /// Data-path width in bytes.
+    pub width: usize,
+    /// Turnaround cycles after every transaction.
+    pub turnaround: u64,
+    /// Minimum address-to-address delay in bus cycles.
+    pub delay: u64,
+}
+
+/// All five panels. (a)–(b) sweep the bus width, (c) adds a turnaround
+/// cycle, (d)–(e) sweep the ack delay on the 16-byte bus.
+pub const PANELS: [PanelDef; 5] = [
+    PanelDef {
+        id: "4a",
+        width: WIDTHS[0],
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "4b",
+        width: WIDTHS[1],
+        turnaround: 0,
+        delay: 0,
+    },
+    PanelDef {
+        id: "4c",
+        width: 16,
+        turnaround: 1,
+        delay: 0,
+    },
+    PanelDef {
+        id: "4d",
+        width: 16,
+        turnaround: 0,
+        delay: DELAYS[0],
+    },
+    PanelDef {
+        id: "4e",
+        width: 16,
+        turnaround: 0,
+        delay: DELAYS[1],
+    },
+];
 
 fn split_bus(width: usize, turnaround: u64, delay: u64) -> BusConfig {
     BusConfig::split(width)
@@ -30,48 +80,49 @@ fn split_bus(width: usize, turnaround: u64, delay: u64) -> BusConfig {
         .expect("static Figure 4 bus configs are valid")
 }
 
-/// Runs all five panels.
+impl PanelDef {
+    /// Expands the table row into the engine's panel spec.
+    pub fn spec(&self) -> BandwidthPanelSpec {
+        let suffix = if self.turnaround > 0 {
+            format!("{}-cycle turnaround", self.turnaround)
+        } else if self.delay > 0 {
+            format!("min addr delay {}", self.delay)
+        } else {
+            "no turnaround".to_string()
+        };
+        let title = format!(
+            "{}B split bus, 64B line, CPU:bus ratio 6, {suffix}",
+            self.width
+        );
+        let cfg = SimConfig::default()
+            .bus(split_bus(self.width, self.turnaround, self.delay))
+            .frequency_ratio(6);
+        BandwidthPanelSpec::new(self.id, title, cfg)
+    }
+}
+
+/// The figure's panel specs, in panel order.
+pub fn panel_specs() -> Vec<BandwidthPanelSpec> {
+    PANELS.iter().map(PanelDef::spec).collect()
+}
+
+/// Runs all five panels serially.
 ///
 /// # Errors
 ///
 /// Propagates the first failing simulation point.
 pub fn run() -> Result<Vec<BandwidthPanel>, ExpError> {
-    let mut panels = Vec::new();
+    Ok(run_jobs(1)?.0)
+}
 
-    for (idx, &width) in WIDTHS.iter().enumerate() {
-        let id = ['a', 'b'][idx];
-        let cfg = SimConfig::default()
-            .bus(split_bus(width, 0, 0))
-            .frequency_ratio(6);
-        panels.push(bandwidth_panel(
-            &format!("4{id}"),
-            &format!("{width}B split bus, 64B line, CPU:bus ratio 6, no turnaround"),
-            &cfg,
-        )?);
-    }
-
-    let cfg = SimConfig::default()
-        .bus(split_bus(16, 1, 0))
-        .frequency_ratio(6);
-    panels.push(bandwidth_panel(
-        "4c",
-        "16B split bus, 64B line, CPU:bus ratio 6, 1-cycle turnaround",
-        &cfg,
-    )?);
-
-    for (idx, &delay) in DELAYS.iter().enumerate() {
-        let id = ['d', 'e'][idx];
-        let cfg = SimConfig::default()
-            .bus(split_bus(16, 0, delay))
-            .frequency_ratio(6);
-        panels.push(bandwidth_panel(
-            &format!("4{id}"),
-            &format!("16B split bus, 64B line, CPU:bus ratio 6, min addr delay {delay}"),
-            &cfg,
-        )?);
-    }
-
-    Ok(panels)
+/// Runs all five panels on `jobs` workers (`0` = all cores), with the
+/// sweep's [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates the first failing point, lowest point index first.
+pub fn run_jobs(jobs: usize) -> Result<(Vec<BandwidthPanel>, RunReport), ExpError> {
+    run_bandwidth_panels(&panel_specs(), jobs)
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 
 use csb_isa::Addr;
 
-use super::{ExpError, LatencyPanel, LatencyRow, Scheme};
+use super::runner::{run_latency_panels, LatencyPanelSpec, RunReport};
+use super::{ExpError, LatencyPanel, Scheme};
 use crate::config::{SimConfig, LOCK_ADDR};
 use crate::sim::Simulator;
 use crate::workloads::{self, MARK_END, MARK_START};
@@ -43,6 +44,17 @@ pub fn latency_point(
     scheme: Scheme,
     residency: LockResidency,
 ) -> Result<u64, ExpError> {
+    latency_point_instrumented(cfg, dwords, scheme, residency).map(|(lat, _)| lat)
+}
+
+/// [`latency_point`] plus the simulated cycle count, for the runner's
+/// `RunReport` instrumentation.
+pub(crate) fn latency_point_instrumented(
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+) -> Result<(u64, u64), ExpError> {
     let (cfg, program) = match scheme {
         Scheme::Uncached { block } => {
             let c = cfg.clone().combining_block(block);
@@ -69,19 +81,15 @@ pub fn latency_point(
         LockResidency::Miss => sim.evict_line(Addr::new(LOCK_ADDR)),
     }
     let summary = sim.run(50_000_000)?;
-    summary
+    let latency = summary
         .cpu
         .mark_interval(MARK_START, MARK_END)
-        .ok_or(ExpError::MissingMark)
+        .ok_or(ExpError::MissingMark)?;
+    Ok((latency, summary.cycles))
 }
 
-/// Runs one panel across [`DWORDS`] and the scheme ladder.
-///
-/// # Errors
-///
-/// Propagates the first failing point.
-pub fn panel(cfg: &SimConfig, residency: LockResidency) -> Result<LatencyPanel, ExpError> {
-    let schemes = Scheme::ladder(cfg.line());
+/// The declarative panel spec for one residency on the given machine.
+pub fn panel_spec(cfg: &SimConfig, residency: LockResidency) -> LatencyPanelSpec {
     let (id, title) = match residency {
         LockResidency::Hit => (
             "5a",
@@ -92,36 +100,49 @@ pub fn panel(cfg: &SimConfig, residency: LockResidency) -> Result<LatencyPanel, 
             "lock misses to memory (100 cycles); 8B multiplexed bus, ratio 6, 64B line",
         ),
     };
-    let mut rows = Vec::new();
-    for &d in &DWORDS {
-        let mut cycles = Vec::new();
-        for &s in &schemes {
-            cycles.push(latency_point(cfg, d, s, residency)?);
-        }
-        rows.push(LatencyRow {
-            transfer: d * 8,
-            cycles,
-        });
-    }
-    Ok(LatencyPanel {
-        id: id.to_string(),
-        title: title.to_string(),
-        schemes: schemes.iter().map(|s| s.to_string()).collect(),
-        rows,
-    })
+    LatencyPanelSpec::new(id, title, cfg.clone(), residency)
 }
 
-/// Runs both panels on the paper's default machine.
+/// Both panels' specs on the paper's default machine.
+pub fn panel_specs() -> Vec<LatencyPanelSpec> {
+    let cfg = SimConfig::default();
+    vec![
+        panel_spec(&cfg, LockResidency::Hit),
+        panel_spec(&cfg, LockResidency::Miss),
+    ]
+}
+
+/// Runs one panel across [`DWORDS`] and the scheme ladder, serially.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn panel(cfg: &SimConfig, residency: LockResidency) -> Result<LatencyPanel, ExpError> {
+    let spec = panel_spec(cfg, residency);
+    let (panels, _) = run_latency_panels(std::slice::from_ref(&spec), 1)?;
+    Ok(panels
+        .into_iter()
+        .next()
+        .expect("one spec yields one panel"))
+}
+
+/// Runs both panels on the paper's default machine, serially.
 ///
 /// # Errors
 ///
 /// Propagates the first failing point.
 pub fn run() -> Result<Vec<LatencyPanel>, ExpError> {
-    let cfg = SimConfig::default();
-    Ok(vec![
-        panel(&cfg, LockResidency::Hit)?,
-        panel(&cfg, LockResidency::Miss)?,
-    ])
+    Ok(run_jobs(1)?.0)
+}
+
+/// Runs both panels on `jobs` workers (`0` = all cores), with the sweep's
+/// [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates the first failing point, lowest point index first.
+pub fn run_jobs(jobs: usize) -> Result<(Vec<LatencyPanel>, RunReport), ExpError> {
+    run_latency_panels(&panel_specs(), jobs)
 }
 
 #[cfg(test)]

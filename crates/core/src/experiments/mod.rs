@@ -16,6 +16,7 @@ pub mod ablations;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod runner;
 
 use std::fmt;
 
@@ -27,6 +28,9 @@ use crate::workloads::{self, StorePath, WorkloadError};
 
 /// Transfer sizes (bytes) swept by the bandwidth figures.
 pub const TRANSFERS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// Bytes per doubleword store (Figure 5 sweeps doubleword counts).
+pub(crate) const DWORD_BYTES: usize = 8;
 
 /// Cycle budget per simulated point.
 const POINT_LIMIT: u64 = 50_000_000;
@@ -227,6 +231,17 @@ pub fn bandwidth_point_ordered(
     scheme: Scheme,
     order: workloads::StoreOrder,
 ) -> Result<f64, ExpError> {
+    bandwidth_point_instrumented(cfg, transfer, scheme, order).map(|(bw, _)| bw)
+}
+
+/// [`bandwidth_point_ordered`] plus the simulated cycle count, for the
+/// runner's [`runner::RunReport`] instrumentation.
+pub(crate) fn bandwidth_point_instrumented(
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+) -> Result<(f64, u64), ExpError> {
     let mut cfg = cfg.clone();
     let path = match scheme {
         Scheme::Uncached { block } => {
@@ -246,34 +261,23 @@ pub fn bandwidth_point_ordered(
     let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
     let mut sim = Simulator::new(cfg, program)?;
     let summary = sim.run(POINT_LIMIT)?;
-    Ok(summary.bus.effective_bandwidth())
+    Ok((summary.bus.effective_bandwidth(), summary.cycles))
 }
 
 /// Runs a full bandwidth panel over [`TRANSFERS`] and the scheme ladder of
-/// the machine's line size.
+/// the machine's line size, serially. Thin wrapper over the engine — see
+/// [`runner::run_bandwidth_panels`] for the parallel path.
 ///
 /// # Errors
 ///
 /// Propagates the first failing point.
 pub fn bandwidth_panel(id: &str, title: &str, cfg: &SimConfig) -> Result<BandwidthPanel, ExpError> {
-    let schemes = Scheme::ladder(cfg.line());
-    let mut rows = Vec::new();
-    for &t in &TRANSFERS {
-        let mut values = Vec::new();
-        for &s in &schemes {
-            values.push(bandwidth_point(cfg, t, s)?);
-        }
-        rows.push(BandwidthRow {
-            transfer: t,
-            values,
-        });
-    }
-    Ok(BandwidthPanel {
-        id: id.to_string(),
-        title: title.to_string(),
-        schemes: schemes.iter().map(|s| s.to_string()).collect(),
-        rows,
-    })
+    let spec = runner::BandwidthPanelSpec::new(id, title, cfg.clone());
+    let (panels, _) = runner::run_bandwidth_panels(std::slice::from_ref(&spec), 1)?;
+    Ok(panels
+        .into_iter()
+        .next()
+        .expect("one spec yields one panel"))
 }
 
 /// Renders a fixed-width text table.

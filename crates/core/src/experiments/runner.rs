@@ -1,0 +1,642 @@
+//! Parallel experiment engine: enumerate simulation points, fan them out
+//! across cores, reassemble deterministically.
+//!
+//! Every figure in the paper's evaluation is a grid of *independent*
+//! execution-driven simulation points — (panel × transfer × scheme) for the
+//! bandwidth figures, (panel × doublewords × scheme) for Figure 5, plus the
+//! ablation sweeps. This module splits each harness into:
+//!
+//! 1. **Enumeration** — a pure step producing a `Vec<`[`PointSpec`]`>`
+//!    (machine configuration + workload parameters + a human label),
+//! 2. **Execution** — [`run_points`] drives the specs through
+//!    [`execute_point`] on a scoped worker pool ([`parallel_map`]), and
+//! 3. **Reassembly** — results come back *keyed by point index*, so the
+//!    tables built from them are byte-identical no matter how many workers
+//!    ran (`jobs = 1` takes the exact serial path: same closure, same
+//!    iteration order, current thread).
+//!
+//! The pool is a hand-rolled `std::thread::scope` + atomic-cursor design
+//! rather than rayon: this build environment has no registry access (see
+//! `vendor/README.md`), and work-stealing buys nothing here — points are
+//! coarse (millions of simulated cycles each), so a shared take-a-ticket
+//! counter already load-balances them.
+//!
+//! Execution is instrumented: each point reports its wall-clock and
+//! simulated cycle count, and a sweep returns a [`RunReport`] with pool
+//! utilization, aggregate throughput, and the slowest point. The bench
+//! binaries print the report to **stderr**, keeping stdout (the tables)
+//! byte-identical across `--jobs` settings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use super::fig5::{self, LockResidency};
+use super::{
+    bandwidth_point_instrumented, BandwidthPanel, BandwidthRow, ExpError, LatencyPanel, LatencyRow,
+    Scheme, DWORD_BYTES, TRANSFERS,
+};
+use crate::config::SimConfig;
+use crate::workloads::StoreOrder;
+
+/// The workload half of a simulation point: what to measure on the
+/// machine a [`PointSpec`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointWork {
+    /// Uncached store bandwidth (Figures 3/4 and the bandwidth ablations):
+    /// payload bytes per bus cycle.
+    Bandwidth {
+        /// Transfer size in bytes.
+        transfer: usize,
+        /// Store-handling scheme under test.
+        scheme: Scheme,
+        /// Per-line store issue order.
+        order: StoreOrder,
+    },
+    /// Lock-sequence latency (Figure 5 and the latency ablations): CPU
+    /// cycles between the timing marks.
+    Latency {
+        /// Uncached doubleword stores in the sequence.
+        dwords: usize,
+        /// Store-handling scheme under test.
+        scheme: Scheme,
+        /// Whether the lock variable hits in the L1.
+        residency: LockResidency,
+    },
+}
+
+/// One fully-described simulation point: a machine plus the measurement to
+/// take on it. Specs are pure data — enumerating them runs no simulation.
+#[derive(Debug, Clone)]
+pub struct PointSpec {
+    /// Display label, e.g. `"3e/256B/CSB"` — used by [`RunReport`] to name
+    /// the slowest point.
+    pub label: String,
+    /// Machine configuration (already specialized for the panel; the
+    /// scheme in [`PointSpec::work`] applies its own overrides on top).
+    pub cfg: SimConfig,
+    /// The measurement to take.
+    pub work: PointWork,
+}
+
+/// The measured value of one executed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointValue {
+    /// Payload bytes per bus cycle.
+    Bandwidth(f64),
+    /// CPU cycles per sequence.
+    Latency(u64),
+}
+
+impl PointValue {
+    /// The bandwidth reading, if this was a bandwidth point.
+    pub fn bandwidth(self) -> Option<f64> {
+        match self {
+            PointValue::Bandwidth(b) => Some(b),
+            PointValue::Latency(_) => None,
+        }
+    }
+
+    /// The latency reading, if this was a latency point.
+    pub fn latency(self) -> Option<u64> {
+        match self {
+            PointValue::Latency(c) => Some(c),
+            PointValue::Bandwidth(_) => None,
+        }
+    }
+}
+
+/// One executed point: its value plus per-point instrumentation.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The measured value.
+    pub value: PointValue,
+    /// CPU cycles the simulation ran for.
+    pub sim_cycles: u64,
+    /// Wall-clock time the point took on its worker.
+    pub wall: Duration,
+}
+
+/// Executes a single spec on the calling thread.
+///
+/// # Errors
+///
+/// Returns [`ExpError`] if the workload is invalid or the simulation does
+/// not complete.
+pub fn execute_point(spec: &PointSpec) -> Result<PointOutcome, ExpError> {
+    let t0 = Instant::now();
+    let (value, sim_cycles) = match spec.work {
+        PointWork::Bandwidth {
+            transfer,
+            scheme,
+            order,
+        } => {
+            let (bw, cycles) = bandwidth_point_instrumented(&spec.cfg, transfer, scheme, order)?;
+            (PointValue::Bandwidth(bw), cycles)
+        }
+        PointWork::Latency {
+            dwords,
+            scheme,
+            residency,
+        } => {
+            let (lat, cycles) =
+                fig5::latency_point_instrumented(&spec.cfg, dwords, scheme, residency)?;
+            (PointValue::Latency(lat), cycles)
+        }
+    };
+    Ok(PointOutcome {
+        value,
+        sim_cycles,
+        wall: t0.elapsed(),
+    })
+}
+
+/// The number of workers `jobs = 0` ("all cores") resolves to.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item and returns the outputs *in item order*.
+///
+/// With `jobs <= 1` (after resolving `0` to [`default_jobs`]) this is a
+/// plain serial loop on the calling thread. Otherwise `min(jobs, len)`
+/// scoped workers pull indices from a shared atomic cursor and write into
+/// an index-addressed slot table, so the output order never depends on
+/// scheduling.
+pub fn parallel_map<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index below the cursor was filled")
+        })
+        .collect()
+}
+
+/// Instrumentation for one sweep through the engine.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Points executed (including failed ones).
+    pub points: usize,
+    /// Points that returned an error.
+    pub errors: usize,
+    /// Wall-clock for the whole sweep (enumeration to reassembly).
+    pub wall: Duration,
+    /// Sum of per-point wall-clock across all workers.
+    pub busy: Duration,
+    /// Total simulated CPU cycles across all points.
+    pub sim_cycles: u64,
+    /// Label and wall-clock of the slowest point.
+    pub slowest: Option<(String, Duration)>,
+}
+
+impl RunReport {
+    /// Fraction of the pool's wall-clock capacity spent simulating:
+    /// `busy / (wall × jobs)`. 1.0 means every worker was saturated.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.jobs.max(1) as f64;
+        if capacity > 0.0 {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another sweep's report into this one. Wall-clock adds (sweeps
+    /// run back to back), as do point counts and cycle totals; the worker
+    /// count keeps the maximum seen.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.points += other.points;
+        self.errors += other.errors;
+        self.wall += other.wall;
+        self.busy += other.busy;
+        self.sim_cycles += other.sim_cycles;
+        self.slowest = match (&self.slowest, &other.slowest) {
+            (Some(x), Some(y)) => Some(if x.1 >= y.1 { x.clone() } else { y.clone() }),
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        };
+    }
+
+    /// Renders the report as the multi-line block the bench binaries print
+    /// to stderr.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "runner: {} point(s) on {} worker(s) in {:.3}s",
+            self.points,
+            self.jobs.max(1),
+            self.wall.as_secs_f64()
+        ));
+        if self.errors > 0 {
+            out.push_str(&format!(" ({} failed)", self.errors));
+        }
+        out.push('\n');
+        let wall = self.wall.as_secs_f64();
+        let per_point = if self.points > 0 {
+            self.busy.as_secs_f64() / self.points as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "runner: {} simulated cycles ({:.1}M cycles/s), {:.1}ms avg/point, utilization {:.0}%",
+            self.sim_cycles,
+            if wall > 0.0 {
+                self.sim_cycles as f64 / wall / 1e6
+            } else {
+                0.0
+            },
+            per_point * 1e3,
+            self.utilization() * 100.0
+        ));
+        if let Some((label, d)) = &self.slowest {
+            out.push_str(&format!(
+                "\nrunner: slowest point {} at {:.1}ms",
+                label,
+                d.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+}
+
+/// Executes every spec on `jobs` workers, returning per-point results in
+/// spec order plus the sweep's [`RunReport`].
+pub fn run_points(
+    specs: &[PointSpec],
+    jobs: usize,
+) -> (Vec<Result<PointOutcome, ExpError>>, RunReport) {
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let t0 = Instant::now();
+    let results = parallel_map(specs, jobs, execute_point);
+    let wall = t0.elapsed();
+    let mut report = RunReport {
+        jobs: jobs.min(specs.len()).max(1),
+        points: specs.len(),
+        wall,
+        ..RunReport::default()
+    };
+    for (spec, result) in specs.iter().zip(&results) {
+        match result {
+            Ok(outcome) => {
+                report.busy += outcome.wall;
+                report.sim_cycles += outcome.sim_cycles;
+                let slower = report
+                    .slowest
+                    .as_ref()
+                    .is_none_or(|(_, d)| outcome.wall > *d);
+                if slower {
+                    report.slowest = Some((spec.label.clone(), outcome.wall));
+                }
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    (results, report)
+}
+
+/// Executes every spec and unwraps the values, failing with the error of
+/// the *lowest-indexed* failing point — exactly what a serial `?`-loop
+/// would report.
+///
+/// # Errors
+///
+/// The first (in spec order) point failure.
+pub fn run_values(
+    specs: &[PointSpec],
+    jobs: usize,
+) -> Result<(Vec<PointValue>, RunReport), ExpError> {
+    let (results, report) = run_points(specs, jobs);
+    let mut values = Vec::with_capacity(results.len());
+    for r in results {
+        values.push(r?.value);
+    }
+    Ok((values, report))
+}
+
+/// Declarative description of one bandwidth panel: the engine expands it
+/// to [`TRANSFERS`] × the machine's scheme ladder.
+#[derive(Debug, Clone)]
+pub struct BandwidthPanelSpec {
+    /// Panel id, e.g. `"3a"`.
+    pub id: String,
+    /// Human-readable parameter description.
+    pub title: String,
+    /// The panel's machine.
+    pub cfg: SimConfig,
+}
+
+impl BandwidthPanelSpec {
+    /// Builds a spec.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, cfg: SimConfig) -> Self {
+        BandwidthPanelSpec {
+            id: id.into(),
+            title: title.into(),
+            cfg,
+        }
+    }
+
+    /// The points this panel expands to, in row-major (transfer, scheme)
+    /// order — the serial harness's iteration order.
+    pub fn enumerate(&self) -> Vec<PointSpec> {
+        let schemes = Scheme::ladder(self.cfg.line());
+        let mut points = Vec::with_capacity(TRANSFERS.len() * schemes.len());
+        for &transfer in &TRANSFERS {
+            for &scheme in &schemes {
+                points.push(PointSpec {
+                    label: format!("{}/{}B/{}", self.id, transfer, scheme),
+                    cfg: self.cfg.clone(),
+                    work: PointWork::Bandwidth {
+                        transfer,
+                        scheme,
+                        order: StoreOrder::Ascending,
+                    },
+                });
+            }
+        }
+        points
+    }
+}
+
+/// Runs a set of bandwidth panels through the engine.
+///
+/// # Errors
+///
+/// The first (in enumeration order) point failure.
+pub fn run_bandwidth_panels(
+    panels: &[BandwidthPanelSpec],
+    jobs: usize,
+) -> Result<(Vec<BandwidthPanel>, RunReport), ExpError> {
+    let specs: Vec<PointSpec> = panels
+        .iter()
+        .flat_map(BandwidthPanelSpec::enumerate)
+        .collect();
+    let (values, report) = run_values(&specs, jobs)?;
+    let mut iter = values.into_iter();
+    let assembled = panels
+        .iter()
+        .map(|panel| {
+            let schemes = Scheme::ladder(panel.cfg.line());
+            let rows = TRANSFERS
+                .iter()
+                .map(|&transfer| BandwidthRow {
+                    transfer,
+                    values: schemes
+                        .iter()
+                        .map(|_| {
+                            iter.next()
+                                .expect("one value per enumerated point")
+                                .bandwidth()
+                                .expect("bandwidth panels enumerate bandwidth points")
+                        })
+                        .collect(),
+                })
+                .collect();
+            BandwidthPanel {
+                id: panel.id.clone(),
+                title: panel.title.clone(),
+                schemes: schemes.iter().map(Scheme::to_string).collect(),
+                rows,
+            }
+        })
+        .collect();
+    Ok((assembled, report))
+}
+
+/// Declarative description of one latency panel (Figure 5): expands to
+/// [`fig5::DWORDS`] × the machine's scheme ladder.
+#[derive(Debug, Clone)]
+pub struct LatencyPanelSpec {
+    /// Panel id, e.g. `"5a"`.
+    pub id: String,
+    /// Human-readable parameter description.
+    pub title: String,
+    /// The panel's machine.
+    pub cfg: SimConfig,
+    /// Whether the lock variable hits in the L1.
+    pub residency: LockResidency,
+}
+
+impl LatencyPanelSpec {
+    /// Builds a spec.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        cfg: SimConfig,
+        residency: LockResidency,
+    ) -> Self {
+        LatencyPanelSpec {
+            id: id.into(),
+            title: title.into(),
+            cfg,
+            residency,
+        }
+    }
+
+    /// The points this panel expands to, in row-major (dwords, scheme)
+    /// order.
+    pub fn enumerate(&self) -> Vec<PointSpec> {
+        let schemes = Scheme::ladder(self.cfg.line());
+        let mut points = Vec::with_capacity(fig5::DWORDS.len() * schemes.len());
+        for &dwords in &fig5::DWORDS {
+            for &scheme in &schemes {
+                points.push(PointSpec {
+                    label: format!("{}/{}dw/{}", self.id, dwords, scheme),
+                    cfg: self.cfg.clone(),
+                    work: PointWork::Latency {
+                        dwords,
+                        scheme,
+                        residency: self.residency,
+                    },
+                });
+            }
+        }
+        points
+    }
+}
+
+/// Runs a set of latency panels through the engine.
+///
+/// # Errors
+///
+/// The first (in enumeration order) point failure.
+pub fn run_latency_panels(
+    panels: &[LatencyPanelSpec],
+    jobs: usize,
+) -> Result<(Vec<LatencyPanel>, RunReport), ExpError> {
+    let specs: Vec<PointSpec> = panels
+        .iter()
+        .flat_map(LatencyPanelSpec::enumerate)
+        .collect();
+    let (values, report) = run_values(&specs, jobs)?;
+    let mut iter = values.into_iter();
+    let assembled = panels
+        .iter()
+        .map(|panel| {
+            let schemes = Scheme::ladder(panel.cfg.line());
+            let rows = fig5::DWORDS
+                .iter()
+                .map(|&dwords| LatencyRow {
+                    transfer: dwords * DWORD_BYTES,
+                    cycles: schemes
+                        .iter()
+                        .map(|_| {
+                            iter.next()
+                                .expect("one value per enumerated point")
+                                .latency()
+                                .expect("latency panels enumerate latency points")
+                        })
+                        .collect(),
+                })
+                .collect();
+            LatencyPanel {
+                id: panel.id.clone(),
+                title: panel.title.clone(),
+                schemes: schemes.iter().map(Scheme::to_string).collect(),
+                rows,
+            }
+        })
+        .collect();
+    Ok((assembled, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..67).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        assert_eq!(parallel_map(&items, 1, f), parallel_map(&items, 8, f));
+    }
+
+    #[test]
+    fn run_points_first_error_wins() {
+        // Two invalid transfers among valid points: run_values must report
+        // the lowest-indexed failure regardless of worker count.
+        let cfg = SimConfig::default();
+        let point = |transfer: usize| PointSpec {
+            label: format!("t/{transfer}"),
+            cfg: cfg.clone(),
+            work: PointWork::Bandwidth {
+                transfer,
+                scheme: Scheme::Uncached { block: 8 },
+                order: StoreOrder::Ascending,
+            },
+        };
+        // transfer=7 is not a multiple of 8 → workload error.
+        let specs = vec![point(16), point(7), point(32), point(3)];
+        for jobs in [1, 4] {
+            let err = run_values(&specs, jobs).unwrap_err();
+            match err {
+                ExpError::Workload(crate::workloads::WorkloadError::BadTransfer { bytes }) => {
+                    assert_eq!(bytes, 7, "jobs={jobs} must surface the first failure");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_panel_parallel_matches_serial() {
+        // One panel both ways: same row order, same values, and the same
+        // serialized bytes (what the golden files and --json dumps see).
+        let cfg = SimConfig::default().line_size(32).bus(
+            csb_bus::BusConfig::multiplexed(8)
+                .max_burst(32)
+                .build()
+                .expect("static test bus config is valid"),
+        );
+        let spec = BandwidthPanelSpec::new("t", "serial/parallel equivalence", cfg);
+        let (serial, r1) = run_bandwidth_panels(std::slice::from_ref(&spec), 1).unwrap();
+        let (parallel, r4) = run_bandwidth_panels(std::slice::from_ref(&spec), 4).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+        assert_eq!(serial[0].to_table(), parallel[0].to_table());
+        assert_eq!(r1.points, r4.points);
+        assert_eq!(r1.sim_cycles, r4.sim_cycles, "same points were simulated");
+        assert_eq!(r1.jobs, 1);
+        assert_eq!(r4.jobs, 4);
+    }
+
+    #[test]
+    fn latency_panel_parallel_matches_serial() {
+        let spec = fig5::panel_spec(&SimConfig::default(), LockResidency::Hit);
+        let (serial, _) = run_latency_panels(std::slice::from_ref(&spec), 1).unwrap();
+        let (parallel, _) = run_latency_panels(std::slice::from_ref(&spec), 3).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+        assert_eq!(serial[0].to_table(), parallel[0].to_table());
+    }
+
+    #[test]
+    fn report_merge_and_utilization() {
+        let mut a = RunReport {
+            jobs: 2,
+            points: 4,
+            wall: Duration::from_secs(2),
+            busy: Duration::from_secs(3),
+            sim_cycles: 100,
+            slowest: Some(("a".into(), Duration::from_millis(900))),
+            ..RunReport::default()
+        };
+        let b = RunReport {
+            jobs: 1,
+            points: 1,
+            errors: 1,
+            wall: Duration::from_secs(1),
+            busy: Duration::from_secs(1),
+            sim_cycles: 50,
+            slowest: Some(("b".into(), Duration::from_millis(1000))),
+        };
+        a.merge(&b);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.points, 5);
+        assert_eq!(a.errors, 1);
+        assert_eq!(a.sim_cycles, 150);
+        assert_eq!(a.slowest.as_ref().unwrap().0, "b");
+        // busy 4s over 3s × 2 workers = 2/3.
+        assert!((a.utilization() - 4.0 / 6.0).abs() < 1e-9);
+        assert!(a.render().contains("5 point(s)"));
+    }
+}

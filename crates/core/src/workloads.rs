@@ -432,7 +432,7 @@ pub fn random_mixed(seed: u64, mix: RandomMix, cfg: &SimConfig) -> Result<Progra
     let mut csb_pending = 0i64; // stores accumulated toward the open line
     let mut emitted = 0usize;
     while emitted < mix.ops {
-        let is_mem = rng.gen_range(0..100) < mix.mem_percent;
+        let is_mem = rng.gen_range(0..100u8) < mix.mem_percent;
         if !is_mem {
             // ALU filler over scratch registers L2/L3.
             let dst = if rng.gen_bool(0.5) { Reg::L2 } else { Reg::L3 };
@@ -443,21 +443,21 @@ pub fn random_mixed(seed: u64, mix: RandomMix, cfg: &SimConfig) -> Result<Progra
         match rng.gen_range(0..5) {
             0 => {
                 // Cached store then load (always within 4 KiB scratch).
-                let off = rng.gen_range(0..512) * 8;
+                let off = rng.gen_range(0..512i64) * 8;
                 a.st(Reg::L1, Reg::O0, off, MemWidth::B8);
             }
             1 => {
-                let off = rng.gen_range(0..512) * 8;
+                let off = rng.gen_range(0..512i64) * 8;
                 a.ld(Reg::L2, Reg::O0, off, MemWidth::B8);
             }
             2 => {
                 // Plain uncached store anywhere in the window's first 4 KiB.
-                let off = rng.gen_range(0..512) * 8;
+                let off = rng.gen_range(0..512i64) * 8;
                 a.std(Reg::L1, Reg::O1, off);
             }
             3 => {
                 // Uncached load (round trip).
-                let off = rng.gen_range(0..512) * 8;
+                let off = rng.gen_range(0..512i64) * 8;
                 a.ld(Reg::L3, Reg::O1, off, MemWidth::B8);
             }
             _ => {

@@ -1,0 +1,231 @@
+//! Offline stand-in for the real `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the API surface the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros —
+//! over a simple wall-clock harness: one warm-up iteration, then
+//! `sample_size` timed iterations, reporting min / mean / max per benchmark
+//! in criterion's familiar `time: [low mean high]` shape. No statistical
+//! analysis, HTML reports, or regression tracking.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`, criterion's display convention.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Work-per-iteration annotation (accepted, echoed in the report header).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timed-loop driver passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration workload (report annotation only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("# {}: {} element(s)/iter", self.name, n),
+            Throughput::Bytes(n) => println!("# {}: {} byte(s)/iter", self.name, n),
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &b.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b.samples);
+        self
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&id.name, &b.samples);
+        self
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo-bench passes (e.g. `--bench`).
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build container cannot reach a crates registry, so this workspace
+//! vendors a minimal serde-compatible surface (see `vendor/README.md`):
+//!
+//! * [`Serialize`] renders a value into the JSON-shaped [`value::Value`]
+//!   tree; `#[derive(Serialize)]` (re-exported from the vendored
+//!   `serde_derive`) generates real field-by-field implementations, so
+//!   `serde_json::to_string_pretty` produces byte-identical output to the
+//!   real serde_json for the data shapes this repository serializes
+//!   (structs, enums, vectors, numbers, strings).
+//! * [`Deserialize`] is implemented for primitives and containers;
+//!   `#[derive(Deserialize)]` generates a compile-compatibility stub that
+//!   errors at runtime (nothing in the workspace deserializes derived
+//!   types).
+//!
+//! Only what the workspace uses is implemented; this is not a general serde
+//! replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub mod de {
+    //! Deserialization error type.
+    use std::fmt;
+
+    /// Error produced by [`crate::Deserialize`] implementations.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Error for a type whose derived impl is a compile-compatibility
+        /// stub (see the crate docs).
+        pub fn unsupported(ty: &str) -> Self {
+            Error(format!(
+                "vendored serde shim: deserialization of `{ty}` is not supported"
+            ))
+        }
+
+        /// Type-mismatch error.
+        pub fn mismatch(expected: &str, got: &crate::value::Value) -> Self {
+            Error(format!("expected {expected}, found {got:?}"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use value::{Number, Value};
+
+/// Serialization into the shim's JSON value tree.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the shim's JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] on shape mismatch or for stubbed derived types.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U(*self as u128)) }
+        }
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 { Value::Number(Number::U(v as u128)) }
+                else { Value::Number(Number::I(v)) }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, u128, usize);
+ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Map keys must render as JSON strings (serde stringifies integer keys).
+pub trait SerializeKey {
+    /// The JSON object key for this map key.
+    fn to_key(&self) -> String;
+}
+macro_rules! key_display {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+key_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, String, &str, char);
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by key (the real serde_json preserves
+        // hash order, but nothing in this workspace snapshots a HashMap).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls (primitives and containers only; derived types stub).
+// ---------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| de::Error::mismatch(stringify!($t), v)),
+                    Value::Number(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| de::Error::mismatch(stringify!($t), v)),
+                    _ => Err(de::Error::mismatch(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Number(Number::F(f)) => Ok(*f),
+            Value::Number(Number::U(u)) => Ok(*u as f64),
+            Value::Number(Number::I(i)) => Ok(*i as f64),
+            _ => Err(de::Error::mismatch("f64", v)),
+        }
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::mismatch("bool", v)),
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(de::Error::mismatch("string", v)),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::mismatch("array", v)),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}

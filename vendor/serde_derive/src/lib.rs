@@ -1,0 +1,429 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build container has no network access, so the registry `serde_derive`
+//! (and its `syn`/`quote` dependency tree) cannot be fetched. This crate
+//! re-implements the two derive macros the workspace uses with a hand-rolled
+//! token walk over `proc_macro::TokenStream`:
+//!
+//! * `#[derive(Serialize)]` generates a real, field-by-field
+//!   [`serde::Serialize`] implementation producing the shim's JSON `Value`
+//!   tree, following serde's data model (structs as objects, newtype structs
+//!   as their inner value, enums externally tagged).
+//! * `#[derive(Deserialize)]` generates a compile-compatibility stub that
+//!   returns an `unsupported` error at runtime. Nothing in this workspace
+//!   deserializes a derived type (only primitives and `Vec<i32>` round-trip
+//!   through `serde_json::from_str`), so the stub keeps every existing
+//!   `derive(Deserialize)` attribute compiling without dragging in a full
+//!   deserializer framework.
+//!
+//! Supported input shapes: non-generic and simply-generic `struct`s (named,
+//! tuple, unit) and `enum`s (unit, tuple, and struct variants, no
+//! discriminants), which covers every type in this repository. Unsupported
+//! shapes fail the build with a `compile_error!`, not silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Bare type-parameter identifiers (no bounds), e.g. `["T"]`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!(\"serde shim derive: {msg}\");")
+                .parse()
+                .expect("error tokens parse")
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 1; // the `[...]` group
+            if i < toks.len() && matches!(&toks[i], TokenTree::Group(_)) {
+                i += 1;
+            }
+            continue;
+        }
+        if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if i < toks.len()
+                && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) / pub(super)
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Skips a type (or expression) until a `,` at angle-bracket depth 0,
+/// returning the index just past the comma (or `toks.len()`).
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    let mut prev_dash = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    return i + 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    // Generics: collect bare parameter names at depth 1.
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 1i32;
+        let mut at_param_start = true;
+        let mut prev_lifetime = false;
+        i += 1;
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => at_param_start = true,
+                        _ => {}
+                    }
+                    prev_lifetime = p.as_char() == '\'';
+                }
+                TokenTree::Ident(id) => {
+                    if depth == 1
+                        && at_param_start
+                        && !prev_lifetime
+                        && !is_ident(&toks[i], "const")
+                    {
+                        generics.push(id.to_string());
+                        at_param_start = false;
+                    }
+                    prev_lifetime = false;
+                }
+                _ => prev_lifetime = false,
+            }
+            i += 1;
+        }
+    }
+
+    // Body: the next group (struct braces/parens or enum braces); a bare `;`
+    // means a unit struct. A `where` clause would sit between generics and
+    // the body — none exist in this workspace, so reject loudly.
+    if i < toks.len() && is_ident(&toks[i], "where") {
+        return Err(format!("`where` clauses unsupported (type {name})"));
+    }
+    let body = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?)
+            }
+            _ => return Err(format!("expected enum body for {name}")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Body::Tuple(
+                count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(t) if is_punct(t, ';') => Body::Unit,
+            None => Body::Unit,
+            _ => return Err(format!("unsupported struct body for {name}")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        body,
+    })
+}
+
+fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("expected field name, found `{t}`")),
+        };
+        i += 1;
+        if i >= toks.len() || !is_punct(&toks[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i = skip_to_comma(toks, i + 1);
+        out.push(name);
+    }
+    Ok(out)
+}
+
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_to_comma(toks, i);
+    }
+    n
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("expected variant name, found `{t}`")),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(t) = toks.get(i) {
+            if is_punct(t, '=') {
+                return Err(format!("enum discriminants unsupported (variant {name})"));
+            }
+        }
+        // Skip to the next variant.
+        i = skip_to_comma(toks, i);
+        out.push((name, shape));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string assembly; no quote available offline).
+// ---------------------------------------------------------------------
+
+/// `impl<T: Bound> Trait for Name<T>` header pieces: (impl-generics, ty-generics).
+fn generics_for(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g = input
+        .generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ty_g = input.generics.join(", ");
+    (format!("<{impl_g}>"), format!("<{ty_g}>"))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_g, ty_g) = generics_for(input, "::serde::Serialize");
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::value::Value::Object(__fields)"
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::value::Value::Array(vec![{elems}])")
+        }
+        Body::Unit => "::serde::value::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders = (0..*n)
+                            .map(|k| format!("__f{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::value::Value::Array(vec![{elems}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => ::serde::value::Value::Object(vec![(\
+                             ::std::string::String::from(\"{v}\"), {inner})]),\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let pushes = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::value::Value::Object(vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::value::Value::Object(vec![{pushes}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    // The stub never touches field values, so type parameters need no bounds
+    // beyond what the struct itself requires.
+    let (impl_g, ty_g) = if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let g = input.generics.join(", ");
+        (format!("<{g}>"), format!("<{g}>"))
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+             fn from_value(_v: &::serde::value::Value) -> \
+             ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 ::std::result::Result::Err(::serde::de::Error::unsupported(\"{name}\"))\n\
+             }}\n\
+         }}"
+    )
+}
