@@ -228,7 +228,7 @@ fn main() {
         None => workloads::store_bandwidth(bytes, &cfg, path).expect("valid transfer size"),
     };
     let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
-    sim.enable_bus_log();
+    sim.enable_tracing();
     let s = sim.run(100_000_000).expect("run completes");
 
     println!(
@@ -251,6 +251,6 @@ fn main() {
         s.bus.transactions,
         s.cycles
     );
-    let t = trace::timeline(sim.bus_log(), 0, args.timeline);
+    let t = trace::timeline_from_events(&sim.trace_events(), 0, args.timeline, cfg.ratio);
     println!("\n{}", t.render());
 }

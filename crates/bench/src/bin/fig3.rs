@@ -1,17 +1,21 @@
 //! Regenerates Figure 3: uncached store bandwidth on a multiplexed bus,
 //! panels (a)-(i).
 //!
-//! Usage: `cargo run -p csb-bench --bin fig3 [--jobs N] [--json out.json]`
+//! Usage: `cargo run -p csb-bench --bin fig3 [--jobs N] [--json out.json]
+//! [--trace-out trace.json] [--metrics-out metrics.json]`
 
 use csb_core::experiments::fig3;
 
 fn main() {
     let jobs = csb_bench::jobs_from_args();
-    let (panels, report) = fig3::run_jobs(jobs).expect("Figure 3 panels simulate");
+    let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
+    let (panels, artifacts, report) =
+        fig3::run_jobs_observed(jobs, obs).expect("Figure 3 panels simulate");
     for p in &panels {
         println!("{}", p.to_table());
     }
     eprintln!("{}", report.render());
+    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &panels);
     }

@@ -1,43 +1,50 @@
 //! Runs every figure harness back to back — the one-shot reproduction of
 //! the paper's whole evaluation section.
 //!
-//! Usage: `cargo run --release -p csb-bench --bin repro_all [--jobs N]`
+//! Usage: `cargo run --release -p csb-bench --bin repro_all [--jobs N]
+//! [--trace-out trace.json] [--metrics-out metrics.json]`
 //!
 //! `--jobs N` fans the simulation points of each figure out over `N`
 //! worker threads (default: all cores). The tables on stdout are
 //! byte-identical for every worker count; the engine's aggregate
-//! `RunReport` is printed to stderr at the end.
+//! `RunReport` is printed to stderr at the end. The observability flags
+//! capture one artifact per simulation point across all three figures.
 
 use csb_core::experiments::{fig3, fig4, fig5};
 
 fn main() {
     let jobs = csb_bench::jobs_from_args();
+    let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
 
     println!("==================================================================");
     println!("Figure 3: uncached store bandwidth, 8-byte multiplexed bus");
     println!("==================================================================\n");
-    let (panels, mut report) = fig3::run_jobs(jobs).expect("Figure 3 simulates");
+    let (panels, artifacts, mut report) =
+        fig3::run_jobs_observed(jobs, obs).expect("Figure 3 simulates");
     for p in panels {
         println!("{}", p.to_table());
     }
+    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
 
     println!("==================================================================");
     println!("Figure 4: uncached store bandwidth, split address/data bus");
     println!("==================================================================\n");
-    let (panels, r4) = fig4::run_jobs(jobs).expect("Figure 4 simulates");
+    let (panels, artifacts, r4) = fig4::run_jobs_observed(jobs, obs).expect("Figure 4 simulates");
     report.merge(&r4);
     for p in panels {
         println!("{}", p.to_table());
     }
+    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
 
     println!("==================================================================");
     println!("Figure 5: locking vs. conditional store buffer (CPU cycles)");
     println!("==================================================================\n");
-    let (panels, r5) = fig5::run_jobs(jobs).expect("Figure 5 simulates");
+    let (panels, artifacts, r5) = fig5::run_jobs_observed(jobs, obs).expect("Figure 5 simulates");
     report.merge(&r5);
     for p in panels {
         println!("{}", p.to_table());
     }
+    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
 
     eprintln!("{}", report.render());
 }

@@ -1,0 +1,109 @@
+//! Replays one named figure point with tracing and metrics enabled —
+//! the quickest way from "that bar looks wrong" to a Perfetto timeline.
+//!
+//! Usage: `cargo run -p csb-bench --bin trace -- <point> [--trace-out
+//! trace.json] [--metrics-out metrics.json]`
+//!
+//! `<point>` is a runner label like `3e/256B/CSB` (figure 3/4 bandwidth
+//! points) or `5a/4dw/CSB` (figure 5 latency points); run with `--list`
+//! to print every label. The Chrome trace-event JSON (default
+//! `trace.json`) loads directly into Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`, with one track per agent: CPU pipeline, CSB,
+//! uncached buffer, bus master, foreign traffic.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csb_core::experiments::runner::{execute_point_observed, ObsConfig, PointSpec, PointValue};
+use csb_core::experiments::{fig3, fig4, fig5};
+
+/// Every point the figure harnesses enumerate, in figure order.
+fn all_points() -> Vec<PointSpec> {
+    let mut specs = Vec::new();
+    for panel in fig3::panel_specs() {
+        specs.extend(panel.enumerate());
+    }
+    for panel in fig4::panel_specs() {
+        specs.extend(panel.enumerate());
+    }
+    for panel in fig5::panel_specs() {
+        specs.extend(panel.enumerate());
+    }
+    specs
+}
+
+fn main() -> ExitCode {
+    let positional: Vec<String> = {
+        let mut args = std::env::args().skip(1);
+        let mut pos = Vec::new();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace-out" | "--metrics-out" => {
+                    args.next();
+                }
+                _ if a.starts_with("--trace-out=") || a.starts_with("--metrics-out=") => {}
+                "--list" => {
+                    for spec in all_points() {
+                        println!("{}", spec.label);
+                    }
+                    return ExitCode::SUCCESS;
+                }
+                _ => pos.push(a),
+            }
+        }
+        pos
+    };
+    let Some(label) = positional.first() else {
+        eprintln!("usage: trace <point> [--trace-out trace.json] [--metrics-out metrics.json]");
+        eprintln!("       trace --list");
+        return ExitCode::FAILURE;
+    };
+
+    let specs = all_points();
+    let Some(spec) = specs.iter().find(|s| &s.label == label) else {
+        eprintln!("no figure point named {label:?}; run with --list to see every label");
+        return ExitCode::FAILURE;
+    };
+
+    let obs = ObsConfig {
+        trace: true,
+        metrics: true,
+    };
+    let outcome = execute_point_observed(spec, obs).expect("figure point simulates");
+
+    match outcome.value {
+        PointValue::Bandwidth(bw) => println!("{}: {bw:.2} payload bytes/bus cycle", spec.label),
+        PointValue::Latency(cycles) => println!("{}: {cycles} CPU cycles", spec.label),
+    }
+    let report = outcome
+        .artifacts
+        .metrics
+        .as_ref()
+        .expect("metrics were enabled");
+    println!("{}", report.csb);
+    if let Some(h) = report.metrics.histograms.get("csb_flush_retry_latency") {
+        println!(
+            "flush retry latency: p50 {} p95 {} max {} cycles over {} flush(es)",
+            h.p50, h.p95, h.max, h.count
+        );
+    }
+
+    let trace_out = csb_bench::flag_path_from_args("--trace-out")
+        .unwrap_or_else(|| PathBuf::from("trace.json"));
+    let trace = outcome
+        .artifacts
+        .trace_json
+        .as_deref()
+        .expect("tracing was enabled");
+    std::fs::write(&trace_out, trace)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", trace_out.display()));
+    eprintln!(
+        "wrote {} ({} events) — open in https://ui.perfetto.dev",
+        trace_out.display(),
+        trace.matches("\"ph\":").count()
+    );
+    if let Some(metrics_out) = csb_bench::flag_path_from_args("--metrics-out") {
+        csb_bench::dump_json(&metrics_out, report);
+    }
+    ExitCode::SUCCESS
+}

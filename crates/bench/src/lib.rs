@@ -8,9 +8,18 @@
 //! (default: all cores; `--jobs 1` is the serial path) — the tables on
 //! stdout are byte-identical either way, and the engine's `RunReport`
 //! goes to stderr.
+//!
+//! Observability: `--trace-out <file>` captures a Chrome trace-event JSON
+//! document per simulation point and `--metrics-out <file>` a metrics
+//! report (counters + latency histograms). Both expand the given path per
+//! point — `trace.json` becomes `trace-3e_256B_CSB.json` — so a sweep
+//! leaves one artifact per point. The `trace` binary replays a single
+//! named figure point with both captures on.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+use csb_core::experiments::runner::{LabeledArtifacts, ObsConfig};
 
 /// Parses an optional `--json <path>` argument from the command line.
 ///
@@ -18,14 +27,99 @@ use std::path::PathBuf;
 ///
 /// Panics if `--json` is given without a path.
 pub fn json_path_from_args() -> Option<PathBuf> {
+    flag_path_from_args("--json")
+}
+
+/// Parses an optional `<flag> <path>` (or `<flag>=<path>`) argument from
+/// the command line.
+///
+/// # Panics
+///
+/// Panics if the flag is given without a path.
+pub fn flag_path_from_args(flag: &str) -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
-            let p = args.next().expect("--json requires a path");
+        if a == flag {
+            let p = args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a path"));
+            return Some(PathBuf::from(p));
+        }
+        if let Some(p) = a.strip_prefix(&format!("{flag}=")) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// Parses the observability flags: `--trace-out <file>` and
+/// `--metrics-out <file>`. Returns the capture switches for the runner
+/// plus the base paths the per-point artifacts expand from.
+///
+/// # Panics
+///
+/// Panics if either flag is given without a path.
+pub fn obs_from_args() -> (ObsConfig, Option<PathBuf>, Option<PathBuf>) {
+    let trace_out = flag_path_from_args("--trace-out");
+    let metrics_out = flag_path_from_args("--metrics-out");
+    let obs = ObsConfig {
+        trace: trace_out.is_some(),
+        metrics: metrics_out.is_some(),
+    };
+    (obs, trace_out, metrics_out)
+}
+
+/// Collapses a point label into a filename-safe token: every run of
+/// non-alphanumeric characters becomes a single `_`, e.g. `"3e/256B/CSB"`
+/// → `"3e_256B_CSB"`.
+pub fn sanitize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// Expands an artifact base path for one labeled point:
+/// `trace.json` + `"3e/256B/CSB"` → `trace-3e_256B_CSB.json`.
+pub fn artifact_path(base: &Path, label: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("artifact");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    base.with_file_name(format!("{stem}-{}.{ext}", sanitize_label(label)))
+}
+
+/// Writes every captured artifact to disk: Chrome traces under the
+/// `--trace-out` base path, metrics reports under the `--metrics-out`
+/// base, one file per point keyed by its sanitized label.
+///
+/// # Panics
+///
+/// Panics on I/O failure — a requested artifact that cannot be written
+/// should abort loudly.
+pub fn write_artifacts(
+    artifacts: &[LabeledArtifacts],
+    trace_out: Option<&PathBuf>,
+    metrics_out: Option<&PathBuf>,
+) {
+    for la in artifacts {
+        if let (Some(base), Some(trace)) = (trace_out, la.artifacts.trace_json.as_deref()) {
+            let path = artifact_path(base, &la.label);
+            fs::write(&path, trace)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+        }
+        if let (Some(base), Some(metrics)) = (metrics_out, la.artifacts.metrics.as_ref()) {
+            let path = artifact_path(base, &la.label);
+            dump_json(&path, metrics);
+        }
+    }
 }
 
 /// Parses an optional `--jobs <N>` (or `--jobs=N`) argument: the worker
@@ -66,6 +160,8 @@ pub fn dump_json<T: serde::Serialize>(path: &PathBuf, value: &T) {
 
 #[cfg(test)]
 mod tests {
+    use std::path::PathBuf;
+
     #[test]
     fn dump_json_round_trips() {
         let dir = std::env::temp_dir().join("csb-bench-test.json");
@@ -73,5 +169,26 @@ mod tests {
         let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn sanitize_label_collapses_punctuation() {
+        assert_eq!(super::sanitize_label("3e/256B/CSB"), "3e_256B_CSB");
+        assert_eq!(super::sanitize_label("5a/4dw/comb-64"), "5a_4dw_comb_64");
+        assert_eq!(super::sanitize_label("//x//"), "x");
+    }
+
+    #[test]
+    fn artifact_path_keys_on_label() {
+        let base = PathBuf::from("/tmp/out/trace.json");
+        assert_eq!(
+            super::artifact_path(&base, "3e/256B/CSB"),
+            PathBuf::from("/tmp/out/trace-3e_256B_CSB.json")
+        );
+        let bare = PathBuf::from("metrics");
+        assert_eq!(
+            super::artifact_path(&bare, "5a/2dw/CSB"),
+            PathBuf::from("metrics-5a_2dw_CSB.json")
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The system bus: occupancy, ordering, and completion tracking.
 
+use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::config::BusConfig;
@@ -79,6 +80,9 @@ pub struct SystemBus {
     stats: BusStats,
     /// Per-transaction log, populated when enabled.
     log: Option<Vec<BusLogEntry>>,
+    /// Structured trace sink (disabled by default; see
+    /// [`SystemBus::set_trace_sink`]).
+    sink: TraceSink,
 }
 
 impl SystemBus {
@@ -91,7 +95,17 @@ impl SystemBus {
             foreign_debt: 0.0,
             stats: BusStats::default(),
             log: None,
+            sink: TraceSink::disabled(),
         }
+    }
+
+    /// Installs a structured trace sink; every local transaction emits a
+    /// [`EventKind::BusTxn`] span and every foreign occupancy a
+    /// [`EventKind::ForeignTxn`] span. Timestamps passed to the bus are in
+    /// bus cycles, so callers should hand in a handle pre-scaled by the
+    /// CPU:bus frequency ratio (see [`TraceSink::scaled`]).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// Starts recording every transaction (including foreign occupancies)
@@ -183,6 +197,18 @@ impl SystemBus {
         self.next_free = completes_at + 1 + self.cfg.turnaround();
         self.last_addr = Some(now);
         self.stats.record(now, completes_at, txn.size, txn.payload);
+        self.sink.emit_span(
+            now,
+            duration,
+            Track::Bus,
+            EventKind::BusTxn {
+                addr: txn.addr.raw(),
+                size: txn.size,
+                payload: txn.payload,
+                write: matches!(txn.kind, crate::transaction::TxnKind::Write),
+                tag: txn.tag,
+            },
+        );
         if let Some(log) = &mut self.log {
             log.push(BusLogEntry {
                 addr_cycle: now,
@@ -204,6 +230,12 @@ impl SystemBus {
                 self.next_free += foreign + self.cfg.turnaround();
                 self.foreign_debt -= foreign as f64;
                 self.stats.record_foreign(foreign);
+                self.sink.emit_span(
+                    start,
+                    foreign,
+                    Track::Foreign,
+                    EventKind::ForeignTxn { size: bg.burst },
+                );
                 if let Some(log) = &mut self.log {
                     log.push(BusLogEntry {
                         addr_cycle: start,
@@ -483,6 +515,36 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn trace_sink_records_local_and_foreign_spans() {
+        let cfg = BusConfig::multiplexed(8)
+            .background(0.5, 8)
+            .build()
+            .unwrap();
+        let mut bus = SystemBus::new(cfg);
+        let sink = TraceSink::enabled();
+        // Pretend a 6:1 CPU:bus ratio, as the full simulator does.
+        bus.set_trace_sink(sink.scaled(6));
+        bus.try_issue(0, Transaction::write(Addr::new(0x40), 8).tag(9))
+            .unwrap()
+            .unwrap();
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, Track::Bus);
+        assert_eq!(events[0].dur, 12); // 2 bus cycles × 6
+        assert!(matches!(
+            events[0].kind,
+            EventKind::BusTxn {
+                addr: 0x40,
+                write: true,
+                tag: 9,
+                ..
+            }
+        ));
+        assert_eq!(events[1].track, Track::Foreign);
+        assert_eq!(events[1].cycle, 12); // foreign txn starts at bus cycle 2
     }
 
     #[test]

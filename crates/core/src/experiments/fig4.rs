@@ -13,7 +13,10 @@
 
 use csb_bus::BusConfig;
 
-use super::runner::{run_bandwidth_panels, BandwidthPanelSpec, RunReport};
+use super::runner::{
+    run_bandwidth_panels, run_bandwidth_panels_observed, BandwidthPanelSpec, LabeledArtifacts,
+    ObsConfig, RunReport,
+};
 use super::{BandwidthPanel, ExpError};
 use crate::config::SimConfig;
 
@@ -123,6 +126,19 @@ pub fn run() -> Result<Vec<BandwidthPanel>, ExpError> {
 /// Propagates the first failing point, lowest point index first.
 pub fn run_jobs(jobs: usize) -> Result<(Vec<BandwidthPanel>, RunReport), ExpError> {
     run_bandwidth_panels(&panel_specs(), jobs)
+}
+
+/// [`run_jobs`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per simulation point, in enumeration order.
+///
+/// # Errors
+///
+/// Propagates the first failing point, lowest point index first.
+pub fn run_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<BandwidthPanel>, Vec<LabeledArtifacts>, RunReport), ExpError> {
+    run_bandwidth_panels_observed(&panel_specs(), jobs, obs)
 }
 
 #[cfg(test)]

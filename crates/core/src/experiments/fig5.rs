@@ -13,7 +13,10 @@
 
 use csb_isa::Addr;
 
-use super::runner::{run_latency_panels, LatencyPanelSpec, RunReport};
+use super::runner::{
+    run_latency_panels, run_latency_panels_observed, LabeledArtifacts, LatencyPanelSpec, ObsConfig,
+    PointArtifacts, RunReport,
+};
 use super::{ExpError, LatencyPanel, Scheme};
 use crate::config::{SimConfig, LOCK_ADDR};
 use crate::sim::Simulator;
@@ -55,6 +58,23 @@ pub(crate) fn latency_point_instrumented(
     scheme: Scheme,
     residency: LockResidency,
 ) -> Result<(u64, u64), ExpError> {
+    latency_point_observed(cfg, dwords, scheme, residency, ObsConfig::default())
+        .map(|(lat, cycles, _)| (lat, cycles))
+}
+
+/// [`latency_point`] with observability: returns the latency, the simulated
+/// cycle count, and whatever artifacts [`ObsConfig`] asked for.
+///
+/// # Errors
+///
+/// As for [`latency_point`].
+pub fn latency_point_observed(
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+    obs: ObsConfig,
+) -> Result<(u64, u64, PointArtifacts), ExpError> {
     let (cfg, program) = match scheme {
         Scheme::Uncached { block } => {
             let c = cfg.clone().combining_block(block);
@@ -76,6 +96,12 @@ pub(crate) fn latency_point_instrumented(
         Scheme::Csb => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
     };
     let mut sim = Simulator::new(cfg, program)?;
+    if obs.trace {
+        sim.enable_tracing();
+    }
+    if obs.metrics {
+        sim.enable_metrics();
+    }
     match residency {
         LockResidency::Hit => sim.warm_line(Addr::new(LOCK_ADDR)),
         LockResidency::Miss => sim.evict_line(Addr::new(LOCK_ADDR)),
@@ -85,7 +111,11 @@ pub(crate) fn latency_point_instrumented(
         .cpu
         .mark_interval(MARK_START, MARK_END)
         .ok_or(ExpError::MissingMark)?;
-    Ok((latency, summary.cycles))
+    let artifacts = PointArtifacts {
+        trace_json: obs.trace.then(|| sim.chrome_trace()),
+        metrics: obs.metrics.then(|| sim.metrics_report()),
+    };
+    Ok((latency, summary.cycles, artifacts))
 }
 
 /// The declarative panel spec for one residency on the given machine.
@@ -143,6 +173,19 @@ pub fn run() -> Result<Vec<LatencyPanel>, ExpError> {
 /// Propagates the first failing point, lowest point index first.
 pub fn run_jobs(jobs: usize) -> Result<(Vec<LatencyPanel>, RunReport), ExpError> {
     run_latency_panels(&panel_specs(), jobs)
+}
+
+/// [`run_jobs`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per simulation point, in enumeration order.
+///
+/// # Errors
+///
+/// Propagates the first failing point, lowest point index first.
+pub fn run_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<LatencyPanel>, Vec<LabeledArtifacts>, RunReport), ExpError> {
+    run_latency_panels_observed(&panel_specs(), jobs, obs)
 }
 
 #[cfg(test)]

@@ -242,6 +242,25 @@ pub(crate) fn bandwidth_point_instrumented(
     scheme: Scheme,
     order: workloads::StoreOrder,
 ) -> Result<(f64, u64), ExpError> {
+    bandwidth_point_observed(cfg, transfer, scheme, order, runner::ObsConfig::default())
+        .map(|(bw, cycles, _)| (bw, cycles))
+}
+
+/// [`bandwidth_point_ordered`] with observability: returns the bandwidth,
+/// the simulated cycle count, and whatever artifacts
+/// [`runner::ObsConfig`] asked for (Chrome trace JSON and/or a
+/// [`crate::MetricsReport`]).
+///
+/// # Errors
+///
+/// As for [`bandwidth_point`].
+pub fn bandwidth_point_observed(
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+    obs: runner::ObsConfig,
+) -> Result<(f64, u64, runner::PointArtifacts), ExpError> {
     let mut cfg = cfg.clone();
     let path = match scheme {
         Scheme::Uncached { block } => {
@@ -260,8 +279,18 @@ pub(crate) fn bandwidth_point_instrumented(
     };
     let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
     let mut sim = Simulator::new(cfg, program)?;
+    if obs.trace {
+        sim.enable_tracing();
+    }
+    if obs.metrics {
+        sim.enable_metrics();
+    }
     let summary = sim.run(POINT_LIMIT)?;
-    Ok((summary.bus.effective_bandwidth(), summary.cycles))
+    let artifacts = runner::PointArtifacts {
+        trace_json: obs.trace.then(|| sim.chrome_trace()),
+        metrics: obs.metrics.then(|| sim.metrics_report()),
+    };
+    Ok((summary.bus.effective_bandwidth(), summary.cycles, artifacts))
 }
 
 /// Runs a full bandwidth panel over [`TRANSFERS`] and the scheme ladder of

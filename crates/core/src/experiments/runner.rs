@@ -31,13 +31,64 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use csb_obs::MetricsSnapshot;
+
 use super::fig5::{self, LockResidency};
 use super::{
-    bandwidth_point_instrumented, BandwidthPanel, BandwidthRow, ExpError, LatencyPanel, LatencyRow,
+    bandwidth_point_observed, BandwidthPanel, BandwidthRow, ExpError, LatencyPanel, LatencyRow,
     Scheme, DWORD_BYTES, TRANSFERS,
 };
 use crate::config::SimConfig;
+use crate::sim::MetricsReport;
 use crate::workloads::StoreOrder;
+
+/// Which observability artifacts to capture for every executed point.
+///
+/// The default captures nothing — points run exactly as before, and the
+/// figure tables stay byte-identical. Turning either switch on makes each
+/// simulation record into a per-point [`PointArtifacts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    /// Capture a Chrome trace-event JSON document per point.
+    pub trace: bool,
+    /// Capture a [`MetricsReport`] (counters + latency histograms) per
+    /// point.
+    pub metrics: bool,
+}
+
+impl ObsConfig {
+    /// Whether any artifact capture is enabled.
+    pub fn any(self) -> bool {
+        self.trace || self.metrics
+    }
+}
+
+/// Observability artifacts captured for one executed point.
+#[derive(Debug, Clone, Default)]
+pub struct PointArtifacts {
+    /// Chrome trace-event JSON (present when [`ObsConfig::trace`] was set).
+    pub trace_json: Option<String>,
+    /// Per-point metrics report (present when [`ObsConfig::metrics`] was
+    /// set).
+    pub metrics: Option<MetricsReport>,
+}
+
+impl PointArtifacts {
+    /// Whether this point captured anything.
+    pub fn is_empty(&self) -> bool {
+        self.trace_json.is_none() && self.metrics.is_none()
+    }
+}
+
+/// One point's artifacts tagged with the spec label that produced them —
+/// what the bench binaries key artifact filenames on.
+#[derive(Debug, Clone)]
+pub struct LabeledArtifacts {
+    /// The spec's display label, e.g. `"3e/256B/CSB"`.
+    pub label: String,
+    /// The captured artifacts.
+    pub artifacts: PointArtifacts,
+}
 
 /// The workload half of a simulation point: what to measure on the
 /// machine a [`PointSpec`] describes.
@@ -115,6 +166,9 @@ pub struct PointOutcome {
     pub sim_cycles: u64,
     /// Wall-clock time the point took on its worker.
     pub wall: Duration,
+    /// Observability artifacts (empty unless an [`ObsConfig`] asked for
+    /// them).
+    pub artifacts: PointArtifacts,
 }
 
 /// Executes a single spec on the calling thread.
@@ -124,30 +178,43 @@ pub struct PointOutcome {
 /// Returns [`ExpError`] if the workload is invalid or the simulation does
 /// not complete.
 pub fn execute_point(spec: &PointSpec) -> Result<PointOutcome, ExpError> {
+    execute_point_observed(spec, ObsConfig::default())
+}
+
+/// [`execute_point`] with artifact capture: the simulation runs with
+/// tracing and/or metrics enabled per `obs`, and the outcome carries the
+/// captured [`PointArtifacts`].
+///
+/// # Errors
+///
+/// As for [`execute_point`].
+pub fn execute_point_observed(spec: &PointSpec, obs: ObsConfig) -> Result<PointOutcome, ExpError> {
     let t0 = Instant::now();
-    let (value, sim_cycles) = match spec.work {
+    let (value, sim_cycles, artifacts) = match spec.work {
         PointWork::Bandwidth {
             transfer,
             scheme,
             order,
         } => {
-            let (bw, cycles) = bandwidth_point_instrumented(&spec.cfg, transfer, scheme, order)?;
-            (PointValue::Bandwidth(bw), cycles)
+            let (bw, cycles, artifacts) =
+                bandwidth_point_observed(&spec.cfg, transfer, scheme, order, obs)?;
+            (PointValue::Bandwidth(bw), cycles, artifacts)
         }
         PointWork::Latency {
             dwords,
             scheme,
             residency,
         } => {
-            let (lat, cycles) =
-                fig5::latency_point_instrumented(&spec.cfg, dwords, scheme, residency)?;
-            (PointValue::Latency(lat), cycles)
+            let (lat, cycles, artifacts) =
+                fig5::latency_point_observed(&spec.cfg, dwords, scheme, residency, obs)?;
+            (PointValue::Latency(lat), cycles, artifacts)
         }
     };
     Ok(PointOutcome {
         value,
         sim_cycles,
         wall: t0.elapsed(),
+        artifacts,
     })
 }
 
@@ -215,13 +282,33 @@ pub struct RunReport {
     pub sim_cycles: u64,
     /// Label and wall-clock of the slowest point.
     pub slowest: Option<(String, Duration)>,
+    /// Pool capacity actually offered: Σ per-sweep `wall × jobs`. Kept
+    /// separately from `wall` so merging sweeps that ran with *different*
+    /// worker counts cannot inflate the [`RunReport::utilization`]
+    /// denominator (`max(jobs) × Σwall` overstates capacity whenever any
+    /// sweep ran narrower than the widest one).
+    pub capacity: Duration,
+    /// Aggregate metrics across every observed point (present only when a
+    /// sweep ran with [`ObsConfig::metrics`]).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
+    /// The pool's wall-clock capacity: the tracked [`RunReport::capacity`]
+    /// when one was recorded, else `wall × jobs` (a report built by hand or
+    /// by an older producer).
+    pub fn pool_capacity(&self) -> Duration {
+        if self.capacity > Duration::ZERO {
+            self.capacity
+        } else {
+            self.wall * self.jobs.max(1) as u32
+        }
+    }
+
     /// Fraction of the pool's wall-clock capacity spent simulating:
-    /// `busy / (wall × jobs)`. 1.0 means every worker was saturated.
+    /// `busy / capacity`. 1.0 means every worker was saturated.
     pub fn utilization(&self) -> f64 {
-        let capacity = self.wall.as_secs_f64() * self.jobs.max(1) as f64;
+        let capacity = self.pool_capacity().as_secs_f64();
         if capacity > 0.0 {
             (self.busy.as_secs_f64() / capacity).min(1.0)
         } else {
@@ -230,9 +317,13 @@ impl RunReport {
     }
 
     /// Folds another sweep's report into this one. Wall-clock adds (sweeps
-    /// run back to back), as do point counts and cycle totals; the worker
-    /// count keeps the maximum seen.
+    /// run back to back), as do point counts, cycle totals, and pool
+    /// capacities; the worker count keeps the maximum seen. Capacities are
+    /// normalized through [`RunReport::pool_capacity`] *before* the merge so
+    /// each sweep contributes `its own wall × its own jobs` — not the
+    /// merged maximum.
     pub fn merge(&mut self, other: &RunReport) {
+        self.capacity = self.pool_capacity() + other.pool_capacity();
         self.jobs = self.jobs.max(other.jobs);
         self.points += other.points;
         self.errors += other.errors;
@@ -243,6 +334,14 @@ impl RunReport {
             (Some(x), Some(y)) => Some(if x.1 >= y.1 { x.clone() } else { y.clone() }),
             (Some(x), None) => Some(x.clone()),
             (None, y) => y.clone(),
+        };
+        self.metrics = match (self.metrics.take(), &other.metrics) {
+            (Some(mut m), Some(o)) => {
+                m.merge(o);
+                Some(m)
+            }
+            (Some(m), None) => Some(m),
+            (None, o) => o.clone(),
         };
     }
 
@@ -284,6 +383,14 @@ impl RunReport {
                 d.as_secs_f64() * 1e3
             ));
         }
+        if let Some(metrics) = &self.metrics {
+            if let Some(h) = metrics.histograms.get("csb_flush_retry_latency") {
+                out.push_str(&format!(
+                    "\nrunner: flush retry latency p50 {} p95 {} max {} cycles over {} flush(es)",
+                    h.p50, h.p95, h.max, h.count
+                ));
+            }
+        }
         out
     }
 }
@@ -294,14 +401,28 @@ pub fn run_points(
     specs: &[PointSpec],
     jobs: usize,
 ) -> (Vec<Result<PointOutcome, ExpError>>, RunReport) {
+    run_points_observed(specs, jobs, ObsConfig::default())
+}
+
+/// [`run_points`] with artifact capture: every point runs with tracing
+/// and/or metrics enabled per `obs`, outcomes carry their
+/// [`PointArtifacts`], and (when metrics are on) the report aggregates a
+/// merged [`MetricsSnapshot`] across all points.
+pub fn run_points_observed(
+    specs: &[PointSpec],
+    jobs: usize,
+    obs: ObsConfig,
+) -> (Vec<Result<PointOutcome, ExpError>>, RunReport) {
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let t0 = Instant::now();
-    let results = parallel_map(specs, jobs, execute_point);
+    let results = parallel_map(specs, jobs, |spec| execute_point_observed(spec, obs));
     let wall = t0.elapsed();
+    let workers = jobs.min(specs.len()).max(1);
     let mut report = RunReport {
-        jobs: jobs.min(specs.len()).max(1),
+        jobs: workers,
         points: specs.len(),
         wall,
+        capacity: wall * workers as u32,
         ..RunReport::default()
     };
     for (spec, result) in specs.iter().zip(&results) {
@@ -315,6 +436,12 @@ pub fn run_points(
                     .is_none_or(|(_, d)| outcome.wall > *d);
                 if slower {
                     report.slowest = Some((spec.label.clone(), outcome.wall));
+                }
+                if let Some(point_metrics) = &outcome.artifacts.metrics {
+                    report
+                        .metrics
+                        .get_or_insert_with(MetricsSnapshot::default)
+                        .merge(&point_metrics.metrics);
                 }
             }
             Err(_) => report.errors += 1,
@@ -334,12 +461,34 @@ pub fn run_values(
     specs: &[PointSpec],
     jobs: usize,
 ) -> Result<(Vec<PointValue>, RunReport), ExpError> {
-    let (results, report) = run_points(specs, jobs);
-    let mut values = Vec::with_capacity(results.len());
-    for r in results {
-        values.push(r?.value);
-    }
+    let (values, _, report) = run_values_observed(specs, jobs, ObsConfig::default())?;
     Ok((values, report))
+}
+
+/// [`run_values`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per spec, in spec order (empty artifacts when
+/// `obs` captures nothing).
+///
+/// # Errors
+///
+/// The first (in spec order) point failure.
+pub fn run_values_observed(
+    specs: &[PointSpec],
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<PointValue>, Vec<LabeledArtifacts>, RunReport), ExpError> {
+    let (results, report) = run_points_observed(specs, jobs, obs);
+    let mut values = Vec::with_capacity(results.len());
+    let mut artifacts = Vec::with_capacity(results.len());
+    for (spec, r) in specs.iter().zip(results) {
+        let outcome = r?;
+        values.push(outcome.value);
+        artifacts.push(LabeledArtifacts {
+            label: spec.label.clone(),
+            artifacts: outcome.artifacts,
+        });
+    }
+    Ok((values, artifacts, report))
 }
 
 /// Declarative description of one bandwidth panel: the engine expands it
@@ -395,11 +544,26 @@ pub fn run_bandwidth_panels(
     panels: &[BandwidthPanelSpec],
     jobs: usize,
 ) -> Result<(Vec<BandwidthPanel>, RunReport), ExpError> {
+    let (assembled, _, report) = run_bandwidth_panels_observed(panels, jobs, ObsConfig::default())?;
+    Ok((assembled, report))
+}
+
+/// [`run_bandwidth_panels`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per enumerated point, in enumeration order.
+///
+/// # Errors
+///
+/// The first (in enumeration order) point failure.
+pub fn run_bandwidth_panels_observed(
+    panels: &[BandwidthPanelSpec],
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<BandwidthPanel>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let specs: Vec<PointSpec> = panels
         .iter()
         .flat_map(BandwidthPanelSpec::enumerate)
         .collect();
-    let (values, report) = run_values(&specs, jobs)?;
+    let (values, artifacts, report) = run_values_observed(&specs, jobs, obs)?;
     let mut iter = values.into_iter();
     let assembled = panels
         .iter()
@@ -428,7 +592,7 @@ pub fn run_bandwidth_panels(
             }
         })
         .collect();
-    Ok((assembled, report))
+    Ok((assembled, artifacts, report))
 }
 
 /// Declarative description of one latency panel (Figure 5): expands to
@@ -492,11 +656,26 @@ pub fn run_latency_panels(
     panels: &[LatencyPanelSpec],
     jobs: usize,
 ) -> Result<(Vec<LatencyPanel>, RunReport), ExpError> {
+    let (assembled, _, report) = run_latency_panels_observed(panels, jobs, ObsConfig::default())?;
+    Ok((assembled, report))
+}
+
+/// [`run_latency_panels`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per enumerated point, in enumeration order.
+///
+/// # Errors
+///
+/// The first (in enumeration order) point failure.
+pub fn run_latency_panels_observed(
+    panels: &[LatencyPanelSpec],
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<LatencyPanel>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let specs: Vec<PointSpec> = panels
         .iter()
         .flat_map(LatencyPanelSpec::enumerate)
         .collect();
-    let (values, report) = run_values(&specs, jobs)?;
+    let (values, artifacts, report) = run_values_observed(&specs, jobs, obs)?;
     let mut iter = values.into_iter();
     let assembled = panels
         .iter()
@@ -525,7 +704,7 @@ pub fn run_latency_panels(
             }
         })
         .collect();
-    Ok((assembled, report))
+    Ok((assembled, artifacts, report))
 }
 
 #[cfg(test)]
@@ -628,6 +807,7 @@ mod tests {
             busy: Duration::from_secs(1),
             sim_cycles: 50,
             slowest: Some(("b".into(), Duration::from_millis(1000))),
+            ..RunReport::default()
         };
         a.merge(&b);
         assert_eq!(a.jobs, 2);
@@ -635,8 +815,124 @@ mod tests {
         assert_eq!(a.errors, 1);
         assert_eq!(a.sim_cycles, 150);
         assert_eq!(a.slowest.as_ref().unwrap().0, "b");
-        // busy 4s over 3s × 2 workers = 2/3.
-        assert!((a.utilization() - 4.0 / 6.0).abs() < 1e-9);
+        // Capacity is per-sweep wall × jobs: 2s × 2 + 1s × 1 = 5s — NOT
+        // max(jobs) × Σwall = 6s, which would dilute utilization of the
+        // narrower sweep. busy 4s over 5s capacity = 4/5.
+        assert_eq!(a.pool_capacity(), Duration::from_secs(5));
+        assert!((a.utilization() - 4.0 / 5.0).abs() < 1e-9);
         assert!(a.render().contains("5 point(s)"));
+    }
+
+    #[test]
+    fn merge_normalizes_untracked_capacity() {
+        // A report built without an explicit capacity (older producer /
+        // hand-rolled) falls back to wall × jobs on both sides of a merge.
+        let mut a = RunReport {
+            jobs: 4,
+            wall: Duration::from_secs(1),
+            busy: Duration::from_secs(4),
+            ..RunReport::default()
+        };
+        assert!((a.utilization() - 1.0).abs() < 1e-9);
+        let b = RunReport {
+            jobs: 1,
+            wall: Duration::from_secs(4),
+            busy: Duration::from_secs(2),
+            ..RunReport::default()
+        };
+        a.merge(&b);
+        // a offered 1s × 4 workers, b offered 4s × 1 worker → 8s total.
+        assert_eq!(a.pool_capacity(), Duration::from_secs(8));
+        assert!((a.utilization() - 6.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_run_captures_artifacts_and_merged_metrics() {
+        let cfg = SimConfig::default();
+        let specs = vec![
+            PointSpec {
+                label: "obs/64B/CSB".into(),
+                cfg: cfg.clone(),
+                work: PointWork::Bandwidth {
+                    transfer: 64,
+                    scheme: Scheme::Csb,
+                    order: StoreOrder::Ascending,
+                },
+            },
+            PointSpec {
+                label: "obs/2dw/CSB".into(),
+                cfg,
+                work: PointWork::Latency {
+                    dwords: 2,
+                    scheme: Scheme::Csb,
+                    residency: LockResidency::Hit,
+                },
+            },
+        ];
+        let obs = ObsConfig {
+            trace: true,
+            metrics: true,
+        };
+        let (values, artifacts, report) = run_values_observed(&specs, 2, obs).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(artifacts.len(), 2);
+        let mut flushes = 0;
+        for la in &artifacts {
+            let trace = la.artifacts.trace_json.as_deref().expect("trace captured");
+            assert!(serde_json::parse_value(trace).is_ok(), "{}", la.label);
+            let m = la.artifacts.metrics.as_ref().expect("metrics captured");
+            assert_eq!(
+                m.metrics.histograms["csb_flush_retry_latency"].count, m.csb.flush_successes,
+                "{}",
+                la.label
+            );
+            flushes += m.csb.flush_successes;
+        }
+        // The report's aggregate is the sum of the per-point snapshots.
+        let agg = report.metrics.as_ref().expect("aggregate metrics");
+        assert_eq!(agg.histograms["csb_flush_retry_latency"].count, flushes);
+        assert!(report.render().contains("flush retry latency"));
+    }
+
+    #[test]
+    fn unobserved_run_captures_nothing() {
+        let specs = vec![PointSpec {
+            label: "plain/16B".into(),
+            cfg: SimConfig::default(),
+            work: PointWork::Bandwidth {
+                transfer: 16,
+                scheme: Scheme::Uncached { block: 8 },
+                order: StoreOrder::Ascending,
+            },
+        }];
+        let (results, report) = run_points(&specs, 1);
+        let outcome = results[0].as_ref().unwrap();
+        assert!(outcome.artifacts.is_empty());
+        assert!(report.metrics.is_none());
+    }
+
+    #[test]
+    fn observed_artifacts_identical_across_jobs() {
+        // The per-point artifacts are produced by single-threaded
+        // simulations and reassembled by index, so worker count must not
+        // leak into them.
+        let spec = fig5::panel_spec(&SimConfig::default(), LockResidency::Hit);
+        let obs = ObsConfig {
+            trace: true,
+            metrics: true,
+        };
+        let specs = spec.enumerate();
+        let short: Vec<PointSpec> = specs.into_iter().take(6).collect();
+        let (v1, a1, _) = run_values_observed(&short, 1, obs).unwrap();
+        let (v4, a4, _) = run_values_observed(&short, 4, obs).unwrap();
+        assert_eq!(v1, v4);
+        for (x, y) in a1.iter().zip(&a4) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.artifacts.trace_json, y.artifacts.trace_json);
+            assert_eq!(
+                serde_json::to_string(x.artifacts.metrics.as_ref().unwrap()).unwrap(),
+                serde_json::to_string(y.artifacts.metrics.as_ref().unwrap()).unwrap()
+            );
+        }
     }
 }

@@ -58,4 +58,4 @@ pub mod workloads;
 
 pub use config::{SimConfig, SimConfigError, COMBINING_BASE, LOCK_ADDR, UNCACHED_BASE};
 pub use device::{DeliveredWrite, IoDevice};
-pub use sim::{RunSummary, SimError, Simulator};
+pub use sim::{MetricsReport, RunSummary, SimError, Simulator};

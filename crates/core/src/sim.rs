@@ -6,10 +6,13 @@ use std::fmt;
 use csb_bus::{BusStats, SystemBus, TxnKind};
 use csb_cpu::{Cpu, CpuStats, MemPort, Pid};
 use csb_isa::{Addr, AddressMap, AddressSpace, Program};
-use csb_mem::{AccessKind, FlatMemory, MemoryHierarchy, MemoryStats};
+use csb_mem::{AccessKind, FlatMemory, HitLevel, MemoryHierarchy, MemoryStats};
+use csb_obs::{EventKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink, Track};
 use csb_uncached::{
-    ConditionalStoreBuffer, CsbError, CsbStats, PushOutcome, UncachedBuffer, UncachedStats,
+    ConditionalStoreBuffer, CsbError, CsbStats, PushOutcome, StoreOutcome, UncachedBuffer,
+    UncachedStats,
 };
+use serde::Serialize;
 
 use crate::config::{SimConfig, SimConfigError};
 use crate::device::IoDevice;
@@ -67,6 +70,17 @@ pub(crate) struct Machine {
     pending_swaps: HashMap<u64, (u64, u64)>,
     /// Uncached swaps in flight: tag -> (width, new value to write).
     swap_writes: HashMap<u64, (usize, u64)>,
+    /// Structured trace sink shared with every component (disabled unless
+    /// [`Simulator::enable_tracing`] ran).
+    obs: TraceSink,
+    /// Metrics registry (disabled unless [`Simulator::enable_metrics`] ran).
+    metrics: MetricsRegistry,
+    /// CPU cycle of the combining store that started the current CSB line
+    /// (for the store→flush gap histogram).
+    csb_line_start: Option<u64>,
+    /// CPU cycle of the first failed conditional flush of the current retry
+    /// sequence (for the flush retry latency histogram).
+    csb_retry_since: Option<u64>,
 }
 
 impl Machine {
@@ -86,6 +100,8 @@ impl Machine {
                     .expect("uncached buffer emits only legal transactions")
                     .expect("bus said it could accept");
                 self.ubuf.transaction_accepted();
+                self.metrics
+                    .observe("uncached_txn_bytes", pt.txn.payload as u64);
                 self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
             } else if self.csb.peek_transaction().is_some() {
                 let pt = {
@@ -98,6 +114,8 @@ impl Machine {
                     .expect("CSB emits only legal transactions")
                     .expect("bus said it could accept");
                 self.csb.transaction_accepted();
+                self.metrics
+                    .observe("csb_burst_bytes", pt.txn.payload as u64);
                 self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
             } else {
                 break;
@@ -144,7 +162,25 @@ impl MemPort for Machine {
     }
 
     fn cached_access(&mut self, addr: Addr, kind: AccessKind, now: u64) -> u64 {
-        self.hier.access(addr, kind, now).0
+        let (done_at, level) = self.hier.access(addr, kind, now);
+        match level {
+            HitLevel::L1 => {}
+            HitLevel::L2 => self.obs.emit(
+                Track::Cpu,
+                EventKind::CacheMiss {
+                    addr: addr.raw(),
+                    level: "L2",
+                },
+            ),
+            HitLevel::Memory => self.obs.emit(
+                Track::Cpu,
+                EventKind::CacheMiss {
+                    addr: addr.raw(),
+                    level: "memory",
+                },
+            ),
+        }
+        done_at
     }
 
     fn read(&mut self, addr: Addr, width: usize) -> u64 {
@@ -204,7 +240,12 @@ impl MemPort for Machine {
     fn csb_store(&mut self, pid: Pid, addr: Addr, width: usize, value: u64) -> bool {
         let bytes = value.to_le_bytes();
         match self.csb.store(pid, addr, &bytes[..width]) {
-            Ok(_) => true,
+            Ok(outcome) => {
+                if matches!(outcome, StoreOutcome::Reset) {
+                    self.csb_line_start = Some(self.now);
+                }
+                true
+            }
             Err(CsbError::Busy) => false,
             Err(e @ CsbError::BadStore { .. }) => {
                 panic!("program issued an illegal combining store: {e}")
@@ -217,10 +258,53 @@ impl MemPort for Machine {
     }
 
     fn csb_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> u64 {
-        self.csb
-            .conditional_flush(pid, addr, expected)
-            .register_value(expected)
+        let outcome = self.csb.conditional_flush(pid, addr, expected);
+        if self.metrics.is_enabled() {
+            match outcome {
+                csb_uncached::FlushOutcome::Success => {
+                    // Latency of the software retry sequence: 0 when the
+                    // first attempt succeeded, else the distance back to
+                    // the first failure. One observation per success, so
+                    // the histogram count equals `CsbStats.flush_successes`.
+                    let latency = self.now - self.csb_retry_since.take().unwrap_or(self.now);
+                    self.metrics.observe("csb_flush_retry_latency", latency);
+                    if latency == 0 {
+                        self.metrics.inc("csb_flush_first_try");
+                    } else {
+                        self.metrics.inc("csb_flush_retried");
+                    }
+                    if let Some(start) = self.csb_line_start.take() {
+                        self.metrics
+                            .observe("csb_store_flush_gap", self.now - start);
+                    }
+                }
+                csb_uncached::FlushOutcome::Fail => {
+                    self.csb_retry_since.get_or_insert(self.now);
+                }
+            }
+        }
+        outcome.register_value(expected)
     }
+}
+
+/// Everything a metrics JSON artifact holds for one simulation point: the
+/// end-of-run statistics of every component plus the histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsReport {
+    /// Total CPU cycles simulated.
+    pub cycles: u64,
+    /// Core statistics.
+    pub cpu: CpuStats,
+    /// Bus statistics.
+    pub bus: BusStats,
+    /// Uncached buffer statistics.
+    pub uncached: UncachedStats,
+    /// Conditional store buffer statistics.
+    pub csb: CsbStats,
+    /// Cache hierarchy statistics.
+    pub mem: MemoryStats,
+    /// Counters and histogram summaries recorded during the run.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Aggregated results of a simulation run.
@@ -276,6 +360,10 @@ impl Simulator {
             pending_reads: HashMap::new(),
             pending_swaps: HashMap::new(),
             swap_writes: HashMap::new(),
+            obs: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            csb_line_start: None,
+            csb_retry_since: None,
         };
         let cpu = Cpu::new(cfg.cpu, program);
         Ok(Simulator { cfg, cpu, machine })
@@ -318,8 +406,41 @@ impl Simulator {
         self.machine.hier.flush_line(addr);
     }
 
+    /// Starts recording cycle-stamped structured events from every
+    /// component into one shared [`TraceSink`]: CPU retires/squashes/stall
+    /// runs, CSB store and flush lifecycle, uncached-buffer traffic, and
+    /// bus/foreign occupancy (bus timestamps rescaled by the CPU:bus
+    /// ratio). Read the stream with [`Simulator::trace_events`] or export
+    /// it with [`Simulator::chrome_trace`]. Costs memory per event;
+    /// intended for single diagnostic runs, not sweeps.
+    pub fn enable_tracing(&mut self) {
+        if self.machine.obs.is_enabled() {
+            return;
+        }
+        let sink = TraceSink::enabled();
+        self.cpu.set_trace_sink(sink.clone());
+        self.machine.ubuf.set_trace_sink(sink.clone());
+        self.machine.csb.set_trace_sink(sink.clone());
+        self.machine.bus.set_trace_sink(sink.scaled(self.cfg.ratio));
+        self.machine.obs = sink;
+    }
+
+    /// Starts recording counters and latency histograms (flush retry
+    /// latency, store→flush gaps, burst payload sizes, ROB stall runs)
+    /// into a [`MetricsRegistry`], snapshotted by
+    /// [`Simulator::metrics_snapshot`] / [`Simulator::metrics_report`].
+    pub fn enable_metrics(&mut self) {
+        if self.machine.metrics.is_enabled() {
+            return;
+        }
+        let metrics = MetricsRegistry::enabled();
+        self.cpu.set_metrics(metrics.clone());
+        self.machine.metrics = metrics;
+    }
+
     /// Advances the machine by one CPU cycle (bus included on its ticks).
     pub fn tick(&mut self) {
+        self.machine.obs.set_now(self.cpu.now());
         if self.machine.now.is_multiple_of(self.machine.ratio) {
             self.machine.bus_tick();
         }
@@ -364,6 +485,40 @@ impl Simulator {
     /// Conditional store buffer counters (cheap accessor for schedulers).
     pub fn csb_stats(&self) -> csb_uncached::CsbStats {
         *self.machine.csb.stats()
+    }
+
+    /// A copy of the recorded structured event stream (empty unless
+    /// [`Simulator::enable_tracing`] was called before running).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.machine.obs.snapshot()
+    }
+
+    /// The recorded event stream exported as Chrome trace-event JSON,
+    /// loadable in `ui.perfetto.dev` (one track per agent, one trace
+    /// microsecond per CPU cycle).
+    pub fn chrome_trace(&self) -> String {
+        csb_obs::chrome_trace_json(&self.machine.obs.snapshot())
+    }
+
+    /// A snapshot of the recorded counters and histograms (empty unless
+    /// [`Simulator::enable_metrics`] was called before running).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.machine.metrics.snapshot()
+    }
+
+    /// The full metrics artifact for this run: component statistics plus
+    /// the histogram snapshot, ready for JSON serialization.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let s = self.summary();
+        MetricsReport {
+            cycles: s.cycles,
+            cpu: s.cpu,
+            bus: s.bus,
+            uncached: s.uncached,
+            csb: s.csb,
+            mem: s.mem,
+            metrics: self.metrics_snapshot(),
+        }
     }
 
     /// Snapshot of all statistics.
@@ -492,6 +647,101 @@ mod tests {
             Err(SimError::CycleLimit { limit: 1000 }) => {}
             other => panic!("expected cycle limit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracing_and_metrics_cover_a_csb_run() {
+        let program = assemble(|a| {
+            let retry = a.new_label();
+            a.movi(Reg::O1, COMBINING_BASE as i64);
+            a.bind(retry).unwrap();
+            a.movi(Reg::L4, 8);
+            for i in 0..8 {
+                a.movi(Reg::L0, 0x10 + i);
+                a.std(Reg::L0, Reg::O1, 8 * i);
+            }
+            a.swap(Reg::L4, Reg::O1, 0);
+            a.cmpi(Reg::L4, 8);
+            a.bnz(retry);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        sim.enable_tracing();
+        sim.enable_metrics();
+        let s = sim.run(100_000).unwrap();
+
+        let events = sim.trace_events();
+        // Each component spoke on its own track.
+        for track in [Track::Cpu, Track::Csb, Track::Bus] {
+            assert!(
+                events.iter().any(|e| e.track == track),
+                "no events on {track:?}"
+            );
+        }
+        // The trace agrees with the counters.
+        let retires = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Retire { .. }))
+            .count() as u64;
+        assert_eq!(retires, s.cpu.retired);
+        let flush_done = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CsbFlushOutcome { .. }))
+            .count() as u64;
+        assert_eq!(flush_done, s.csb.flush_successes + s.csb.flush_failures);
+        // The bus span lands on the rescaled CPU timeline.
+        let bus_txn = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::BusTxn { .. }))
+            .expect("bus transaction traced");
+        assert!(bus_txn.dur >= sim.config().ratio);
+        assert!(bus_txn.cycle < s.cycles);
+
+        // One flush-retry-latency observation per successful flush — the
+        // invariant the metrics artifact is validated against.
+        let snap = sim.metrics_snapshot();
+        assert_eq!(
+            snap.histograms["csb_flush_retry_latency"].count,
+            s.csb.flush_successes
+        );
+        assert_eq!(
+            snap.counters
+                .get("csb_flush_first_try")
+                .copied()
+                .unwrap_or(0)
+                + snap.counters.get("csb_flush_retried").copied().unwrap_or(0),
+            s.csb.flush_successes
+        );
+        assert_eq!(snap.histograms["csb_burst_bytes"].count, s.csb.bursts);
+        assert_eq!(
+            snap.histograms["csb_store_flush_gap"].count,
+            s.csb.flush_successes
+        );
+
+        // The report serializes with everything embedded.
+        let report = sim.metrics_report();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("csb_flush_retry_latency"));
+        assert!(json.contains("\"flush_successes\""));
+
+        // And the Chrome export is parseable JSON naming all five tracks.
+        let chrome = sim.chrome_trace();
+        assert!(serde_json::parse_value(&chrome).is_ok());
+        assert!(chrome.contains("CPU pipeline") && chrome.contains("Foreign traffic"));
+    }
+
+    #[test]
+    fn tracing_disabled_is_inert() {
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.movi(Reg::L0, 1);
+            a.std(Reg::L0, Reg::O1, 0);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        sim.run(100_000).unwrap();
+        assert!(sim.trace_events().is_empty());
+        assert!(sim.metrics_snapshot().is_empty());
     }
 
     #[test]

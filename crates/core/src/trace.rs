@@ -28,25 +28,31 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Renders the timeline with a cycle ruler every ten cycles.
+    /// Renders the timeline with a cycle ruler: the window start is always
+    /// labeled, then every multiple of ten, each label sitting directly
+    /// above the cycle it names. A label whose column is still covered by
+    /// the previous label is skipped rather than shifted, so the ones that
+    /// do appear are never misaligned — windows starting off a multiple of
+    /// ten (or too short to contain one) stay readable.
     pub fn render(&self) -> String {
+        let offset = |cycle: u64| (cycle - self.from) as usize;
+        let mut anchors = vec![self.from];
+        let mut next = (self.from / 10 + 1) * 10;
+        while next <= self.to {
+            anchors.push(next);
+            next += 10;
+        }
         let mut ruler = String::new();
-        let mut i = self.from;
-        while i <= self.to {
-            if i.is_multiple_of(10) {
-                let label = i.to_string();
-                ruler.push_str(&label);
-                let skip = label.len() as u64;
-                i += skip.max(1);
-                // Pad to the next multiple of ten.
-                while !i.is_multiple_of(10) && i <= self.to {
-                    ruler.push(' ');
-                    i += 1;
-                }
-            } else {
-                ruler.push(' ');
-                i += 1;
+        for anchor in anchors {
+            if offset(anchor) < ruler.len() {
+                // The previous label spills over this column; skipping
+                // keeps every printed label on its own cycle.
+                continue;
             }
+            while ruler.len() < offset(anchor) {
+                ruler.push(' ');
+            }
+            ruler.push_str(&anchor.to_string());
         }
         format!("bus cycle {ruler}\n          {}", self.lane)
     }
@@ -119,6 +125,56 @@ pub fn occupancy(log: &[BusLogEntry], from: u64, to: u64) -> f64 {
     let t = timeline(log, from, to);
     let busy = t.lane.chars().filter(|&c| c != '.').count();
     busy as f64 / t.lane.len() as f64
+}
+
+/// Builds a bus-occupancy [`Timeline`] from a [`csb_obs`] trace stream —
+/// the [`crate::Simulator::enable_tracing`] successor to the
+/// [`timeline`]/`enable_bus_log` path.
+///
+/// Trace events are stamped in *CPU* cycles (the bus sink is pre-scaled by
+/// the CPU:bus frequency ratio), so `ratio` converts them back to the bus
+/// cycles the lane is drawn in. Only bus-master and foreign-traffic spans
+/// contribute; everything else in the stream is ignored.
+///
+/// # Panics
+///
+/// Panics if `from > to` or `ratio == 0`.
+pub fn timeline_from_events(
+    events: &[csb_obs::TraceEvent],
+    from: u64,
+    to: u64,
+    ratio: u64,
+) -> Timeline {
+    assert!(ratio > 0, "CPU:bus ratio must be positive");
+    let log: Vec<BusLogEntry> = events
+        .iter()
+        .filter_map(|e| {
+            let addr_cycle = e.cycle / ratio;
+            let beats = (e.dur / ratio).max(1);
+            match e.kind {
+                csb_obs::EventKind::BusTxn {
+                    size, write, tag, ..
+                } => Some(BusLogEntry {
+                    addr_cycle,
+                    completes_at: addr_cycle + beats - 1,
+                    size,
+                    kind: if write { TxnKind::Write } else { TxnKind::Read },
+                    foreign: false,
+                    tag,
+                }),
+                csb_obs::EventKind::ForeignTxn { size } => Some(BusLogEntry {
+                    addr_cycle,
+                    completes_at: addr_cycle + beats - 1,
+                    size,
+                    kind: TxnKind::Write,
+                    foreign: true,
+                    tag: 0,
+                }),
+                _ => None,
+            }
+        })
+        .collect();
+    timeline(&log, from, to)
 }
 
 #[cfg(test)]
@@ -199,6 +255,85 @@ mod tests {
         assert!(s.contains("bus cycle"));
         assert!(s.contains("0"));
         assert!(s.lines().count() == 2);
+    }
+
+    fn ruler_of(from: u64, to: u64) -> String {
+        let t = Timeline {
+            from,
+            to,
+            lane: ".".repeat((to - from + 1) as usize),
+        };
+        let s = t.render();
+        let line = s.lines().next().unwrap();
+        line.strip_prefix("bus cycle ").unwrap().to_string()
+    }
+
+    #[test]
+    fn ruler_from_zero_labels_every_ten() {
+        assert_eq!(ruler_of(0, 25), "0         10        20");
+    }
+
+    #[test]
+    fn ruler_offset_window_labels_its_start() {
+        // A window starting off a multiple of ten is anchored at `from`,
+        // with each later label above the cycle it names.
+        assert_eq!(ruler_of(13, 34), "13     20        30");
+    }
+
+    #[test]
+    fn ruler_short_window_without_decade_still_labeled() {
+        // 5..=9 contains no multiple of ten; the old renderer printed
+        // nothing but spaces here.
+        assert_eq!(ruler_of(5, 9), "5");
+    }
+
+    #[test]
+    fn ruler_skips_overlapping_labels() {
+        // "99" covers the column where "100" would start.
+        assert_eq!(ruler_of(99, 112), "99         110");
+    }
+
+    #[test]
+    fn ruler_single_cycle_window() {
+        assert_eq!(ruler_of(7, 7), "7");
+        assert_eq!(ruler_of(10, 10), "10");
+    }
+
+    #[test]
+    fn timeline_from_trace_events_matches_bus_log() {
+        // Drive the same machine through both observability paths: the
+        // legacy bus log and the TraceSink stream must draw the same lane.
+        use crate::config::COMBINING_BASE;
+        use crate::{SimConfig, Simulator};
+        use csb_isa::{Assembler, Reg};
+
+        let mut a = Assembler::new();
+        a.movi(Reg::O1, COMBINING_BASE as i64);
+        for i in 0..8 {
+            a.movi(Reg::L0, i);
+            a.std(Reg::L0, Reg::O1, 8 * i);
+        }
+        a.movi(Reg::L4, 8);
+        a.swap(Reg::L4, Reg::O1, 0);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let cfg = SimConfig::default();
+        let ratio = cfg.ratio;
+        let mut logged = Simulator::new(cfg.clone(), program.clone()).unwrap();
+        logged.enable_bus_log();
+        logged.run(100_000).unwrap();
+        let mut traced = Simulator::new(cfg, program).unwrap();
+        traced.enable_tracing();
+        traced.run(100_000).unwrap();
+
+        let from_log = timeline(logged.bus_log(), 0, 40);
+        let from_events = timeline_from_events(&traced.trace_events(), 0, 40, ratio);
+        assert_eq!(from_log, from_events);
+        assert!(
+            from_log.lane.contains('A'),
+            "burst rendered: {}",
+            from_log.lane
+        );
     }
 
     #[test]

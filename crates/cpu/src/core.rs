@@ -20,6 +20,7 @@ use std::fmt;
 
 use csb_isa::{Addr, AddressSpace, Cond, Inst, InstKind, Operand, Program, RegRef};
 use csb_mem::AccessKind;
+use csb_obs::{EventKind, MetricsRegistry, TraceSink, Track};
 
 use crate::config::CpuConfig;
 use crate::context::CpuContext;
@@ -174,6 +175,15 @@ pub struct Cpu {
     now: u64,
     stats: CpuStats,
     trace: Option<Vec<InstTrace>>,
+    /// Structured trace sink (disabled by default; see
+    /// [`Cpu::set_trace_sink`]).
+    obs: TraceSink,
+    /// Metrics registry for stall-run histograms (disabled by default).
+    metrics: MetricsRegistry,
+    /// First cycle of the uncached-stall run currently in progress.
+    uncached_stall_start: Option<u64>,
+    /// First cycle of the membar-stall run currently in progress.
+    membar_stall_start: Option<u64>,
 }
 
 impl Cpu {
@@ -200,7 +210,24 @@ impl Cpu {
             now: 0,
             stats: CpuStats::default(),
             trace: None,
+            obs: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            uncached_stall_start: None,
+            membar_stall_start: None,
         }
+    }
+
+    /// Installs a structured trace sink: retires and squashes emit instants
+    /// and stall runs emit spans on the CPU track. The core advances the
+    /// sink's shared clock each [`Cpu::tick`].
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.obs = sink;
+    }
+
+    /// Installs a metrics registry: completed stall runs are observed into
+    /// the `rob_uncached_stall_run` and `membar_stall_run` histograms.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Starts recording one [`InstTrace`] per instruction that leaves the
@@ -287,6 +314,15 @@ impl Cpu {
     /// a side-effecting instruction.
     pub fn switch_context(&mut self, new: CpuContext, program: Option<Program>) -> CpuContext {
         self.stats.squashed += self.rob.len() as u64;
+        if !self.rob.is_empty() {
+            self.obs.emit(
+                Track::Cpu,
+                EventKind::Squash {
+                    count: self.rob.len() as u64,
+                    reason: "context-switch",
+                },
+            );
+        }
         self.rob.clear();
         self.front_seq = self.next_seq;
         self.rename.clear();
@@ -319,6 +355,14 @@ impl Cpu {
 
     /// Advances the core by one cycle.
     pub fn tick<P: MemPort>(&mut self, port: &mut P) {
+        let watching = self.obs.is_enabled() || self.metrics.is_enabled();
+        let (u0, m0) = (
+            self.stats.uncached_stall_cycles,
+            self.stats.membar_stall_cycles,
+        );
+        if watching {
+            self.obs.set_now(self.now);
+        }
         if !self.halted {
             self.writeback(port);
             self.retire(port);
@@ -326,8 +370,42 @@ impl Cpu {
             self.dispatch(port);
             self.fetch();
         }
+        if watching {
+            self.track_stall_runs(u0, m0);
+        }
         self.now += 1;
         self.stats.cycles = self.now;
+    }
+
+    /// Opens/extends/closes stall-run bookkeeping by comparing the stall
+    /// counters against their values at the start of this cycle. A run that
+    /// ends emits one span and one histogram observation.
+    fn track_stall_runs(&mut self, u0: u64, m0: u64) {
+        let now = self.now;
+        if self.stats.uncached_stall_cycles > u0 {
+            self.uncached_stall_start.get_or_insert(now);
+        } else if let Some(start) = self.uncached_stall_start.take() {
+            let cycles = now - start;
+            self.obs.emit_span(
+                start,
+                cycles,
+                Track::Cpu,
+                EventKind::UncachedStallRun { cycles },
+            );
+            self.metrics.observe("rob_uncached_stall_run", cycles);
+        }
+        if self.stats.membar_stall_cycles > m0 {
+            self.membar_stall_start.get_or_insert(now);
+        } else if let Some(start) = self.membar_stall_start.take() {
+            let cycles = now - start;
+            self.obs.emit_span(
+                start,
+                cycles,
+                Track::Cpu,
+                EventKind::MembarStallRun { cycles },
+            );
+            self.metrics.observe("membar_stall_run", cycles);
+        }
     }
 
     fn arch_value(&self, r: RegRef) -> u64 {
@@ -420,6 +498,15 @@ impl Cpu {
     fn squash_after(&mut self, idx: usize) {
         let removed = self.rob.len() - (idx + 1);
         self.stats.squashed += removed as u64;
+        if removed > 0 {
+            self.obs.emit(
+                Track::Cpu,
+                EventKind::Squash {
+                    count: removed as u64,
+                    reason: "mispredict",
+                },
+            );
+        }
         if self.trace.is_some() {
             for i in idx + 1..self.rob.len() {
                 let e = self.rob[i].clone();
@@ -616,6 +703,10 @@ impl Cpu {
         debug_assert_eq!(e.st, St::Done);
         let now = self.now;
         self.record_trace(&e, Some(now));
+        self.obs.emit_with(Track::Cpu, || EventKind::Retire {
+            pc: e.pc,
+            inst: e.inst.to_string(),
+        });
 
         // Cached stores write memory at commit (release semantics of the
         // store buffer); uncached stores were delivered at head-issue time.

@@ -32,6 +32,101 @@ fn run_program(a: Assembler) -> (Cpu, SimpleMemPort) {
 }
 
 #[test]
+fn trace_sink_records_retires_squashes_and_stall_runs() {
+    let mut a = Assembler::new();
+    let skip = a.new_label();
+    a.movi(Reg::L0, 1);
+    a.cmpi(Reg::L0, 1);
+    a.bz(skip); // forward taken: mispredict squashes the next inst
+    a.movi(Reg::L1, 99);
+    a.bind(skip).unwrap();
+    a.halt();
+    let program = a.assemble().unwrap();
+    let mut cpu = Cpu::new(CpuConfig::default(), program);
+    let sink = TraceSink::enabled();
+    let metrics = MetricsRegistry::enabled();
+    cpu.set_trace_sink(sink.clone());
+    cpu.set_metrics(metrics.clone());
+    let mut port = SimpleMemPort::with_map(io_map(), 2);
+    cpu.run(&mut port, 100_000).unwrap();
+
+    let events = sink.snapshot();
+    let retires = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Retire { .. }))
+        .count() as u64;
+    assert_eq!(retires, cpu.stats().retired);
+    assert!(events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::Squash {
+            reason: "mispredict",
+            ..
+        }
+    )));
+    // Every event sits on the CPU track, stamped within the run.
+    assert!(events
+        .iter()
+        .all(|e| e.track == Track::Cpu && e.cycle < cpu.now()));
+    // The retire payload carries the instruction text.
+    assert!(events.iter().any(|e| matches!(
+        &e.kind,
+        EventKind::Retire { inst, .. } if inst == "halt"
+    )));
+}
+
+#[test]
+fn stall_runs_emit_spans_and_histogram_observations() {
+    // A refused combining store (uncached stall run) followed by a membar
+    // held by a slow-draining port (membar stall run).
+    let mut a = Assembler::new();
+    a.movi(Reg::O1, COMBINING_BASE as i64);
+    a.movi(Reg::L0, 5);
+    a.std(Reg::L0, Reg::O1, 0);
+    a.membar();
+    a.halt();
+    let program = a.assemble().unwrap();
+    let mut cpu = Cpu::new(CpuConfig::default(), program);
+    let sink = TraceSink::enabled();
+    let metrics = MetricsRegistry::enabled();
+    cpu.set_trace_sink(sink.clone());
+    cpu.set_metrics(metrics.clone());
+    let mut inner = SimpleMemPort::with_map(io_map(), 2);
+    inner.refuse_csb = 3;
+    let mut port = DrainPort {
+        inner,
+        drain_polls: Cell::new(0),
+        polls_needed: 20,
+    };
+    cpu.run(&mut port, 10_000).unwrap();
+
+    assert!(cpu.stats().uncached_stall_cycles >= 3);
+    assert!(cpu.stats().membar_stall_cycles > 0);
+    let events = sink.snapshot();
+    let stall_span_cycles: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::UncachedStallRun { cycles } => Some(cycles),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(stall_span_cycles, cpu.stats().uncached_stall_cycles);
+    let membar_span_cycles: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MembarStallRun { cycles } => Some(cycles),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(membar_span_cycles, cpu.stats().membar_stall_cycles);
+    let h = metrics.histogram("membar_stall_run").unwrap();
+    assert_eq!(h.sum(), cpu.stats().membar_stall_cycles);
+    assert_eq!(
+        metrics.histogram("rob_uncached_stall_run").unwrap().sum(),
+        cpu.stats().uncached_stall_cycles
+    );
+}
+
+#[test]
 fn alu_dataflow_chain() {
     let mut a = Assembler::new();
     a.movi(Reg::L0, 5);

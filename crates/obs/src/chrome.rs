@@ -1,0 +1,240 @@
+//! Chrome trace-event JSON export (loadable in `ui.perfetto.dev`).
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, TraceEvent, Track};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends the `"args"` object for an event.
+fn args_into(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::Retire { pc, inst } => {
+            let _ = write!(out, "{{\"pc\":{pc},\"inst\":\"");
+            escape_into(out, inst);
+            out.push_str("\"}");
+        }
+        EventKind::UncachedStallRun { cycles } | EventKind::MembarStallRun { cycles } => {
+            let _ = write!(out, "{{\"cycles\":{cycles}}}");
+        }
+        EventKind::Squash { count, reason } => {
+            let _ = write!(out, "{{\"count\":{count},\"reason\":\"{reason}\"}}");
+        }
+        EventKind::CacheMiss { addr, level } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\",\"level\":\"{level}\"}}");
+        }
+        EventKind::CsbStore {
+            pid,
+            addr,
+            width,
+            count,
+            reset,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"pid\":{pid},\"addr\":\"{addr:#x}\",\"width\":{width},\
+                 \"count\":{count},\"reset\":{reset}}}"
+            );
+        }
+        EventKind::CsbBusy { addr } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\"}}");
+        }
+        EventKind::CsbFlushAttempt {
+            pid,
+            addr,
+            expected,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"pid\":{pid},\"addr\":\"{addr:#x}\",\"expected\":{expected}}}"
+            );
+        }
+        EventKind::CsbFlushOutcome { success, payload } => {
+            let _ = write!(out, "{{\"success\":{success},\"payload\":{payload}}}");
+        }
+        EventKind::UncachedPush {
+            addr,
+            width,
+            coalesced,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"addr\":\"{addr:#x}\",\"width\":{width},\"coalesced\":{coalesced}}}"
+            );
+        }
+        EventKind::UncachedLoad { addr, width } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\",\"width\":{width}}}");
+        }
+        EventKind::UncachedFull { addr } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\"}}");
+        }
+        EventKind::BusTxn {
+            addr,
+            size,
+            payload,
+            tag,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"addr\":\"{addr:#x}\",\"size\":{size},\"payload\":{payload},\"tag\":{tag}}}"
+            );
+        }
+        EventKind::ForeignTxn { size } => {
+            let _ = write!(out, "{{\"size\":{size}}}");
+        }
+    }
+}
+
+/// Renders an event stream as Chrome trace-event JSON.
+///
+/// One trace microsecond per CPU cycle; one named thread track per
+/// [`Track`] (the five agents), all under pid 1. Zero-duration events
+/// export as thread-scoped instants (`"ph":"i"`), the rest as complete
+/// spans (`"ph":"X"`). Events are ordered by start cycle (ties keep
+/// emission order), so equal inputs produce byte-identical output.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.cycle);
+
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+    for track in Track::ALL {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track.tid(),
+            track.name()
+        );
+    }
+    for e in sorted {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+            e.kind.name(),
+            e.track.tid(),
+            e.cycle
+        );
+        if e.dur == 0 {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        } else {
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", e.dur);
+        }
+        out.push_str(",\"args\":");
+        args_into(&mut out, &e.kind);
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 12,
+                dur: 54,
+                track: Track::Bus,
+                kind: EventKind::BusTxn {
+                    addr: 0x2000_0000,
+                    size: 64,
+                    payload: 64,
+                    write: true,
+                    tag: 7,
+                },
+            },
+            TraceEvent {
+                cycle: 3,
+                dur: 0,
+                track: Track::Cpu,
+                kind: EventKind::Retire {
+                    pc: 2,
+                    inst: "std r1, [dev]".into(),
+                },
+            },
+            TraceEvent {
+                cycle: 12,
+                dur: 0,
+                track: Track::Csb,
+                kind: EventKind::CsbFlushOutcome {
+                    success: true,
+                    payload: 64,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_all_tracks() {
+        let json = chrome_trace_json(&sample());
+        let value = serde_json::parse_value(&json).expect("export must parse as JSON");
+        let text = value.render_compact();
+        for track in Track::ALL {
+            assert!(text.contains(track.name()), "missing track {:?}", track);
+        }
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn events_sort_by_cycle_with_stable_ties() {
+        let json = chrome_trace_json(&sample());
+        let retire = json.find("\"retire\"").unwrap();
+        let bus = json.find("\"bus.write\"").unwrap();
+        let flush = json.find("\"csb.flush.done\"").unwrap();
+        assert!(retire < bus, "cycle 3 before cycle 12");
+        assert!(bus < flush, "equal cycles keep emission order");
+    }
+
+    #[test]
+    fn empty_stream_still_exports_metadata() {
+        let json = chrome_trace_json(&[]);
+        assert!(serde_json::parse_value(&json).is_ok());
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let events = vec![TraceEvent {
+            cycle: 0,
+            dur: 0,
+            track: Track::Cpu,
+            kind: EventKind::Retire {
+                pc: 0,
+                inst: "say \"hi\"\\".into(),
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("say \\\"hi\\\"\\\\"));
+        assert!(serde_json::parse_value(&json).is_ok());
+    }
+}

@@ -1,0 +1,235 @@
+//! Structured, cycle-stamped trace events and the tracks they render on.
+
+/// The agent (Perfetto thread track) an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The out-of-order core: retires, stall runs, squashes, cache misses.
+    Cpu,
+    /// The conditional store buffer: combining stores and flushes.
+    Csb,
+    /// The FIFO uncached buffer: pushes, coalesces, full stalls.
+    Uncached,
+    /// The local bus master: address/data occupancy per transaction.
+    Bus,
+    /// Foreign-master occupancy from the background-traffic model.
+    Foreign,
+}
+
+impl Track {
+    /// Every track, in display (tid) order.
+    pub const ALL: [Track; 5] = [
+        Track::Cpu,
+        Track::Csb,
+        Track::Uncached,
+        Track::Bus,
+        Track::Foreign,
+    ];
+
+    /// The Chrome-trace thread id this track exports as.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Cpu => 1,
+            Track::Csb => 2,
+            Track::Uncached => 3,
+            Track::Bus => 4,
+            Track::Foreign => 5,
+        }
+    }
+
+    /// The human-readable track name shown in the Perfetto UI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Cpu => "CPU pipeline",
+            Track::Csb => "CSB",
+            Track::Uncached => "Uncached buffer",
+            Track::Bus => "Bus master",
+            Track::Foreign => "Foreign traffic",
+        }
+    }
+}
+
+/// What happened. Every variant carries the machine state that makes the
+/// event diagnosable on its own, without joining against other streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instruction retired (left the ROB head, in order).
+    Retire {
+        /// Program counter of the retired instruction.
+        pc: usize,
+        /// Disassembled instruction text.
+        inst: String,
+    },
+    /// A run of consecutive cycles in which retirement stalled on an
+    /// uncached operation (buffer full, CSB busy, flush not accepted).
+    UncachedStallRun {
+        /// Length of the run in CPU cycles.
+        cycles: u64,
+    },
+    /// A run of consecutive cycles in which a `membar` at the ROB head
+    /// waited for the uncached buffer to drain.
+    MembarStallRun {
+        /// Length of the run in CPU cycles.
+        cycles: u64,
+    },
+    /// In-flight instructions were squashed.
+    Squash {
+        /// Number of ROB entries discarded.
+        count: u64,
+        /// Why: `"mispredict"` or `"context-switch"`.
+        reason: &'static str,
+    },
+    /// A cached access missed the L1 (and possibly the L2).
+    CacheMiss {
+        /// Accessed address.
+        addr: u64,
+        /// Level that finally served it: `"L2"` or `"memory"`.
+        level: &'static str,
+    },
+    /// The CSB accepted a combining store.
+    CsbStore {
+        /// Issuing process.
+        pid: u32,
+        /// Store address.
+        addr: u64,
+        /// Store width in bytes.
+        width: usize,
+        /// Hit counter after the store.
+        count: u64,
+        /// `true` if the store cleared and restarted the buffer (cold
+        /// start or conflict) rather than merging.
+        reset: bool,
+    },
+    /// The CSB refused a store while delivering a flushed line (the
+    /// processor stalls and retries).
+    CsbBusy {
+        /// Store address that was refused.
+        addr: u64,
+    },
+    /// A conditional flush was attempted.
+    CsbFlushAttempt {
+        /// Flushing process.
+        pid: u32,
+        /// Line address being committed.
+        addr: u64,
+        /// The store count the flush claims.
+        expected: u64,
+    },
+    /// The outcome of the flush attempted this cycle.
+    CsbFlushOutcome {
+        /// `true` if the line was committed as a burst.
+        success: bool,
+        /// Payload bytes committed (0 on failure).
+        payload: u64,
+    },
+    /// The uncached buffer accepted a store.
+    UncachedPush {
+        /// Store address.
+        addr: u64,
+        /// Store width in bytes.
+        width: usize,
+        /// `true` if it coalesced into a waiting entry.
+        coalesced: bool,
+    },
+    /// The uncached buffer accepted a load (or the load half of a swap).
+    UncachedLoad {
+        /// Load address.
+        addr: u64,
+        /// Load width in bytes.
+        width: usize,
+    },
+    /// The uncached buffer refused a store (full; the processor stalls).
+    UncachedFull {
+        /// Store address that was refused.
+        addr: u64,
+    },
+    /// A local transaction occupied the bus (address + data cycles).
+    BusTxn {
+        /// Target address.
+        addr: u64,
+        /// Transfer size in bytes.
+        size: usize,
+        /// Meaningful payload bytes (≤ size).
+        payload: usize,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// Transaction tag (ROB sequence number for uncached loads/swaps).
+        tag: u64,
+    },
+    /// A foreign master occupied the bus (fair-share background traffic).
+    ForeignTxn {
+        /// Foreign burst size in bytes.
+        size: usize,
+    },
+}
+
+impl EventKind {
+    /// Short dotted event name used in the trace export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Retire { .. } => "retire",
+            EventKind::UncachedStallRun { .. } => "stall.uncached",
+            EventKind::MembarStallRun { .. } => "stall.membar",
+            EventKind::Squash { .. } => "squash",
+            EventKind::CacheMiss { .. } => "cache.miss",
+            EventKind::CsbStore { .. } => "csb.store",
+            EventKind::CsbBusy { .. } => "csb.busy",
+            EventKind::CsbFlushAttempt { .. } => "csb.flush",
+            EventKind::CsbFlushOutcome { .. } => "csb.flush.done",
+            EventKind::UncachedPush { .. } => "uncached.push",
+            EventKind::UncachedLoad { .. } => "uncached.load",
+            EventKind::UncachedFull { .. } => "uncached.full",
+            EventKind::BusTxn { write: true, .. } => "bus.write",
+            EventKind::BusTxn { write: false, .. } => "bus.read",
+            EventKind::ForeignTxn { .. } => "bus.foreign",
+        }
+    }
+}
+
+/// One recorded event on the shared CPU-cycle timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// CPU cycle the event starts at.
+    pub cycle: u64,
+    /// Duration in CPU cycles; 0 renders as an instant.
+    pub dur: u64,
+    /// The agent this event belongs to.
+    pub track: Track,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_have_distinct_tids_and_names() {
+        let mut tids: Vec<u32> = Track::ALL.iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Track::ALL.len());
+        for t in Track::ALL {
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn event_names_follow_read_write() {
+        let w = EventKind::BusTxn {
+            addr: 0,
+            size: 8,
+            payload: 8,
+            write: true,
+            tag: 0,
+        };
+        let r = EventKind::BusTxn {
+            addr: 0,
+            size: 8,
+            payload: 8,
+            write: false,
+            tag: 0,
+        };
+        assert_eq!(w.name(), "bus.write");
+        assert_eq!(r.name(), "bus.read");
+    }
+}

@@ -1,0 +1,206 @@
+//! The zero-cost-when-disabled trace sink handle.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::event::{EventKind, TraceEvent, Track};
+
+#[derive(Debug, Default)]
+struct Shared {
+    /// The current CPU cycle, advanced once per cycle by the simulator.
+    now: Cell<u64>,
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+/// A cloneable handle into one shared stream of cycle-stamped events.
+///
+/// Every simulation component holds a `TraceSink`; the default handle is
+/// *disabled* and every call on it is a single branch. The simulator
+/// creates one enabled sink, installs clones into the components, and
+/// advances the shared clock with [`TraceSink::set_now`] once per CPU
+/// cycle, so components never thread `now` through their call chains.
+///
+/// Components clocked in bus cycles hold a [`TraceSink::scaled`] handle:
+/// their [`TraceSink::emit_span`] timestamps are multiplied onto the
+/// shared CPU-cycle timeline at emission.
+///
+/// Handles are `Rc`-based and deliberately not `Send`: a simulator and
+/// all its components live on one worker thread, and the parallel
+/// experiment runner extracts plain `String`/snapshot artifacts before
+/// results cross threads.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    shared: Option<Rc<Shared>>,
+    /// CPU cycles per caller cycle (1 for CPU-clocked components).
+    scale: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
+}
+
+impl TraceSink {
+    /// A disabled handle: every emit is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        TraceSink {
+            shared: None,
+            scale: 1,
+        }
+    }
+
+    /// A new, enabled, empty sink at cycle 0.
+    pub fn enabled() -> Self {
+        TraceSink {
+            shared: Some(Rc::new(Shared::default())),
+            scale: 1,
+        }
+    }
+
+    /// `true` if events emitted through this handle are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// A handle onto the same stream whose `emit_span` timestamps are in
+    /// units of `scale` CPU cycles (e.g. the CPU:bus frequency ratio for
+    /// the bus). Scales compose multiplicatively.
+    #[must_use]
+    pub fn scaled(&self, scale: u64) -> Self {
+        TraceSink {
+            shared: self.shared.clone(),
+            scale: self.scale * scale.max(1),
+        }
+    }
+
+    /// Advances the shared clock to `cycle` (CPU cycles, unscaled).
+    /// Called once per cycle by the simulator tick loop.
+    pub fn set_now(&self, cycle: u64) {
+        if let Some(s) = &self.shared {
+            s.now.set(cycle);
+        }
+    }
+
+    /// The shared clock's current CPU cycle (0 when disabled).
+    pub fn now(&self) -> u64 {
+        self.shared.as_ref().map_or(0, |s| s.now.get())
+    }
+
+    /// Records an instant event at the shared clock's current cycle.
+    pub fn emit(&self, track: Track, kind: EventKind) {
+        if let Some(s) = &self.shared {
+            s.events.borrow_mut().push(TraceEvent {
+                cycle: s.now.get(),
+                dur: 0,
+                track,
+                kind,
+            });
+        }
+    }
+
+    /// Records an instant event at the current cycle, building the payload
+    /// only when the sink is enabled (use when the payload allocates, e.g.
+    /// disassembled instruction text).
+    pub fn emit_with(&self, track: Track, kind: impl FnOnce() -> EventKind) {
+        if let Some(s) = &self.shared {
+            s.events.borrow_mut().push(TraceEvent {
+                cycle: s.now.get(),
+                dur: 0,
+                track,
+                kind: kind(),
+            });
+        }
+    }
+
+    /// Records a span of `dur` caller cycles starting at caller cycle
+    /// `cycle`; both are rescaled onto the CPU-cycle timeline.
+    pub fn emit_span(&self, cycle: u64, dur: u64, track: Track, kind: EventKind) {
+        if let Some(s) = &self.shared {
+            s.events.borrow_mut().push(TraceEvent {
+                cycle: cycle * self.scale,
+                dur: dur * self.scale,
+                track,
+                kind,
+            });
+        }
+    }
+
+    /// Number of events recorded so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.shared.as_ref().map_or(0, |s| s.events.borrow().len())
+    }
+
+    /// `true` if no events have been recorded (or the sink is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded event stream, in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.shared
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.events.borrow().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        sink.set_now(5);
+        sink.emit(
+            Track::Cpu,
+            EventKind::Squash {
+                count: 1,
+                reason: "mispredict",
+            },
+        );
+        sink.emit_span(0, 9, Track::Bus, EventKind::ForeignTxn { size: 8 });
+        assert!(!sink.is_enabled());
+        assert!(sink.is_empty());
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.now(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_stream_and_clock() {
+        let sink = TraceSink::enabled();
+        let other = sink.clone();
+        sink.set_now(7);
+        other.emit(Track::Csb, EventKind::CsbBusy { addr: 0x10 });
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.snapshot()[0].cycle, 7);
+        assert_eq!(other.now(), 7);
+    }
+
+    #[test]
+    fn scaled_handle_rescales_spans_only() {
+        let sink = TraceSink::enabled();
+        let bus = sink.scaled(6);
+        bus.emit_span(2, 9, Track::Bus, EventKind::ForeignTxn { size: 64 });
+        sink.set_now(3);
+        bus.emit(Track::Bus, EventKind::ForeignTxn { size: 8 });
+        let ev = sink.snapshot();
+        assert_eq!((ev[0].cycle, ev[0].dur), (12, 54));
+        // `emit` uses the shared CPU-cycle clock directly, unscaled.
+        assert_eq!((ev[1].cycle, ev[1].dur), (3, 0));
+        // Scales compose; a zero scale is clamped to 1.
+        assert_eq!(bus.scaled(2).scaled(0).scale, 12);
+    }
+
+    #[test]
+    fn emit_with_builds_lazily() {
+        let disabled = TraceSink::disabled();
+        disabled.emit_with(Track::Cpu, || panic!("must not build when disabled"));
+        let enabled = TraceSink::enabled();
+        enabled.emit_with(Track::Cpu, || EventKind::Retire {
+            pc: 4,
+            inst: "halt".into(),
+        });
+        assert_eq!(enabled.len(), 1);
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use csb_bus::Transaction;
 use csb_isa::Addr;
+use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::mask::{decompose, ByteMask, Chunk, MAX_BLOCK};
@@ -210,6 +211,9 @@ pub struct UncachedBuffer {
     cfg: UncachedConfig,
     entries: VecDeque<Entry>,
     stats: UncachedStats,
+    /// Structured trace sink (disabled by default; see
+    /// [`UncachedBuffer::set_trace_sink`]).
+    sink: TraceSink,
 }
 
 impl UncachedBuffer {
@@ -230,7 +234,15 @@ impl UncachedBuffer {
             cfg,
             entries: VecDeque::new(),
             stats: UncachedStats::default(),
+            sink: TraceSink::disabled(),
         })
+    }
+
+    /// Installs a structured trace sink; accepted pushes, loads, and full
+    /// stalls emit instants on the uncached-buffer track, stamped by the
+    /// sink's shared clock.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// The buffer configuration.
@@ -283,11 +295,23 @@ impl UncachedBuffer {
         if self.try_coalesce(addr, base, off, data, width) {
             self.stats.stores += 1;
             self.stats.coalesced += 1;
+            self.sink.emit(
+                Track::Uncached,
+                EventKind::UncachedPush {
+                    addr: addr.raw(),
+                    width,
+                    coalesced: true,
+                },
+            );
             return PushOutcome::Coalesced;
         }
 
         if self.entries.len() >= self.cfg.capacity {
             self.stats.full_stalls += 1;
+            self.sink.emit(
+                Track::Uncached,
+                EventKind::UncachedFull { addr: addr.raw() },
+            );
             return PushOutcome::Full;
         }
         let mut se = StoreEntry {
@@ -306,6 +330,14 @@ impl UncachedBuffer {
         self.entries.push_back(Entry::Store(se));
         self.stats.stores += 1;
         self.stats.entries += 1;
+        self.sink.emit(
+            Track::Uncached,
+            EventKind::UncachedPush {
+                addr: addr.raw(),
+                width,
+                coalesced: false,
+            },
+        );
         PushOutcome::NewEntry
     }
 
@@ -407,10 +439,21 @@ impl UncachedBuffer {
         );
         if self.entries.len() >= self.cfg.capacity {
             self.stats.full_stalls += 1;
+            self.sink.emit(
+                Track::Uncached,
+                EventKind::UncachedFull { addr: addr.raw() },
+            );
             return false;
         }
         self.entries.push_back(Entry::Load { addr, width, tag });
         self.stats.loads += 1;
+        self.sink.emit(
+            Track::Uncached,
+            EventKind::UncachedLoad {
+                addr: addr.raw(),
+                width,
+            },
+        );
         true
     }
 
@@ -805,6 +848,42 @@ mod tests {
             b.push_store(base.offset(8), &[2u8; 4]),
             PushOutcome::NewEntry
         );
+    }
+
+    #[test]
+    fn trace_sink_records_pushes_loads_and_full_stalls() {
+        let mut b = UncachedBuffer::new(UncachedConfig {
+            capacity: 2,
+            ..UncachedConfig::with_block(64)
+        })
+        .unwrap();
+        let sink = TraceSink::enabled();
+        b.set_trace_sink(sink.clone());
+        let base = Addr::new(0x2000);
+        sink.set_now(3);
+        b.push_store(base, &dword(1));
+        b.push_store(base.offset(8), &dword(2));
+        b.push_load(Addr::new(0x3000), 4, 1);
+        b.push_load(Addr::new(0x3008), 4, 2); // full
+        let kinds: Vec<&'static str> = sink.snapshot().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "uncached.push",
+                "uncached.push",
+                "uncached.load",
+                "uncached.full"
+            ]
+        );
+        let events = sink.snapshot();
+        assert!(matches!(
+            events[1].kind,
+            EventKind::UncachedPush {
+                coalesced: true,
+                ..
+            }
+        ));
+        assert_eq!(events[0].cycle, 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 
 use csb_bus::Transaction;
 use csb_isa::Addr;
+use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::mask::{decompose, ByteMask, MAX_BLOCK};
@@ -155,6 +156,24 @@ pub struct CsbStats {
     pub busy_stalls: u64,
 }
 
+impl fmt::Display for CsbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flushes = self.flush_successes + self.flush_failures;
+        write!(
+            f,
+            "csb: {} stores ({} resets), {}/{} flushes ok, {} bursts, \
+             {} payload bytes, {} busy stalls",
+            self.stores,
+            self.resets,
+            self.flush_successes,
+            flushes,
+            self.bursts,
+            self.payload_bytes,
+            self.busy_stalls
+        )
+    }
+}
+
 #[derive(Debug, Clone)]
 struct LineBuf {
     base: Addr,
@@ -188,6 +207,9 @@ pub struct ConditionalStoreBuffer {
     /// Flushed bursts awaiting the system interface.
     pending: VecDeque<PreparedTxn>,
     stats: CsbStats,
+    /// Structured trace sink (disabled by default; see
+    /// [`ConditionalStoreBuffer::set_trace_sink`]).
+    sink: TraceSink,
 }
 
 impl ConditionalStoreBuffer {
@@ -206,7 +228,15 @@ impl ConditionalStoreBuffer {
             current: None,
             pending: VecDeque::new(),
             stats: CsbStats::default(),
+            sink: TraceSink::disabled(),
         })
+    }
+
+    /// Installs a structured trace sink; stores, busy stalls, and flush
+    /// attempts/outcomes emit instants on the CSB track, stamped by the
+    /// sink's shared clock.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// The CSB configuration.
@@ -261,6 +291,8 @@ impl ConditionalStoreBuffer {
         }
         if !self.can_accept_store() {
             self.stats.busy_stalls += 1;
+            self.sink
+                .emit(Track::Csb, EventKind::CsbBusy { addr: addr.raw() });
             return Err(CsbError::Busy);
         }
         let base = addr.align_down(self.cfg.line as u64);
@@ -272,6 +304,16 @@ impl ConditionalStoreBuffer {
                 line.mask.set_range(off, width);
                 line.data[off..off + width].copy_from_slice(data);
                 line.count += 1;
+                self.sink.emit(
+                    Track::Csb,
+                    EventKind::CsbStore {
+                        pid,
+                        addr: addr.raw(),
+                        width,
+                        count: line.count,
+                        reset: false,
+                    },
+                );
                 Ok(StoreOutcome::Merged { count: line.count })
             }
             slot => {
@@ -287,6 +329,16 @@ impl ConditionalStoreBuffer {
                 line.mask.set_range(off, width);
                 line.data[off..off + width].copy_from_slice(data);
                 *slot = Some(line);
+                self.sink.emit(
+                    Track::Csb,
+                    EventKind::CsbStore {
+                        pid,
+                        addr: addr.raw(),
+                        width,
+                        count: 1,
+                        reset: true,
+                    },
+                );
                 Ok(StoreOutcome::Reset)
             }
         }
@@ -306,6 +358,14 @@ impl ConditionalStoreBuffer {
     /// the commit.
     pub fn conditional_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> FlushOutcome {
         let base = addr.align_down(self.cfg.line as u64);
+        self.sink.emit(
+            Track::Csb,
+            EventKind::CsbFlushAttempt {
+                pid,
+                addr: base.raw(),
+                expected,
+            },
+        );
         let ok = self.can_accept_flush()
             && self
                 .current
@@ -314,11 +374,25 @@ impl ConditionalStoreBuffer {
         let line = self.current.take();
         if !ok {
             self.stats.flush_failures += 1;
+            self.sink.emit(
+                Track::Csb,
+                EventKind::CsbFlushOutcome {
+                    success: false,
+                    payload: 0,
+                },
+            );
             return FlushOutcome::Fail;
         }
         let line = line.expect("checked above");
         self.stats.flush_successes += 1;
         let payload_total = line.mask.count();
+        self.sink.emit(
+            Track::Csb,
+            EventKind::CsbFlushOutcome {
+                success: true,
+                payload: payload_total as u64,
+            },
+        );
         self.stats.payload_bytes += payload_total as u64;
         if self.cfg.variable_burst {
             for c in decompose(line.mask, self.cfg.line) {
@@ -591,6 +665,74 @@ mod tests {
     fn register_value_semantics() {
         assert_eq!(FlushOutcome::Success.register_value(8), 8);
         assert_eq!(FlushOutcome::Fail.register_value(8), 0);
+    }
+
+    #[test]
+    fn stats_display_summarizes_counters() {
+        let mut c = csb();
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        c.store(1, line.offset(8), &dword(2)).unwrap();
+        c.conditional_flush(1, line, 2);
+        let s = c.stats().to_string();
+        assert_eq!(
+            s,
+            "csb: 2 stores (1 resets), 1/1 flushes ok, 1 bursts, \
+             16 payload bytes, 0 busy stalls"
+        );
+    }
+
+    #[test]
+    fn trace_sink_records_store_and_flush_lifecycle() {
+        let mut c = csb();
+        let sink = TraceSink::enabled();
+        c.set_trace_sink(sink.clone());
+        let line = Addr::new(0x1000);
+        sink.set_now(5);
+        c.store(1, line, &dword(1)).unwrap();
+        c.store(1, line.offset(8), &dword(2)).unwrap();
+        sink.set_now(9);
+        c.conditional_flush(1, line.offset(8), 2);
+        // Busy stall after the flush (single-buffered).
+        c.store(1, line, &dword(3)).unwrap_err();
+        let kinds: Vec<&'static str> = sink.snapshot().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "csb.store",
+                "csb.store",
+                "csb.flush",
+                "csb.flush.done",
+                "csb.busy"
+            ]
+        );
+        let events = sink.snapshot();
+        assert_eq!(events[0].cycle, 5);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::CsbStore {
+                reset: true,
+                count: 1,
+                ..
+            }
+        ));
+        // The flush attempt reports the line-aligned address.
+        assert!(matches!(
+            events[2].kind,
+            EventKind::CsbFlushAttempt {
+                addr: 0x1000,
+                expected: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[3].kind,
+            EventKind::CsbFlushOutcome {
+                success: true,
+                payload: 16,
+            }
+        ));
+        assert_eq!(events[4].cycle, 9);
     }
 
     #[test]

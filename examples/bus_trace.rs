@@ -5,26 +5,42 @@
 //! sequential detector, and the CSB. Legend: `A` address cycle, `D` data
 //! cycle, `.` idle.
 //!
+//! The timelines come from the unified trace layer
+//! (`Simulator::enable_tracing` + `trace::timeline_from_events`), the
+//! same stream the `--trace-out` Perfetto export reads — the legacy
+//! `enable_bus_log` path draws identical lanes but sees only the bus.
+//!
 //! Run with: `cargo run --example bus_trace`
 
 use csb_core::{trace, workloads, SimConfig, Simulator};
+use csb_obs::{TraceEvent, Track};
 use csb_uncached::UncachedConfig;
 
 fn run_traced(cfg: SimConfig, label: &str) {
+    let ratio = cfg.ratio;
     let program =
         workloads::store_bandwidth(64, &cfg, workloads::StorePath::Uncached).expect("valid size");
     let mut sim = Simulator::new(cfg, program).expect("valid machine");
-    sim.enable_bus_log();
+    sim.enable_tracing();
     let s = sim.run(1_000_000).expect("run completes");
-    show(label, sim.bus_log(), s.bus.transactions);
+    show(label, &sim.trace_events(), ratio, s.bus.transactions);
 }
 
-fn show(label: &str, log: &[csb_bus::BusLogEntry], txns: u64) {
-    let last = log.iter().map(|e| e.completes_at).max().unwrap_or(0);
-    let t = trace::timeline(log, 0, last.max(20));
+fn show(label: &str, events: &[TraceEvent], ratio: u64, txns: u64) {
+    // Bus spans are stamped in CPU cycles (pre-scaled by the ratio); the
+    // last occupied bus cycle bounds the window.
+    let last = events
+        .iter()
+        .filter(|e| matches!(e.track, Track::Bus | Track::Foreign))
+        .map(|e| ((e.cycle + e.dur) / ratio).saturating_sub(1))
+        .max()
+        .unwrap_or(0);
+    let window = trace::timeline_from_events(events, 0, last, ratio);
+    let busy = window.lane.chars().filter(|&c| c != '.').count();
+    let t = trace::timeline_from_events(events, 0, last.max(20), ratio);
     println!(
         "{label}  ({txns} transactions, {:.0}% occupied)",
-        trace::occupancy(log, 0, last) * 100.0
+        busy as f64 / window.lane.len() as f64 * 100.0
     );
     println!("{}\n", t.render());
 }
@@ -53,15 +69,17 @@ fn main() {
     // The CSB path: stores park in the CSB (no bus activity at all) until
     // the conditional flush commits the whole line as one burst.
     let cfg = SimConfig::default();
+    let ratio = cfg.ratio;
     let program =
         workloads::store_bandwidth(64, &cfg, workloads::StorePath::Csb).expect("valid size");
     let mut sim = Simulator::new(cfg, program).expect("valid machine");
-    sim.enable_bus_log();
+    sim.enable_tracing();
     sim.cpu_mut().enable_trace();
     let s = sim.run(1_000_000).expect("run completes");
     show(
         "conditional store buffer",
-        sim.bus_log(),
+        &sim.trace_events(),
+        ratio,
         s.bus.transactions,
     );
 
