@@ -1,12 +1,16 @@
-//! Serial vs. parallel execution of one Figure 3 panel through the
-//! experiment runner — the speedup measurement for the engine itself.
+//! Engine throughput benchmarks: serial vs. parallel execution of one
+//! Figure 3 panel through the experiment runner, plus the naive-loop vs.
+//! fast-forward simulated-cycles-per-second sweep.
 //!
-//! Run with `cargo bench -p csb-bench --bench runner_bench`; the numbers
-//! are recorded in EXPERIMENTS.md.
+//! Run with `cargo bench -p csb-bench --bench runner_bench`; the parallel
+//! numbers are recorded in EXPERIMENTS.md, and the fast-forward sweep is
+//! written to `BENCH_sim_throughput.json` in the working directory (the
+//! checked-in copy at the repo root is regenerated this way; CI's
+//! perf-smoke job gates on the Figure 5(b) speedup in it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csb_core::experiments::fig3;
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use csb_core::experiments::runner::run_bandwidth_panels;
+use csb_core::experiments::{fig3, throughput};
 
 fn bench_runner(c: &mut Criterion) {
     let mut group = c.benchmark_group("runner");
@@ -28,4 +32,27 @@ fn bench_runner(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_runner);
-criterion_main!(benches);
+
+/// Wall-clock samples per leg of the fast-forward sweep; the best is
+/// reported, so a handful suffices.
+const THROUGHPUT_SAMPLES: usize = 5;
+
+/// Executions batched inside each timed sample — the figure points are
+/// short programs, so a single run is below timer resolution.
+const THROUGHPUT_REPS: usize = 64;
+
+fn main() {
+    benches();
+
+    let report = throughput::measure(THROUGHPUT_SAMPLES, THROUGHPUT_REPS)
+        .expect("throughput points simulate");
+    eprint!("{}", report.render());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // Anchor to the workspace root: cargo-bench's CWD is the package dir.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_sim_throughput.json"
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}

@@ -2,13 +2,15 @@
 //! overhead (§4.3.2), the double-buffered CSB, the variable-burst CSB
 //! (§3.2), and the PIO/DMA break-even sweep (§5).
 //!
-//! Usage: `cargo run -p csb-bench --bin ablations [--jobs N] [--json out.json]`
+//! Usage: `cargo run -p csb-bench --bin ablations [--jobs N] [--json out.json]
+//! [--no-fast-forward]`
 
 use csb_core::dma::{DmaModel, PioMethod, MESSAGE_SIZES};
 use csb_core::experiments::{ablations, format_table};
 use csb_core::SimConfig;
 
 fn main() {
+    csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
 
     // --- Superscalar width vs. lock overhead --------------------------

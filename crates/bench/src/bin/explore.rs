@@ -5,7 +5,8 @@
 //! cargo run -p csb-bench --bin explore -- \
 //!     [--bus mux|split] [--width N] [--line N] [--ratio N] \
 //!     [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
-//!     [--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE]
+//!     [--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] \
+//!     [--no-fast-forward]
 //! ```
 //!
 //! `--bytes` accepts a comma-separated list, turning the explorer into a
@@ -18,6 +19,8 @@
 //!
 //! Defaults reproduce the paper's baseline machine with the CSB at one
 //! cache line.
+
+use std::io::{BufWriter, Write};
 
 use csb_bus::BusConfig;
 use csb_core::experiments::runner::{run_points, PointSpec, PointWork};
@@ -89,6 +92,7 @@ fn parse_args() -> Args {
             }
             "--timeline" => args.timeline = val("--timeline").parse().expect("numeric --timeline"),
             "--asm" => args.asm = Some(val("--asm")),
+            "--no-fast-forward" => csb_core::set_default_fast_forward(false),
             other => panic!("unknown flag {other}; see the binary's doc comment"),
         }
     }
@@ -150,7 +154,10 @@ fn main() {
             })
             .collect();
         let (results, report) = run_points(&specs, args.jobs);
-        println!(
+        // Lock stdout once and buffer the sweep output.
+        let mut out = BufWriter::new(std::io::stdout().lock());
+        writeln!(
+            out,
             "machine : {} bus, {}B wide, {}B line, ratio {}, turnaround {}, delay {}",
             cfg.bus.kind(),
             cfg.bus.width(),
@@ -158,12 +165,15 @@ fn main() {
             cfg.ratio,
             cfg.bus.turnaround(),
             cfg.bus.min_addr_delay()
-        );
-        println!(
+        )
+        .unwrap();
+        writeln!(
+            out,
             "sweep   : {} over {} transfer sizes\n",
             scheme,
             args.bytes.len()
-        );
+        )
+        .unwrap();
         let headers = vec![
             "bytes".to_string(),
             "B/bus-cycle".to_string(),
@@ -184,7 +194,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", format_table(&headers, &rows));
+        writeln!(out, "{}", format_table(&headers, &rows)).unwrap();
+        out.flush().expect("stdout flushes");
         eprintln!("{}", report.render());
         return;
     }
@@ -231,7 +242,10 @@ fn main() {
     sim.enable_tracing();
     let s = sim.run(100_000_000).expect("run completes");
 
-    println!(
+    // Lock stdout once and buffer the report + timeline.
+    let mut out = BufWriter::new(std::io::stdout().lock());
+    writeln!(
+        out,
         "machine : {} bus, {}B wide, {}B line, ratio {}, turnaround {}, delay {}",
         cfg.bus.kind(),
         cfg.bus.width(),
@@ -239,18 +253,22 @@ fn main() {
         cfg.ratio,
         cfg.bus.turnaround(),
         cfg.bus.min_addr_delay()
-    );
+    )
+    .unwrap();
     match &args.asm {
-        Some(f) => println!("workload: assembled from {f}"),
-        None => println!("workload: {} bytes via {}", bytes, args.scheme),
+        Some(f) => writeln!(out, "workload: assembled from {f}").unwrap(),
+        None => writeln!(out, "workload: {} bytes via {}", bytes, args.scheme).unwrap(),
     }
-    println!(
+    writeln!(
+        out,
         "result  : {:.2} bytes/bus-cycle over {} bus cycles, {} transactions, {} CPU cycles",
         s.bus.effective_bandwidth(),
         s.bus.window_cycles(),
         s.bus.transactions,
         s.cycles
-    );
+    )
+    .unwrap();
     let t = trace::timeline_from_events(&sim.trace_events(), 0, args.timeline, cfg.ratio);
-    println!("\n{}", t.render());
+    writeln!(out, "\n{}", t.render()).unwrap();
+    out.flush().expect("stdout flushes");
 }

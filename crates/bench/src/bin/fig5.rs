@@ -1,18 +1,26 @@
 //! Regenerates Figure 5: lock/access/unlock vs. CSB latency, panels (a)-(b).
 //!
 //! Usage: `cargo run -p csb-bench --bin fig5 [--jobs N] [--json out.json]
-//! [--trace-out trace.json] [--metrics-out metrics.json]`
+//! [--trace-out trace.json] [--metrics-out metrics.json]
+//! [--no-fast-forward]`
+
+use std::io::{BufWriter, Write};
 
 use csb_core::experiments::fig5;
 
 fn main() {
+    csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
     let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
     let (panels, artifacts, report) =
         fig5::run_jobs_observed(jobs, obs).expect("Figure 5 panels simulate");
+    // Lock stdout once and buffer: the tables are thousands of short
+    // lines, and a per-line lock/flush dominates the print path.
+    let mut out = BufWriter::new(std::io::stdout().lock());
     for p in &panels {
-        println!("{}", p.to_table());
+        writeln!(out, "{}", p.to_table()).expect("stdout writable");
     }
+    out.flush().expect("stdout flushes");
     eprintln!("{}", report.render());
     csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
     if let Some(path) = csb_bench::json_path_from_args() {

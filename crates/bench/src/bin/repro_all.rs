@@ -2,49 +2,95 @@
 //! the paper's whole evaluation section.
 //!
 //! Usage: `cargo run --release -p csb-bench --bin repro_all [--jobs N]
-//! [--trace-out trace.json] [--metrics-out metrics.json]`
+//! [--trace-out trace.json] [--metrics-out metrics.json]
+//! [--no-fast-forward]`
 //!
 //! `--jobs N` fans the simulation points of each figure out over `N`
 //! worker threads (default: all cores). The tables on stdout are
 //! byte-identical for every worker count; the engine's aggregate
 //! `RunReport` is printed to stderr at the end. The observability flags
 //! capture one artifact per simulation point across all three figures.
+//! `--no-fast-forward` forces the naive cycle-by-cycle simulation loop
+//! (identical tables, slower wall clock).
+
+use std::io::{BufWriter, Write};
 
 use csb_core::experiments::{fig3, fig4, fig5};
 
 fn main() {
+    csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
     let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
+    // One stdout lock + buffer for the whole reproduction; per-line
+    // println! costs a lock and flush each.
+    let mut out = BufWriter::new(std::io::stdout().lock());
 
-    println!("==================================================================");
-    println!("Figure 3: uncached store bandwidth, 8-byte multiplexed bus");
-    println!("==================================================================\n");
+    writeln!(
+        out,
+        "=================================================================="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "Figure 3: uncached store bandwidth, 8-byte multiplexed bus"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "==================================================================\n"
+    )
+    .unwrap();
     let (panels, artifacts, mut report) =
         fig3::run_jobs_observed(jobs, obs).expect("Figure 3 simulates");
     for p in panels {
-        println!("{}", p.to_table());
+        writeln!(out, "{}", p.to_table()).unwrap();
     }
     csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
 
-    println!("==================================================================");
-    println!("Figure 4: uncached store bandwidth, split address/data bus");
-    println!("==================================================================\n");
+    writeln!(
+        out,
+        "=================================================================="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "Figure 4: uncached store bandwidth, split address/data bus"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "==================================================================\n"
+    )
+    .unwrap();
     let (panels, artifacts, r4) = fig4::run_jobs_observed(jobs, obs).expect("Figure 4 simulates");
     report.merge(&r4);
     for p in panels {
-        println!("{}", p.to_table());
+        writeln!(out, "{}", p.to_table()).unwrap();
     }
     csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
 
-    println!("==================================================================");
-    println!("Figure 5: locking vs. conditional store buffer (CPU cycles)");
-    println!("==================================================================\n");
+    writeln!(
+        out,
+        "=================================================================="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "Figure 5: locking vs. conditional store buffer (CPU cycles)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "==================================================================\n"
+    )
+    .unwrap();
     let (panels, artifacts, r5) = fig5::run_jobs_observed(jobs, obs).expect("Figure 5 simulates");
     report.merge(&r5);
     for p in panels {
-        println!("{}", p.to_table());
+        writeln!(out, "{}", p.to_table()).unwrap();
     }
     csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
+    out.flush().expect("stdout flushes");
 
     eprintln!("{}", report.render());
 }

@@ -41,6 +41,9 @@ fn main() -> ExitCode {
                 "--trace-out" | "--metrics-out" => {
                     args.next();
                 }
+                // Accepted for uniformity with the other binaries; tracing
+                // already suppresses fast-forward, so this is a no-op here.
+                "--no-fast-forward" => {}
                 _ if a.starts_with("--trace-out=") || a.starts_with("--metrics-out=") => {}
                 "--list" => {
                     for spec in all_points() {

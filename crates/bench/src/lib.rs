@@ -7,7 +7,9 @@
 //! `--jobs N` to fan the simulation points out over `N` worker threads
 //! (default: all cores; `--jobs 1` is the serial path) — the tables on
 //! stdout are byte-identical either way, and the engine's `RunReport`
-//! goes to stderr.
+//! goes to stderr. Pass `--no-fast-forward` to force the naive
+//! cycle-by-cycle simulation loop (results are identical; only wall
+//! clock changes).
 //!
 //! Observability: `--trace-out <file>` captures a Chrome trace-event JSON
 //! document per simulation point and `--metrics-out <file>` a metrics
@@ -119,6 +121,17 @@ pub fn write_artifacts(
             let path = artifact_path(base, &la.label);
             dump_json(&path, metrics);
         }
+    }
+}
+
+/// Applies the `--no-fast-forward` flag: when present, disables the
+/// event-driven idle-cycle fast-forward for every simulator the process
+/// creates, forcing the naive cycle-by-cycle loop. Results are identical
+/// either way (that is enforced by differential tests); the flag exists
+/// as an escape hatch and for before/after throughput measurements.
+pub fn apply_fast_forward_flag() {
+    if std::env::args().skip(1).any(|a| a == "--no-fast-forward") {
+        csb_core::set_default_fast_forward(false);
     }
 }
 

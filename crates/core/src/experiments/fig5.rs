@@ -75,6 +75,36 @@ pub fn latency_point_observed(
     residency: LockResidency,
     obs: ObsConfig,
 ) -> Result<(u64, u64, PointArtifacts), ExpError> {
+    let mut sim = latency_sim(cfg, dwords, scheme, residency)?;
+    if obs.trace {
+        sim.enable_tracing();
+    }
+    if obs.metrics {
+        sim.enable_metrics();
+    }
+    let summary = sim.run(50_000_000)?;
+    let latency = summary
+        .cpu
+        .mark_interval(MARK_START, MARK_END)
+        .ok_or(ExpError::MissingMark)?;
+    let artifacts = PointArtifacts {
+        trace_json: obs.trace.then(|| sim.chrome_trace()),
+        metrics: obs.metrics.then(|| sim.metrics_report()),
+    };
+    Ok((latency, summary.cycles, artifacts))
+}
+
+/// Builds the ready-to-run simulator for one latency point: the
+/// scheme-specialized machine, the lock/CSB sequence, and the lock line
+/// warmed or evicted per `residency` — not yet run. The
+/// [`super::throughput`] harness uses this to time the simulation loop
+/// alone, with construction outside the measured region.
+pub(crate) fn latency_sim(
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+) -> Result<Simulator, ExpError> {
     let (cfg, program) = match scheme {
         Scheme::Uncached { block } => {
             let c = cfg.clone().combining_block(block);
@@ -96,26 +126,11 @@ pub fn latency_point_observed(
         Scheme::Csb => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
     };
     let mut sim = Simulator::new(cfg, program)?;
-    if obs.trace {
-        sim.enable_tracing();
-    }
-    if obs.metrics {
-        sim.enable_metrics();
-    }
     match residency {
         LockResidency::Hit => sim.warm_line(Addr::new(LOCK_ADDR)),
         LockResidency::Miss => sim.evict_line(Addr::new(LOCK_ADDR)),
     }
-    let summary = sim.run(50_000_000)?;
-    let latency = summary
-        .cpu
-        .mark_interval(MARK_START, MARK_END)
-        .ok_or(ExpError::MissingMark)?;
-    let artifacts = PointArtifacts {
-        trace_json: obs.trace.then(|| sim.chrome_trace()),
-        metrics: obs.metrics.then(|| sim.metrics_report()),
-    };
-    Ok((latency, summary.cycles, artifacts))
+    Ok(sim)
 }
 
 /// The declarative panel spec for one residency on the given machine.

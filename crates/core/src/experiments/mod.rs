@@ -4,7 +4,9 @@
 //! * [`fig4`] — uncached store bandwidth on a split address/data bus, (a)–(e),
 //! * [`fig5`] — lock/access/unlock vs. CSB latency, panels (a)–(b),
 //! * [`ablations`] — the in-text studies: superscalar width vs. lock
-//!   overhead, the double-buffered CSB, and the variable-burst CSB.
+//!   overhead, the double-buffered CSB, and the variable-burst CSB,
+//! * [`throughput`] — simulated-cycles-per-second of the engine itself,
+//!   naive loop vs. idle-cycle fast-forward.
 //!
 //! Each harness returns serializable panel structures with a plain-text
 //! table renderer, so the `csb-bench` binaries can print the same rows and
@@ -17,6 +19,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod runner;
+pub mod throughput;
 
 use std::fmt;
 
@@ -261,6 +264,31 @@ pub fn bandwidth_point_observed(
     order: workloads::StoreOrder,
     obs: runner::ObsConfig,
 ) -> Result<(f64, u64, runner::PointArtifacts), ExpError> {
+    let mut sim = bandwidth_sim(cfg, transfer, scheme, order)?;
+    if obs.trace {
+        sim.enable_tracing();
+    }
+    if obs.metrics {
+        sim.enable_metrics();
+    }
+    let summary = sim.run(POINT_LIMIT)?;
+    let artifacts = runner::PointArtifacts {
+        trace_json: obs.trace.then(|| sim.chrome_trace()),
+        metrics: obs.metrics.then(|| sim.metrics_report()),
+    };
+    Ok((summary.bus.effective_bandwidth(), summary.cycles, artifacts))
+}
+
+/// Builds the ready-to-run simulator for one bandwidth point: the
+/// scheme-specialized machine plus the generated store workload, not yet
+/// run. The [`throughput`] harness uses this to time the simulation loop
+/// alone, with construction outside the measured region.
+pub(crate) fn bandwidth_sim(
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+) -> Result<Simulator, ExpError> {
     let mut cfg = cfg.clone();
     let path = match scheme {
         Scheme::Uncached { block } => {
@@ -278,19 +306,7 @@ pub fn bandwidth_point_observed(
         Scheme::Csb => StorePath::Csb,
     };
     let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
-    let mut sim = Simulator::new(cfg, program)?;
-    if obs.trace {
-        sim.enable_tracing();
-    }
-    if obs.metrics {
-        sim.enable_metrics();
-    }
-    let summary = sim.run(POINT_LIMIT)?;
-    let artifacts = runner::PointArtifacts {
-        trace_json: obs.trace.then(|| sim.chrome_trace()),
-        metrics: obs.metrics.then(|| sim.metrics_report()),
-    };
-    Ok((summary.bus.effective_bandwidth(), summary.cycles, artifacts))
+    Ok(Simulator::new(cfg, program)?)
 }
 
 /// Runs a full bandwidth panel over [`TRANSFERS`] and the scheme ladder of

@@ -1,0 +1,254 @@
+//! Simulated-cycles-per-second throughput measurement: the naive
+//! cycle-by-cycle loop vs. the event-driven idle-cycle fast-forward, on
+//! representative figure points.
+//!
+//! What is timed is the simulation loop alone: simulators are built (and
+//! the lock line warmed/evicted) *outside* the measured region, then a
+//! batch of prepared simulators is run back to back — the figure points
+//! are short programs, so per-point construction would otherwise drown
+//! the loop in allocator noise. Fast-forward is toggled per simulator,
+//! and the measured values of both legs are asserted identical, so the
+//! throughput bench doubles as one more differential check.
+//! `runner_bench` serializes the resulting [`ThroughputReport`] to
+//! `BENCH_sim_throughput.json`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use super::runner::{PointSpec, PointValue, PointWork};
+use super::{fig4, fig5, ExpError, POINT_LIMIT};
+use crate::sim::{RunSummary, Simulator};
+use crate::workloads::{MARK_END, MARK_START};
+
+/// Before/after throughput for one figure point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputPoint {
+    /// Runner label, e.g. `"5b/8dw/64B"`.
+    pub label: String,
+    /// CPU cycles one execution of the point simulates (identical on
+    /// both legs).
+    pub sim_cycles: u64,
+    /// Best-of-samples wall seconds per execution, naive loop.
+    pub naive_wall_s: f64,
+    /// Simulated cycles per wall second, naive loop.
+    pub naive_cycles_per_sec: f64,
+    /// Best-of-samples wall seconds per execution with fast-forward on.
+    pub ff_wall_s: f64,
+    /// Simulated cycles per wall second with fast-forward on.
+    pub ff_cycles_per_sec: f64,
+    /// `ff_cycles_per_sec / naive_cycles_per_sec`.
+    pub speedup: f64,
+}
+
+/// The full before/after sweep `runner_bench` writes to
+/// `BENCH_sim_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Wall-clock samples taken per leg (the best is reported).
+    pub samples: usize,
+    /// Executions batched inside each timed sample.
+    pub reps: usize,
+    /// One row per measured figure point.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputReport {
+    /// The row for `label`, if it was measured.
+    pub fn point(&self, label: &str) -> Option<&ThroughputPoint> {
+        self.points.iter().find(|p| p.label == label)
+    }
+
+    /// Plain-text rendering for the bench's stderr output.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "point                    sim cycles   naive Mc/s      ff Mc/s   speedup\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>12.2} {:>12.2} {:>8.2}x\n",
+                p.label,
+                p.sim_cycles,
+                p.naive_cycles_per_sec / 1e6,
+                p.ff_cycles_per_sec / 1e6,
+                p.speedup
+            ));
+        }
+        out
+    }
+}
+
+/// The representative points the throughput bench sweeps: one Figure 4
+/// bandwidth point (bus-bound CSB store stream on the split bus) and the
+/// Figure 5(b) lock-miss point under full-line combining — the lock swap
+/// pays the 100-cycle miss and the stores wait out long bus bursts, so
+/// nearly every cycle is provably inert: the fast-forward's home turf.
+///
+/// # Panics
+///
+/// Panics if the figure harnesses stop enumerating these labels — the
+/// bench must fail loudly rather than silently measure nothing.
+pub fn default_points() -> Vec<PointSpec> {
+    let want = ["4a/256B/CSB", "5b/8dw/64B"];
+    let mut all: Vec<PointSpec> = fig4::panel_specs()
+        .iter()
+        .flat_map(|p| p.enumerate())
+        .chain(fig5::panel_specs().iter().flat_map(|p| p.enumerate()))
+        .collect();
+    want.iter()
+        .map(|label| {
+            let idx = all
+                .iter()
+                .position(|s| &s.label == label)
+                .unwrap_or_else(|| panic!("figure harnesses no longer enumerate {label}"));
+            all.swap_remove(idx)
+        })
+        .collect()
+}
+
+/// Builds the ready-to-run simulator for `spec` with the requested loop
+/// flavor — shared machinery with the figure harnesses themselves.
+fn prepare(spec: &PointSpec, fast_forward: bool) -> Result<Simulator, ExpError> {
+    let mut sim = match spec.work {
+        PointWork::Bandwidth {
+            transfer,
+            scheme,
+            order,
+        } => super::bandwidth_sim(&spec.cfg, transfer, scheme, order)?,
+        PointWork::Latency {
+            dwords,
+            scheme,
+            residency,
+        } => fig5::latency_sim(&spec.cfg, dwords, scheme, residency)?,
+    };
+    sim.set_fast_forward(fast_forward);
+    Ok(sim)
+}
+
+/// Extracts the figure value a completed run measured.
+fn point_value(work: &PointWork, summary: &RunSummary) -> Result<PointValue, ExpError> {
+    match work {
+        PointWork::Bandwidth { .. } => Ok(PointValue::Bandwidth(summary.bus.effective_bandwidth())),
+        PointWork::Latency { .. } => summary
+            .cpu
+            .mark_interval(MARK_START, MARK_END)
+            .map(PointValue::Latency)
+            .ok_or(ExpError::MissingMark),
+    }
+}
+
+/// One timed sample: runs `reps` prepared simulators back to back and
+/// returns (wall seconds per execution, cycles per second, the measured
+/// value, cycles per execution).
+fn sample(
+    spec: &PointSpec,
+    fast_forward: bool,
+    reps: usize,
+) -> Result<(f64, f64, PointValue, u64), ExpError> {
+    let mut sims = (0..reps.max(1))
+        .map(|_| prepare(spec, fast_forward))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut summaries = Vec::with_capacity(sims.len());
+    let t0 = Instant::now();
+    for sim in &mut sims {
+        summaries.push(sim.run(POINT_LIMIT)?);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let total: u64 = summaries.iter().map(|s| s.cycles).sum();
+    let last = summaries.last().expect("at least one rep ran");
+    let value = point_value(&spec.work, last)?;
+    Ok((
+        wall / summaries.len() as f64,
+        total as f64 / wall,
+        value,
+        last.cycles,
+    ))
+}
+
+/// Measures one point both ways: naive loop first, then fast-forward.
+/// Takes `samples` timed samples of `reps` executions per leg (plus one
+/// warmup each) and reports the best.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either leg.
+///
+/// # Panics
+///
+/// Panics if the two legs disagree on the measured value or cycle count —
+/// that would be a cycle-exactness bug, not a throughput result.
+pub fn measure_point(
+    spec: &PointSpec,
+    samples: usize,
+    reps: usize,
+) -> Result<ThroughputPoint, ExpError> {
+    let mut best: [Option<(f64, f64, PointValue, u64)>; 2] = [None, None];
+    for (leg, slot) in [false, true].into_iter().zip(best.iter_mut()) {
+        sample(spec, leg, reps)?; // warmup: page in code + allocator state
+        for _ in 0..samples.max(1) {
+            let s = sample(spec, leg, reps)?;
+            if slot.as_ref().is_none_or(|b| s.0 < b.0) {
+                *slot = Some(s);
+            }
+        }
+    }
+    let (naive_wall_s, naive_cps, naive_value, naive_cycles) = best[0].expect("naive leg sampled");
+    let (ff_wall_s, ff_cps, ff_value, ff_cycles) = best[1].expect("ff leg sampled");
+    assert_eq!(
+        naive_value, ff_value,
+        "{}: fast-forward changed the measured value",
+        spec.label
+    );
+    assert_eq!(
+        naive_cycles, ff_cycles,
+        "{}: fast-forward changed the cycle count",
+        spec.label
+    );
+    Ok(ThroughputPoint {
+        label: spec.label.clone(),
+        sim_cycles: ff_cycles,
+        naive_wall_s,
+        naive_cycles_per_sec: naive_cps,
+        ff_wall_s,
+        ff_cycles_per_sec: ff_cps,
+        speedup: ff_cps / naive_cps,
+    })
+}
+
+/// Measures every [`default_points`] spec.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn measure(samples: usize, reps: usize) -> Result<ThroughputReport, ExpError> {
+    let points = default_points()
+        .iter()
+        .map(|spec| measure_point(spec, samples, reps))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ThroughputReport {
+        samples,
+        reps,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_points_enumerate_both_figures() {
+        let points = default_points();
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["4a/256B/CSB", "5b/8dw/64B"]);
+    }
+
+    #[test]
+    fn measure_point_agrees_across_legs() {
+        let spec = default_points().pop().expect("two points");
+        let p = measure_point(&spec, 1, 4).expect("point simulates");
+        assert_eq!(p.label, "5b/8dw/64B");
+        assert!(p.sim_cycles > 0);
+        assert!(p.naive_cycles_per_sec > 0.0 && p.ff_cycles_per_sec > 0.0);
+    }
+}

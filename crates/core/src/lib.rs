@@ -58,4 +58,6 @@ pub mod workloads;
 
 pub use config::{SimConfig, SimConfigError, COMBINING_BASE, LOCK_ADDR, UNCACHED_BASE};
 pub use device::{DeliveredWrite, IoDevice};
-pub use sim::{MetricsReport, RunSummary, SimError, Simulator};
+pub use sim::{
+    default_fast_forward, set_default_fast_forward, MetricsReport, RunSummary, SimError, Simulator,
+};

@@ -182,7 +182,7 @@ impl MultiSim {
                     if self.sim.cpu().now() >= limit {
                         return Err(SimError::CycleLimit { limit });
                     }
-                    self.sim.tick();
+                    self.sim.advance(limit);
                 }
                 break;
             }
@@ -190,7 +190,17 @@ impl MultiSim {
             if now >= limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            self.sim.tick();
+            // Fast-forward may jump an idle gap, but never past the point
+            // where this loop would act: the end of the current slice (the
+            // first cycle `slice_over` can fire — `switch_safe` is
+            // invariant while the pipeline is inert, so if it is false now
+            // it stays false until a real tick) or the cycle limit.
+            let cap = if self.sim.cpu().switch_safe() {
+                limit.min(slice_start.saturating_add(self.slices[self.current]))
+            } else {
+                limit
+            };
+            self.sim.advance(cap.max(now + 1));
             let now = self.sim.cpu().now();
 
             if self.sim.cpu().halted() && !self.procs[self.current].done {
@@ -244,6 +254,12 @@ impl MultiSim {
     /// The underlying simulator (device and statistics inspection).
     pub fn simulator(&self) -> &Simulator {
         &self.sim
+    }
+
+    /// Enables or disables event-driven fast-forward on the underlying
+    /// simulator (see [`Simulator::set_fast_forward`]).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.sim.set_fast_forward(on);
     }
 }
 

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use csb_bus::{BusStats, SystemBus, TxnKind};
-use csb_cpu::{Cpu, CpuStats, MemPort, Pid};
+use csb_cpu::{Cpu, CpuHorizon, CpuStats, MemPort, Pid, StallCause};
 use csb_isa::{Addr, AddressMap, AddressSpace, Program};
 use csb_mem::{AccessKind, FlatMemory, HitLevel, MemoryHierarchy, MemoryStats};
 use csb_obs::{EventKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink, Track};
@@ -154,6 +155,36 @@ impl Machine {
     fn io_drained(&self) -> bool {
         self.ubuf.is_drained() && self.csb.is_drained()
     }
+
+    /// The earliest future CPU cycle at which the memory system can change
+    /// state on its own: an outstanding uncached read/swap completing, or
+    /// the next bus cycle at which a queued transaction can issue. `None`
+    /// when nothing is in flight (only the CPU can create new work).
+    ///
+    /// Valid only between ticks: bus state mutates exclusively inside
+    /// `try_issue` (foreign debt included), so `earliest_start` is frozen
+    /// until the next issue — which happens no earlier than the returned
+    /// cycle.
+    fn next_event(&self) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        let mut note = |t: u64| horizon = Some(horizon.map_or(t, |h: u64| h.min(t)));
+        for &(ready, _) in self
+            .pending_reads
+            .values()
+            .chain(self.pending_swaps.values())
+        {
+            note(ready);
+        }
+        if !self.ubuf.is_empty() || !self.csb.is_drained() {
+            // First bus tick at or after `now` is bus cycle ceil(now/ratio);
+            // the bus accepts at `earliest_start` of that cycle (idempotent
+            // at its own result, so that really is the issue cycle). A
+            // barrier-only uncached buffer also drains exactly there.
+            let bus_cycle = self.bus.earliest_start(self.now.div_ceil(self.ratio));
+            note(bus_cycle * self.ratio);
+        }
+        horizon
+    }
 }
 
 impl MemPort for Machine {
@@ -285,6 +316,30 @@ impl MemPort for Machine {
         }
         outcome.register_value(expected)
     }
+
+    fn uncached_store_would_accept(&self, addr: Addr, width: usize) -> bool {
+        self.ubuf.would_accept_store(addr, width)
+    }
+
+    fn uncached_load_would_accept(&self) -> bool {
+        self.ubuf.would_accept_load()
+    }
+
+    fn csb_store_would_accept(&self) -> bool {
+        self.csb.can_accept_store()
+    }
+
+    fn uncached_load_ready(&self, tag: u64) -> bool {
+        self.pending_reads
+            .get(&tag)
+            .is_some_and(|&(ready, _)| self.now >= ready)
+    }
+
+    fn uncached_swap_ready(&self, tag: u64) -> bool {
+        self.pending_swaps
+            .get(&tag)
+            .is_some_and(|&(ready, _)| self.now >= ready)
+    }
 }
 
 /// Everything a metrics JSON artifact holds for one simulation point: the
@@ -307,8 +362,24 @@ pub struct MetricsReport {
     pub metrics: MetricsSnapshot,
 }
 
+/// Default for [`Simulator`]'s fast-forward switch (process-wide).
+static DEFAULT_FAST_FORWARD: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for event-driven fast-forward in newly
+/// built [`Simulator`]s (the `--no-fast-forward` escape hatch on the
+/// bench binaries). Existing simulators are unaffected; use
+/// [`Simulator::set_fast_forward`] for those.
+pub fn set_default_fast_forward(on: bool) {
+    DEFAULT_FAST_FORWARD.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide default for event-driven fast-forward.
+pub fn default_fast_forward() -> bool {
+    DEFAULT_FAST_FORWARD.load(Ordering::Relaxed)
+}
+
 /// Aggregated results of a simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunSummary {
     /// Total CPU cycles simulated (including post-halt bus drain).
     pub cycles: u64,
@@ -334,6 +405,14 @@ pub struct Simulator {
     cfg: SimConfig,
     cpu: Cpu,
     machine: Machine,
+    /// Event-driven idle-gap skipping (cycle-exact; see
+    /// [`Simulator::set_fast_forward`]).
+    fast_forward: bool,
+    /// CPU cycles until the next bus tick (hoisted out of the per-cycle
+    /// `now % ratio` check).
+    bus_countdown: u64,
+    /// Real (non-skipped) ticks executed, for fast-forward diagnostics.
+    ticks: u64,
 }
 
 impl Simulator {
@@ -366,7 +445,14 @@ impl Simulator {
             csb_retry_since: None,
         };
         let cpu = Cpu::new(cfg.cpu, program);
-        Ok(Simulator { cfg, cpu, machine })
+        Ok(Simulator {
+            cfg,
+            cpu,
+            machine,
+            fast_forward: default_fast_forward(),
+            bus_countdown: 0,
+            ticks: 0,
+        })
     }
 
     /// The machine configuration.
@@ -441,11 +527,89 @@ impl Simulator {
     /// Advances the machine by one CPU cycle (bus included on its ticks).
     pub fn tick(&mut self) {
         self.machine.obs.set_now(self.cpu.now());
-        if self.machine.now.is_multiple_of(self.machine.ratio) {
+        if self.bus_countdown == 0 {
             self.machine.bus_tick();
+            self.bus_countdown = self.machine.ratio;
         }
+        self.bus_countdown -= 1;
         self.cpu.tick(&mut self.machine);
         self.machine.now = self.cpu.now();
+        self.ticks += 1;
+    }
+
+    /// Enables or disables event-driven fast-forward for this simulator.
+    ///
+    /// When enabled (the default, unless overridden process-wide with
+    /// [`set_default_fast_forward`]), [`Simulator::advance`] jumps the
+    /// clock over cycles in which provably nothing can happen — the CPU
+    /// pipeline is stalled or drained and no bus slot or uncached
+    /// completion falls in the gap — bulk-updating cycle counters and
+    /// stall statistics so every observable result (summary, stats,
+    /// metrics) is identical to ticking cycle by cycle. Fast-forward is
+    /// automatically suppressed while structured tracing is enabled:
+    /// per-stall-cycle trace events cannot be bulk-replayed.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// `true` if event-driven fast-forward is enabled for this simulator.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Real ticks executed so far (skipped idle cycles are not counted;
+    /// without fast-forward this equals [`Cpu::now`]).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Attempts one fast-forward jump, never past `cap`. Returns `false`
+    /// when the next cycle must be simulated for real.
+    fn try_fast_forward(&mut self, cap: u64) -> bool {
+        if !self.fast_forward || self.machine.obs.is_enabled() {
+            return false;
+        }
+        let now = self.cpu.now();
+        if now >= cap {
+            return false;
+        }
+        let CpuHorizon::Idle { wake, stall } = self.cpu.next_event(&self.machine) else {
+            return false;
+        };
+        let mut target = cap;
+        if let Some(w) = wake {
+            target = target.min(w);
+        }
+        if let Some(m) = self.machine.next_event() {
+            target = target.min(m);
+        }
+        if target <= now {
+            return false;
+        }
+        let skipped = target - now;
+        // Component-side counters the skipped refusals would have bumped
+        // (the CPU-side counters are handled by `Cpu::fast_forward`).
+        match stall {
+            Some(StallCause::UncachedStoreFull | StallCause::UncachedLoadFull) => {
+                self.machine.ubuf.add_full_stalls(skipped);
+            }
+            Some(StallCause::CsbStoreBusy) => self.machine.csb.add_busy_stalls(skipped),
+            Some(StallCause::CsbFlushWait | StallCause::Membar) | None => {}
+        }
+        self.cpu.fast_forward(target, stall);
+        self.machine.now = target;
+        let ratio = self.machine.ratio;
+        self.bus_countdown = (ratio - target % ratio) % ratio;
+        true
+    }
+
+    /// Advances simulated time: one fast-forward jump over a provably
+    /// inert gap (never past `cap`) if possible, else one real
+    /// [`Simulator::tick`].
+    pub fn advance(&mut self, cap: u64) {
+        if !self.try_fast_forward(cap) {
+            self.tick();
+        }
     }
 
     /// `true` once the program halted *and* all buffered I/O reached the
@@ -465,7 +629,7 @@ impl Simulator {
             if self.cpu.now() >= limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            self.tick();
+            self.advance(limit);
         }
         Ok(self.summary())
     }

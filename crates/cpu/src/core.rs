@@ -76,6 +76,40 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Why the pipeline is blocked at an idle horizon (see
+/// [`Cpu::next_event`]). Distinguishing the cause lets the fast-forward
+/// path bulk-update the matching stall counter for the skipped cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Head uncached store refused: the uncached buffer is full.
+    UncachedStoreFull,
+    /// Head uncached load or swap refused: the uncached buffer is full.
+    UncachedLoadFull,
+    /// Head combining store refused: the CSB is busy.
+    CsbStoreBusy,
+    /// Head conditional flush blocked: the CSB cannot accept a flush.
+    CsbFlushWait,
+    /// Head `membar` blocked: the uncached buffer has not drained.
+    Membar,
+}
+
+/// The core's activity horizon, computed by [`Cpu::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuHorizon {
+    /// The next [`Cpu::tick`] can change pipeline state; do not skip it.
+    Active,
+    /// No pipeline state can change before external input arrives.
+    Idle {
+        /// Earliest future cycle at which an in-flight operation
+        /// completes on its own (`None`: only external events — bus
+        /// deliveries, buffer drains — can wake the core).
+        wake: Option<u64>,
+        /// The stall counter every skipped cycle would have incremented
+        /// (`None`: the idle cycles are not accounted as stalls).
+        stall: Option<StallCause>,
+    },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
     Ready(u64),
@@ -406,6 +440,228 @@ impl Cpu {
             );
             self.metrics.observe("membar_stall_run", cycles);
         }
+    }
+
+    /// Pure mirror of [`Cpu::ops_ready`]: `true` when every operand of
+    /// `rob[idx]` is ready or resolvable without waiting. Deferring the
+    /// lazy `Src::Ready` rewrite is invisible: retired producers' values
+    /// are architectural (frozen while retirement is idle) and `Done`
+    /// producers' values no longer change.
+    fn ops_would_be_ready(&self, idx: usize) -> bool {
+        self.rob[idx].ops.iter().all(|op| match op.src {
+            Src::Ready(_) => true,
+            Src::Wait(seq) => {
+                seq < self.front_seq || self.rob[(seq - self.front_seq) as usize].st == St::Done
+            }
+        })
+    }
+
+    /// Computes the core's activity horizon without mutating anything: if
+    /// the next tick would change pipeline state, returns
+    /// [`CpuHorizon::Active`]; otherwise the pipeline is provably inert
+    /// until either the returned wake cycle or an external event (tracked
+    /// by the memory system's own horizon), and every skipped cycle would
+    /// have behaved identically — including incrementing the returned
+    /// stall counter.
+    ///
+    /// Over-claiming `Active` is always safe (it costs one real tick);
+    /// the implementation errs that way on every uncertain case.
+    pub fn next_event<P: MemPort>(&self, port: &P) -> CpuHorizon {
+        if self.halted {
+            // `tick` does nothing once halted; no run can still be open
+            // (stalls only accrue at the head, and the halting tick
+            // committed the head).
+            return CpuHorizon::Idle {
+                wake: None,
+                stall: None,
+            };
+        }
+        if self.cfg.uncached_per_cycle == 0 {
+            // Degenerate config: the budget check precedes every stall
+            // counter, so an uncached op at the head spins silently
+            // forever. Claim Active so the naive loop's livelock-to-limit
+            // behavior (and cycle accounting) is reproduced exactly.
+            return CpuHorizon::Active;
+        }
+        if !self.fetch_stopped
+            && self.fetch_q.len() < self.cfg.fetch_queue
+            && self.program.fetch(self.fetch_pc).is_some()
+        {
+            return CpuHorizon::Active;
+        }
+        if !self.fetch_q.is_empty() && self.rob.len() < self.cfg.rob_size {
+            return CpuHorizon::Active;
+        }
+        let mut wake: Option<u64> = None;
+        for (idx, e) in self.rob.iter().enumerate() {
+            match e.st {
+                St::Agen { done_at } | St::Exec { done_at } | St::MemAccess { done_at } => {
+                    if done_at <= self.now {
+                        return CpuHorizon::Active;
+                    }
+                    wake = Some(wake.map_or(done_at, |w| w.min(done_at)));
+                }
+                St::UncachedWait => {
+                    let ready = if matches!(e.inst, Inst::Swap { .. }) {
+                        port.uncached_swap_ready(e.seq)
+                    } else {
+                        port.uncached_load_ready(e.seq)
+                    };
+                    if ready {
+                        return CpuHorizon::Active;
+                    }
+                    // The completion cycle lives in the memory system's
+                    // horizon, not ours.
+                }
+                St::Waiting => {
+                    // Unit budgets reset every tick, so operand readiness
+                    // is the only cross-cycle blocker. (A zero-unit config
+                    // never leaves Waiting; claiming Active then matches
+                    // the naive loop's livelock.)
+                    if self.ops_would_be_ready(idx) {
+                        return CpuHorizon::Active;
+                    }
+                }
+                St::AddrReady if idx > 0 => match (e.inst.kind(), e.space) {
+                    // A blocked load (older store in the way) stays
+                    // blocked until the head retires, which the head
+                    // checks cover.
+                    (InstKind::Load, Some(AddressSpace::Cached)) if self.load_may_proceed(idx) => {
+                        return CpuHorizon::Active;
+                    }
+                    (InstKind::Store, Some(AddressSpace::Cached)) => {
+                        return CpuHorizon::Active;
+                    }
+                    // Uncached ops and atomics wait for the head.
+                    _ => {}
+                },
+                // Head AddrReady is classified below; Done entries are
+                // inert until the in-order head reaches them.
+                St::AddrReady | St::Done => {}
+            }
+        }
+        let Some(head) = self.rob.front() else {
+            // Nothing in flight, nothing to fetch: quiescent (either about
+            // to sit at a drained non-halt end-of-program forever, exactly
+            // like the naive loop, or mid-drain waiting on the fetch path
+            // handled above).
+            return CpuHorizon::Idle { wake, stall: None };
+        };
+        let stall = match head.st {
+            St::Done => {
+                if head.inst.kind() == InstKind::Membar && !port.uncached_drained() {
+                    Some(StallCause::Membar)
+                } else {
+                    // Commit makes progress.
+                    return CpuHorizon::Active;
+                }
+            }
+            St::AddrReady => {
+                if !self.ops_would_be_ready(0) {
+                    // Producers of head operands are always retired in
+                    // practice; be conservative if not.
+                    return CpuHorizon::Active;
+                }
+                let addr = head.addr.expect("AddrReady implies address");
+                let space = head.space.expect("AddrReady implies space");
+                match (&head.inst, space) {
+                    (Inst::Swap { .. }, AddressSpace::UncachedCombining) => {
+                        if port.csb_can_flush() {
+                            return CpuHorizon::Active;
+                        }
+                        Some(StallCause::CsbFlushWait)
+                    }
+                    (Inst::Swap { .. }, AddressSpace::Uncached)
+                    | (
+                        Inst::Load { .. },
+                        AddressSpace::Uncached | AddressSpace::UncachedCombining,
+                    ) => {
+                        if port.uncached_load_would_accept() {
+                            return CpuHorizon::Active;
+                        }
+                        Some(StallCause::UncachedLoadFull)
+                    }
+                    (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::Uncached) => {
+                        if port.uncached_store_would_accept(addr, mem_width(&head.inst)) {
+                            return CpuHorizon::Active;
+                        }
+                        Some(StallCause::UncachedStoreFull)
+                    }
+                    (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::UncachedCombining) => {
+                        if port.csb_store_would_accept() {
+                            return CpuHorizon::Active;
+                        }
+                        Some(StallCause::CsbStoreBusy)
+                    }
+                    // Cached swap executes at the head next tick; cached
+                    // loads/stores at the head always advance via issue.
+                    _ => return CpuHorizon::Active,
+                }
+            }
+            // Head in flight (Agen/Exec/MemAccess/UncachedWait/Waiting):
+            // its own arm above already classified it.
+            _ => None,
+        };
+        CpuHorizon::Idle { wake, stall }
+    }
+
+    /// Bulk-advances the core's clock to `to` across a gap that
+    /// [`Cpu::next_event`] proved inert, applying exactly the per-cycle
+    /// effects the skipped ticks would have had: the matching stall
+    /// counter grows by the gap length, and stall-run bookkeeping is
+    /// opened/closed as the first skipped tick would have done.
+    pub fn fast_forward(&mut self, to: u64, stall: Option<StallCause>) {
+        let k = to.saturating_sub(self.now);
+        if k == 0 {
+            return;
+        }
+        if self.obs.is_enabled() || self.metrics.is_enabled() {
+            // Mirror `track_stall_runs` for the first skipped cycle: the
+            // run matching `stall` opens (or stays open) at `now`; any
+            // other open run closes at `now`. Later skipped cycles only
+            // extend the open run, which the next close will account for.
+            let now = self.now;
+            let extends_uncached = matches!(
+                stall,
+                Some(
+                    StallCause::UncachedStoreFull
+                        | StallCause::UncachedLoadFull
+                        | StallCause::CsbStoreBusy
+                        | StallCause::CsbFlushWait
+                )
+            );
+            if extends_uncached {
+                self.uncached_stall_start.get_or_insert(now);
+            } else if let Some(start) = self.uncached_stall_start.take() {
+                let cycles = now - start;
+                self.obs.emit_span(
+                    start,
+                    cycles,
+                    Track::Cpu,
+                    EventKind::UncachedStallRun { cycles },
+                );
+                self.metrics.observe("rob_uncached_stall_run", cycles);
+            }
+            if stall == Some(StallCause::Membar) {
+                self.membar_stall_start.get_or_insert(now);
+            } else if let Some(start) = self.membar_stall_start.take() {
+                let cycles = now - start;
+                self.obs.emit_span(
+                    start,
+                    cycles,
+                    Track::Cpu,
+                    EventKind::MembarStallRun { cycles },
+                );
+                self.metrics.observe("membar_stall_run", cycles);
+            }
+        }
+        match stall {
+            Some(StallCause::Membar) => self.stats.membar_stall_cycles += k,
+            Some(_) => self.stats.uncached_stall_cycles += k,
+            None => {}
+        }
+        self.now = to;
+        self.stats.cycles = to;
     }
 
     fn arch_value(&self, r: RegRef) -> u64 {

@@ -61,7 +61,7 @@ pub mod trace;
 
 pub use config::CpuConfig;
 pub use context::CpuContext;
-pub use core::{Cpu, RunError};
+pub use core::{Cpu, CpuHorizon, RunError, StallCause};
 pub use port::{MemPort, SimpleMemPort};
 pub use reference::Interpreter;
 pub use stats::CpuStats;

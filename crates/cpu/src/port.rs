@@ -66,6 +66,45 @@ pub trait MemPort {
     /// Executes a conditional flush; returns the value left in the `swap`
     /// register (`expected` on success, 0 on failure).
     fn csb_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> u64;
+
+    // ------------------------------------------------------------------
+    // Pure peeks for the fast-forward path. Each mirrors the acceptance
+    // predicate of the corresponding mutating method without side effects
+    // (no stall counters, no trace events, no state changes), so the
+    // simulator can prove a stalled cycle would repeat and skip it.
+    //
+    // Defaults return `true` ("would make progress"), which is always
+    // safe: over-claiming activity only costs a real tick, never
+    // correctness.
+    // ------------------------------------------------------------------
+
+    /// `true` if [`MemPort::uncached_store`] would currently succeed.
+    fn uncached_store_would_accept(&self, _addr: Addr, _width: usize) -> bool {
+        true
+    }
+
+    /// `true` if [`MemPort::uncached_load`] (or an uncached swap issue,
+    /// which shares the buffer-entry path) would currently succeed.
+    fn uncached_load_would_accept(&self) -> bool {
+        true
+    }
+
+    /// `true` if [`MemPort::csb_store`] would currently succeed.
+    fn csb_store_would_accept(&self) -> bool {
+        true
+    }
+
+    /// `true` if [`MemPort::uncached_load_poll`] for `tag` would return a
+    /// value this cycle.
+    fn uncached_load_ready(&self, _tag: u64) -> bool {
+        true
+    }
+
+    /// `true` if [`MemPort::uncached_swap_poll`] for `tag` would return a
+    /// value this cycle.
+    fn uncached_swap_ready(&self, _tag: u64) -> bool {
+        true
+    }
 }
 
 /// A minimal, latency-one port for unit tests and examples.

@@ -222,16 +222,19 @@ impl MetricsRegistry {
     }
 
     /// `true` if updates through this handle are recorded.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
 
     /// Increments the named counter by 1.
+    #[inline]
     pub fn inc(&self, name: &'static str) {
         self.add(name, 1);
     }
 
     /// Adds `n` to the named counter.
+    #[inline]
     pub fn add(&self, name: &'static str, n: u64) {
         if let Some(i) = &self.inner {
             *i.borrow_mut().counters.entry(name).or_insert(0) += n;
@@ -239,6 +242,7 @@ impl MetricsRegistry {
     }
 
     /// Records one observation into the named histogram.
+    #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(i) = &self.inner {
             i.borrow_mut()

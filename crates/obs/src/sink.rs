@@ -59,6 +59,7 @@ impl TraceSink {
     }
 
     /// `true` if events emitted through this handle are recorded.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.shared.is_some()
     }
@@ -76,6 +77,7 @@ impl TraceSink {
 
     /// Advances the shared clock to `cycle` (CPU cycles, unscaled).
     /// Called once per cycle by the simulator tick loop.
+    #[inline]
     pub fn set_now(&self, cycle: u64) {
         if let Some(s) = &self.shared {
             s.now.set(cycle);
@@ -83,11 +85,13 @@ impl TraceSink {
     }
 
     /// The shared clock's current CPU cycle (0 when disabled).
+    #[inline]
     pub fn now(&self) -> u64 {
         self.shared.as_ref().map_or(0, |s| s.now.get())
     }
 
     /// Records an instant event at the shared clock's current cycle.
+    #[inline]
     pub fn emit(&self, track: Track, kind: EventKind) {
         if let Some(s) = &self.shared {
             s.events.borrow_mut().push(TraceEvent {
@@ -102,6 +106,7 @@ impl TraceSink {
     /// Records an instant event at the current cycle, building the payload
     /// only when the sink is enabled (use when the payload allocates, e.g.
     /// disassembled instruction text).
+    #[inline]
     pub fn emit_with(&self, track: Track, kind: impl FnOnce() -> EventKind) {
         if let Some(s) = &self.shared {
             s.events.borrow_mut().push(TraceEvent {
@@ -115,6 +120,7 @@ impl TraceSink {
 
     /// Records a span of `dur` caller cycles starting at caller cycle
     /// `cycle`; both are rescaled onto the CPU-cycle timeline.
+    #[inline]
     pub fn emit_span(&self, cycle: u64, dur: u64, track: Track, kind: EventKind) {
         if let Some(s) = &self.shared {
             s.events.borrow_mut().push(TraceEvent {

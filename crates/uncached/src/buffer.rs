@@ -420,6 +420,73 @@ impl UncachedBuffer {
         }
     }
 
+    /// Pure mirror of [`UncachedBuffer::push_store`]'s acceptance: `true`
+    /// if the store would coalesce or a new entry fits. No stall counting,
+    /// no trace events, no entry mutation — the fast-forward path uses
+    /// this to prove a refused store would stay refused.
+    pub fn would_accept_store(&self, addr: Addr, width: usize) -> bool {
+        let base = addr.align_down(self.cfg.block as u64);
+        self.would_coalesce(addr, base, width) || self.entries.len() < self.cfg.capacity
+    }
+
+    /// Pure mirror of [`UncachedBuffer::try_coalesce`]'s success predicate.
+    /// (The mutating version also closes Sequential/Pair entries on a
+    /// mismatch; deferring that across skipped refused pushes is invisible
+    /// because the match conditions are frozen while the buffer is full
+    /// and `closed` feeds nothing but the next coalesce attempt.)
+    fn would_coalesce(&self, addr: Addr, base: Addr, width: usize) -> bool {
+        match self.cfg.rule {
+            CombineRule::Block => {
+                for entry in self.entries.iter().rev() {
+                    match entry {
+                        Entry::Store(se) if !se.locked => {
+                            if se.base == base {
+                                return true;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                false
+            }
+            CombineRule::Sequential => {
+                let Some(Entry::Store(se)) = self.entries.back() else {
+                    return false;
+                };
+                !se.locked
+                    && !se.closed
+                    && se.base == base
+                    && addr.raw() == se.expected_next
+                    && width == se.beat
+            }
+            CombineRule::Pair => {
+                let Some(Entry::Store(se)) = self.entries.back() else {
+                    return false;
+                };
+                if se.locked || se.closed || se.stores != 1 {
+                    return false;
+                }
+                let first_off = se.mask.bits().trailing_zeros() as usize;
+                se.base == base
+                    && addr.raw() == se.expected_next
+                    && width == se.beat
+                    && first_off.is_multiple_of(2 * se.beat)
+            }
+        }
+    }
+
+    /// Pure mirror of [`UncachedBuffer::push_load`]'s acceptance (loads
+    /// never combine, so this is just the capacity check).
+    pub fn would_accept_load(&self) -> bool {
+        self.entries.len() < self.cfg.capacity
+    }
+
+    /// Bulk-accounts `n` full-buffer stalls the fast-forward path skipped
+    /// (each skipped cycle would have re-offered and been refused).
+    pub fn add_full_stalls(&mut self, n: u64) {
+        self.stats.full_stalls += n;
+    }
+
     /// Offers an uncached load. Loads never combine and act as ordering
     /// fences for later stores. Returns `false` (and counts a stall) if the
     /// buffer is full.

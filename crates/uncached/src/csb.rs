@@ -274,6 +274,12 @@ impl ConditionalStoreBuffer {
         self.pending.len() < self.flush_capacity()
     }
 
+    /// Bulk-accounts `n` busy stalls the fast-forward path skipped (each
+    /// skipped cycle would have re-offered a store and been refused).
+    pub fn add_busy_stalls(&mut self, n: u64) {
+        self.stats.busy_stalls += n;
+    }
+
     /// Performs a combining store of `data.len()` bytes at `addr` on behalf
     /// of process `pid`.
     ///

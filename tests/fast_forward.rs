@@ -1,0 +1,314 @@
+//! Differential tests for the event-driven fast-forward path.
+//!
+//! Fast-forward must be invisible: every observable — `RunSummary` (byte-
+//! identical JSON), `CsbStats`, metrics snapshots, golden traces — must
+//! match the naive cycle-by-cycle loop exactly, on the figure workloads
+//! and on randomized programs/configurations. The only permitted
+//! difference is wall clock: a fully idle gap must cost O(1) real ticks.
+
+use csb_bus::BusConfig;
+use csb_core::experiments::fig5::{self, LockResidency};
+use csb_core::experiments::{bandwidth_point, Scheme};
+use csb_core::multiproc::{MultiSim, SwitchPolicy};
+use csb_core::{workloads, SimConfig, Simulator};
+use csb_isa::Program;
+use csb_uncached::UncachedConfig;
+use proptest::prelude::*;
+
+/// Runs `program` twice — fast-forward on and off — with metrics enabled
+/// on both, and asserts every observable is identical. Returns
+/// `(cycles, ff_ticks, naive_ticks)`.
+fn assert_differential(cfg: &SimConfig, program: &Program, limit: u64) -> (u64, u64, u64) {
+    let mut ff = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    ff.set_fast_forward(true);
+    ff.enable_metrics();
+    let mut naive = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    naive.set_fast_forward(false);
+    naive.enable_metrics();
+
+    let ff_result = ff.run(limit);
+    let naive_result = naive.run(limit);
+    match (&ff_result, &naive_result) {
+        (Ok(a), Ok(b)) => {
+            let a_json = serde_json::to_string(a).expect("summary serializes");
+            let b_json = serde_json::to_string(b).expect("summary serializes");
+            assert_eq!(a_json, b_json, "RunSummary JSON must be byte-identical");
+        }
+        (Err(_), Err(_)) => {
+            // Both hit the cycle limit; the partial stats must still agree.
+        }
+        (a, b) => panic!("outcome diverged: ff={a:?} naive={b:?}"),
+    }
+    let a_sum = ff.summary();
+    let b_sum = naive.summary();
+    assert_eq!(
+        serde_json::to_string(&a_sum).unwrap(),
+        serde_json::to_string(&b_sum).unwrap(),
+        "post-run summaries must match"
+    );
+    assert_eq!(ff.csb_stats(), naive.csb_stats(), "CsbStats must match");
+    assert_eq!(
+        ff.metrics_snapshot(),
+        naive.metrics_snapshot(),
+        "metrics snapshots must match"
+    );
+    (a_sum.cycles, ff.ticks(), naive.ticks())
+}
+
+// ---------------------------------------------------------------------
+// Figure-style points, all schemes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_bandwidth_workloads_all_schemes() {
+    let base = SimConfig::default();
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("base", base.clone()),
+        ("comb16", base.clone().combining_block(16)),
+        ("r10k", {
+            let mut c = base.clone();
+            c.uncached = UncachedConfig::r10000(c.line());
+            c
+        }),
+        ("ppc620", {
+            let mut c = base.clone();
+            c.uncached = UncachedConfig::ppc620();
+            c
+        }),
+        ("double-buffered", base.clone().csb_double_buffered()),
+        (
+            "loaded-split-bus",
+            base.clone()
+                .bus(BusConfig::split(8).background(0.4, 64).build().unwrap())
+                .frequency_ratio(3),
+        ),
+    ];
+    for (name, cfg) in configs {
+        for path in [workloads::StorePath::Uncached, workloads::StorePath::Csb] {
+            let program = workloads::store_bandwidth(256, &cfg, path).unwrap();
+            let (cycles, ff_ticks, naive_ticks) = assert_differential(&cfg, &program, 50_000_000);
+            assert_eq!(
+                naive_ticks, cycles,
+                "naive loop ticks every cycle ({name}, {path:?})"
+            );
+            assert!(
+                ff_ticks <= naive_ticks,
+                "fast-forward never ticks more ({name}, {path:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_lock_latency_hit_and_miss() {
+    let cfg = SimConfig::default();
+    for dwords in [2usize, 8] {
+        for warm in [true, false] {
+            let program = workloads::lock_sequence(dwords).unwrap();
+            // `assert_differential` cannot warm/evict, so replicate inline.
+            let mut ff = Simulator::new(cfg.clone(), program.clone()).unwrap();
+            let mut naive = Simulator::new(cfg.clone(), program).unwrap();
+            naive.set_fast_forward(false);
+            for sim in [&mut ff, &mut naive] {
+                sim.enable_metrics();
+                let lock = csb_isa::Addr::new(csb_core::LOCK_ADDR);
+                if warm {
+                    sim.warm_line(lock);
+                } else {
+                    sim.evict_line(lock);
+                }
+            }
+            let a = ff.run(50_000_000).unwrap();
+            let b = naive.run(50_000_000).unwrap();
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+            assert_eq!(ff.metrics_snapshot(), naive.metrics_snapshot());
+        }
+    }
+}
+
+/// The figure entry points themselves produce identical values either way
+/// (they build their own simulators, so this exercises the process-wide
+/// default toggle).
+#[test]
+fn figure_points_identical_via_default_toggle() {
+    let cfg = SimConfig::default();
+    let on_bw = bandwidth_point(&cfg, 256, Scheme::Csb).unwrap();
+    let on_lat = fig5::latency_point(&cfg, 4, Scheme::Csb, LockResidency::Miss).unwrap();
+    csb_core::set_default_fast_forward(false);
+    let off_bw = bandwidth_point(&cfg, 256, Scheme::Csb).unwrap();
+    let off_lat = fig5::latency_point(&cfg, 4, Scheme::Csb, LockResidency::Miss).unwrap();
+    csb_core::set_default_fast_forward(true);
+    assert_eq!(on_bw.to_bits(), off_bw.to_bits());
+    assert_eq!(on_lat, off_lat);
+}
+
+// ---------------------------------------------------------------------
+// Multi-process scheduling.
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_multiproc_policies() {
+    let cfg = SimConfig::default();
+    let policies = [
+        SwitchPolicy::Fixed(60),
+        SwitchPolicy::Fixed(100_000),
+        SwitchPolicy::Backoff { base: 6, max: 4096 },
+    ];
+    for policy in policies {
+        let programs = vec![
+            workloads::csb_worker(3, 8, 0, &cfg).unwrap(),
+            workloads::csb_worker(3, 8, 1, &cfg).unwrap(),
+        ];
+        let mut ff = MultiSim::new(cfg.clone(), programs.clone(), policy).unwrap();
+        ff.set_fast_forward(true);
+        let mut naive = MultiSim::new(cfg.clone(), programs, policy).unwrap();
+        naive.set_fast_forward(false);
+        let a = ff.run(10_000_000).unwrap();
+        let b = naive.run(10_000_000).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "MultiSummary diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn differential_multiproc_livelock() {
+    // Pathological 6-cycle slices livelock to the cycle limit; the limit
+    // must be hit at the identical cycle either way.
+    let cfg = SimConfig::default();
+    let programs = vec![
+        workloads::csb_worker(1, 8, 0, &cfg).unwrap(),
+        workloads::csb_worker(1, 8, 1, &cfg).unwrap(),
+    ];
+    let mut ff = MultiSim::new(cfg.clone(), programs.clone(), SwitchPolicy::Fixed(6)).unwrap();
+    ff.set_fast_forward(true);
+    let mut naive = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(6)).unwrap();
+    naive.set_fast_forward(false);
+    assert!(ff.run(300_000).is_err());
+    assert!(naive.run(300_000).is_err());
+    assert_eq!(
+        serde_json::to_string(&ff.simulator().summary()).unwrap(),
+        serde_json::to_string(&naive.simulator().summary()).unwrap()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Tracing: fast-forward is suppressed, streams identical by construction.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tracing_suppresses_fast_forward_and_matches_naive() {
+    let cfg = SimConfig::default();
+    let program = workloads::csb_sequence(4, &cfg).unwrap();
+    let mut ff = Simulator::new(cfg.clone(), program.clone()).unwrap();
+    ff.set_fast_forward(true);
+    ff.enable_tracing();
+    let mut naive = Simulator::new(cfg, program).unwrap();
+    naive.set_fast_forward(false);
+    naive.enable_tracing();
+    let a = ff.run(50_000_000).unwrap();
+    let b = naive.run(50_000_000).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    assert_eq!(
+        ff.chrome_trace(),
+        naive.chrome_trace(),
+        "trace streams must match"
+    );
+    // Suppression means the traced run really ticked every cycle.
+    assert_eq!(ff.ticks(), a.cycles);
+}
+
+// ---------------------------------------------------------------------
+// The point of it all: idle gaps cost O(1) ticks.
+// ---------------------------------------------------------------------
+
+#[test]
+fn idle_gap_advances_in_constant_ticks() {
+    // Figure 5(b)-style point: a lock miss pays a ~100-cycle memory round
+    // trip and the uncached stores wait out bus transactions at ratio 6 —
+    // nearly all cycles are provably inert.
+    let cfg = SimConfig::default();
+    let program = workloads::lock_sequence(8).unwrap();
+    let mut sim = Simulator::new(cfg, program).unwrap();
+    // Explicit (not via the process-wide default: a parallel test toggles
+    // that global).
+    sim.set_fast_forward(true);
+    sim.evict_line(csb_isa::Addr::new(csb_core::LOCK_ADDR));
+    let s = sim.run(50_000_000).unwrap();
+    assert!(
+        sim.ticks() * 2 < s.cycles,
+        "fast-forward must skip most of the {} cycles (ticked {})",
+        s.cycles,
+        sim.ticks()
+    );
+}
+
+#[test]
+fn post_halt_drain_is_skipped() {
+    // One uncached store, then halt: the drain is a single bus transaction
+    // many CPU cycles long; fast-forward jumps straight to the issue slot.
+    let cfg = SimConfig::default();
+    let program = workloads::store_bandwidth(8, &cfg, workloads::StorePath::Uncached).unwrap();
+    let mut sim = Simulator::new(cfg, program).unwrap();
+    sim.set_fast_forward(true);
+    let s = sim.run(50_000_000).unwrap();
+    assert!(
+        sim.ticks() < s.cycles,
+        "drain gap must be skipped ({} ticks for {} cycles)",
+        sim.ticks(),
+        s.cycles
+    );
+}
+
+// ---------------------------------------------------------------------
+// Randomized programs and configurations.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Random mixed workloads (cached + uncached + combining + membar)
+    /// over random machine shapes: the two loops must agree bit-for-bit.
+    #[test]
+    fn differential_random_programs(
+        seed in 0u64..1_000_000,
+        ops in 30usize..120,
+        mem_percent in 20u8..80,
+        ratio in 1u64..8,
+        block_log in 3u32..7,
+    ) {
+        let cfg = SimConfig::default()
+            .frequency_ratio(ratio)
+            .combining_block(1usize << block_log);
+        let mix = workloads::RandomMix { ops, mem_percent };
+        let program = workloads::random_mixed(seed, mix, &cfg).unwrap();
+        let (cycles, ff_ticks, naive_ticks) =
+            assert_differential(&cfg, &program, 50_000_000);
+        prop_assert_eq!(naive_ticks, cycles);
+        prop_assert!(ff_ticks <= naive_ticks);
+    }
+
+    /// Hardware-combining rules have deferred-mutation subtleties
+    /// (`closed` entries); stress them specifically.
+    #[test]
+    fn differential_random_programs_hw_combining(
+        seed in 0u64..1_000_000,
+        r10k in any::<bool>(),
+    ) {
+        let mut cfg = SimConfig::default();
+        cfg.uncached = if r10k {
+            UncachedConfig::r10000(cfg.line())
+        } else {
+            UncachedConfig::ppc620()
+        };
+        let mix = workloads::RandomMix { ops: 80, mem_percent: 70 };
+        let program = workloads::random_mixed(seed, mix, &cfg).unwrap();
+        assert_differential(&cfg, &program, 50_000_000);
+    }
+}
