@@ -61,6 +61,6 @@ mod system;
 mod transaction;
 
 pub use config::{BackgroundTraffic, BusConfig, BusConfigBuilder, BusConfigError, BusKind};
-pub use stats::BusStats;
+pub use stats::{BusStats, SizeHistogram};
 pub use system::{BusLogEntry, Issued, SystemBus};
 pub use transaction::{Transaction, TxnError, TxnKind};

@@ -1,8 +1,96 @@
 //! Bus statistics and the effective-bandwidth metric.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two size buckets: transfers are 1..=128 bytes.
+const SIZE_BUCKETS: usize = 8;
+
+/// Transactions per transfer size, held in a fixed array indexed by
+/// `log2(size)` so recording a transaction never allocates (transfer sizes
+/// are powers of two up to 128 bytes). Serializes as the same JSON object
+/// of `"size": count` pairs, ascending, that the earlier
+/// `BTreeMap<usize, u64>` field produced — checked-in artifacts are
+/// unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeHistogram {
+    counts: [u64; SIZE_BUCKETS],
+}
+
+impl SizeHistogram {
+    fn bucket(size: usize) -> usize {
+        assert!(
+            size.is_power_of_two() && size <= 1 << (SIZE_BUCKETS - 1),
+            "transfer size {size} is not a power of two in 1..=128"
+        );
+        size.trailing_zeros() as usize
+    }
+
+    /// Counts one transaction of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two in `1..=128`.
+    pub fn add(&mut self, size: usize) {
+        self.counts[Self::bucket(size)] += 1;
+    }
+
+    /// Transactions recorded at `size` bytes (0 for sizes never seen).
+    pub fn get(&self, size: usize) -> u64 {
+        self.counts[Self::bucket(size)]
+    }
+
+    /// `(size, count)` pairs for every size with a nonzero count, in
+    /// ascending size order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (1usize << b, n))
+    }
+
+    /// Returns `true` if no transaction has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&n| n == 0)
+    }
+}
+
+impl std::ops::Index<usize> for SizeHistogram {
+    type Output = u64;
+
+    fn index(&self, size: usize) -> &u64 {
+        &self.counts[Self::bucket(size)]
+    }
+}
+
+impl Serialize for SizeHistogram {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(
+            self.iter()
+                .map(|(size, n)| (size.to_string(), n.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SizeHistogram {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let serde::value::Value::Object(entries) = v else {
+            return Err(serde::de::Error::mismatch("SizeHistogram", v));
+        };
+        let mut h = SizeHistogram::default();
+        for (k, count) in entries {
+            let size: usize = k
+                .parse()
+                .map_err(|_| serde::de::Error::mismatch("SizeHistogram key", v))?;
+            if !size.is_power_of_two() || size > 1 << (SIZE_BUCKETS - 1) {
+                return Err(serde::de::Error::mismatch("SizeHistogram key", v));
+            }
+            h.counts[size.trailing_zeros() as usize] = u64::from_value(count)?;
+        }
+        Ok(h)
+    }
+}
 
 /// Counters accumulated by [`crate::SystemBus`].
 ///
@@ -27,7 +115,7 @@ pub struct BusStats {
     /// Final data cycle of the last transaction, if any.
     pub last_data_cycle: Option<u64>,
     /// Transactions per transfer size.
-    pub size_histogram: BTreeMap<usize, u64>,
+    pub size_histogram: SizeHistogram,
     /// Foreign-master transactions interleaved by the background-traffic
     /// model.
     pub foreign_transactions: u64,
@@ -52,7 +140,7 @@ impl BusStats {
             self.first_addr_cycle = Some(addr_cycle);
         }
         self.last_data_cycle = Some(self.last_data_cycle.unwrap_or(0).max(completes_at));
-        *self.size_histogram.entry(size).or_insert(0) += 1;
+        self.size_histogram.add(size);
     }
 
     /// Records one foreign-master occupancy.
@@ -115,7 +203,7 @@ mod tests {
         assert_eq!(s.effective_bandwidth(), 4.0); // the paper's 4 B/cycle
         assert_eq!(s.transactions, 2);
         assert_eq!(s.busy_cycles, 4);
-        assert_eq!(s.size_histogram[&8], 2);
+        assert_eq!(s.size_histogram[8], 2);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The I/O device sink observing every transaction the bus delivers.
 
 use csb_isa::Addr;
+use csb_uncached::PayloadBuf;
 use serde::{Deserialize, Serialize};
 
 /// One write transaction as delivered to the device.
@@ -8,8 +9,9 @@ use serde::{Deserialize, Serialize};
 pub struct DeliveredWrite {
     /// Start address of the transfer.
     pub addr: Addr,
-    /// The full transferred data (padding included).
-    pub data: Vec<u8>,
+    /// The full transferred data (padding included). Serializes as the
+    /// same JSON byte array the earlier `Vec<u8>` field produced.
+    pub data: PayloadBuf,
     /// How many of the bytes were program payload.
     pub payload: usize,
     /// Bus cycle of the transaction's address phase.
@@ -32,13 +34,22 @@ pub struct IoDevice {
 }
 
 impl IoDevice {
-    /// Creates an empty device.
+    /// Creates an empty device with room for a typical run's deliveries
+    /// pre-reserved, so steady-state recording does not reallocate.
     pub fn new() -> Self {
-        Self::default()
+        IoDevice {
+            writes: Vec::with_capacity(256),
+        }
+    }
+
+    /// Discards all recorded deliveries, keeping the reserved storage (the
+    /// simulator's warm-reset path).
+    pub(crate) fn clear(&mut self) {
+        self.writes.clear();
     }
 
     /// Records a delivered write.
-    pub(crate) fn deliver(&mut self, addr: Addr, data: Vec<u8>, payload: usize, bus_cycle: u64) {
+    pub(crate) fn deliver(&mut self, addr: Addr, data: PayloadBuf, payload: usize, bus_cycle: u64) {
         self.writes.push(DeliveredWrite {
             addr,
             data,
@@ -116,7 +127,7 @@ impl IoDevice {
             }
             nic.ingest(&csb_nic::WindowWrite {
                 offset: w.addr.raw() - window_base.raw(),
-                data: w.data.clone(),
+                data: w.data.to_vec(),
                 bus_cycle: w.bus_cycle,
             });
         }
@@ -130,8 +141,13 @@ mod tests {
     #[test]
     fn records_in_order_and_reconstructs() {
         let mut d = IoDevice::new();
-        d.deliver(Addr::new(0x100), vec![1, 2, 3, 4], 4, 10);
-        d.deliver(Addr::new(0x102), vec![9, 9], 2, 12);
+        d.deliver(
+            Addr::new(0x100),
+            PayloadBuf::from_slice(&[1, 2, 3, 4]),
+            4,
+            10,
+        );
+        d.deliver(Addr::new(0x102), PayloadBuf::from_slice(&[9, 9]), 2, 12);
         assert_eq!(d.len(), 2);
         assert_eq!(d.payload_bytes(), 6);
         assert_eq!(d.byte_at(Addr::new(0x100)), Some(1));

@@ -75,7 +75,22 @@ pub fn latency_point_observed(
     residency: LockResidency,
     obs: ObsConfig,
 ) -> Result<(u64, u64, PointArtifacts), ExpError> {
-    let mut sim = latency_sim(cfg, dwords, scheme, residency)?;
+    latency_point_reusing(&mut None, cfg, dwords, scheme, residency, obs)
+}
+
+/// [`latency_point_observed`] through a reusable simulator slot: an empty
+/// slot is filled by cold construction, a filled one is warm-reset via
+/// [`Simulator::reset_with`] — either way the measurement is identical.
+/// The sweep engine hands each worker one slot for its whole point queue.
+pub(crate) fn latency_point_reusing(
+    slot: &mut Option<Simulator>,
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+    obs: ObsConfig,
+) -> Result<(u64, u64, PointArtifacts), ExpError> {
+    let sim = latency_sim_into(slot, cfg, dwords, scheme, residency)?;
     if obs.trace {
         sim.enable_tracing();
     }
@@ -94,18 +109,14 @@ pub fn latency_point_observed(
     Ok((latency, summary.cycles, artifacts))
 }
 
-/// Builds the ready-to-run simulator for one latency point: the
-/// scheme-specialized machine, the lock/CSB sequence, and the lock line
-/// warmed or evicted per `residency` — not yet run. The
-/// [`super::throughput`] harness uses this to time the simulation loop
-/// alone, with construction outside the measured region.
-pub(crate) fn latency_sim(
+/// The scheme-specialized machine configuration and lock/CSB sequence for
+/// one latency point.
+fn latency_parts(
     cfg: &SimConfig,
     dwords: usize,
     scheme: Scheme,
-    residency: LockResidency,
-) -> Result<Simulator, ExpError> {
-    let (cfg, program) = match scheme {
+) -> Result<(SimConfig, csb_isa::Program), ExpError> {
+    Ok(match scheme {
         Scheme::Uncached { block } => {
             let c = cfg.clone().combining_block(block);
             let p = workloads::lock_sequence(dwords)?;
@@ -124,8 +135,38 @@ pub(crate) fn latency_sim(
             (c, p)
         }
         Scheme::Csb => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
-    };
-    let mut sim = Simulator::new(cfg, program)?;
+    })
+}
+
+/// Builds the ready-to-run simulator for one latency point: the
+/// scheme-specialized machine, the lock/CSB sequence, and the lock line
+/// warmed or evicted per `residency` — not yet run. The cold half of the
+/// warm-vs-cold differential tests; production paths go through
+/// [`latency_sim_into`].
+#[cfg(test)]
+pub(crate) fn latency_sim(
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+) -> Result<Simulator, ExpError> {
+    let mut slot = None;
+    latency_sim_into(&mut slot, cfg, dwords, scheme, residency)?;
+    Ok(slot.expect("slot was just filled"))
+}
+
+/// [`latency_sim`] into a reusable slot (see [`super::install_sim`]). The
+/// residency preparation (line warm/evict) runs after the reset, exactly
+/// as it runs after a cold construction.
+pub(crate) fn latency_sim_into<'a>(
+    slot: &'a mut Option<Simulator>,
+    cfg: &SimConfig,
+    dwords: usize,
+    scheme: Scheme,
+    residency: LockResidency,
+) -> Result<&'a mut Simulator, ExpError> {
+    let (cfg, program) = latency_parts(cfg, dwords, scheme)?;
+    let sim = super::install_sim(slot, cfg, program)?;
     match residency {
         LockResidency::Hit => sim.warm_line(Addr::new(LOCK_ADDR)),
         LockResidency::Miss => sim.evict_line(Addr::new(LOCK_ADDR)),

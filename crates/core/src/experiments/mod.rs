@@ -25,6 +25,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use csb_isa::Program;
+
 use crate::config::SimConfig;
 use crate::sim::{SimError, Simulator};
 use crate::workloads::{self, StorePath, WorkloadError};
@@ -264,7 +266,22 @@ pub fn bandwidth_point_observed(
     order: workloads::StoreOrder,
     obs: runner::ObsConfig,
 ) -> Result<(f64, u64, runner::PointArtifacts), ExpError> {
-    let mut sim = bandwidth_sim(cfg, transfer, scheme, order)?;
+    bandwidth_point_reusing(&mut None, cfg, transfer, scheme, order, obs)
+}
+
+/// [`bandwidth_point_observed`] through a reusable simulator slot: an empty
+/// slot is filled by cold construction, a filled one is warm-reset via
+/// [`Simulator::reset_with`] — either way the measurement is identical.
+/// The sweep engine hands each worker one slot for its whole point queue.
+pub(crate) fn bandwidth_point_reusing(
+    slot: &mut Option<Simulator>,
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+    obs: runner::ObsConfig,
+) -> Result<(f64, u64, runner::PointArtifacts), ExpError> {
+    let sim = bandwidth_sim_into(slot, cfg, transfer, scheme, order)?;
     if obs.trace {
         sim.enable_tracing();
     }
@@ -279,16 +296,14 @@ pub fn bandwidth_point_observed(
     Ok((summary.bus.effective_bandwidth(), summary.cycles, artifacts))
 }
 
-/// Builds the ready-to-run simulator for one bandwidth point: the
-/// scheme-specialized machine plus the generated store workload, not yet
-/// run. The [`throughput`] harness uses this to time the simulation loop
-/// alone, with construction outside the measured region.
-pub(crate) fn bandwidth_sim(
+/// The scheme-specialized machine configuration and store workload for one
+/// bandwidth point.
+fn bandwidth_parts(
     cfg: &SimConfig,
     transfer: usize,
     scheme: Scheme,
     order: workloads::StoreOrder,
-) -> Result<Simulator, ExpError> {
+) -> Result<(SimConfig, Program), ExpError> {
     let mut cfg = cfg.clone();
     let path = match scheme {
         Scheme::Uncached { block } => {
@@ -306,7 +321,50 @@ pub(crate) fn bandwidth_sim(
         Scheme::Csb => StorePath::Csb,
     };
     let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
+    Ok((cfg, program))
+}
+
+/// Builds the ready-to-run simulator for one bandwidth point: the
+/// scheme-specialized machine plus the generated store workload, not yet
+/// run. The cold half of the warm-vs-cold differential tests; production
+/// paths go through [`bandwidth_sim_into`].
+#[cfg(test)]
+pub(crate) fn bandwidth_sim(
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+) -> Result<Simulator, ExpError> {
+    let (cfg, program) = bandwidth_parts(cfg, transfer, scheme, order)?;
     Ok(Simulator::new(cfg, program)?)
+}
+
+/// [`bandwidth_sim`] into a reusable slot (see [`install_sim`]).
+pub(crate) fn bandwidth_sim_into<'a>(
+    slot: &'a mut Option<Simulator>,
+    cfg: &SimConfig,
+    transfer: usize,
+    scheme: Scheme,
+    order: workloads::StoreOrder,
+) -> Result<&'a mut Simulator, ExpError> {
+    let (cfg, program) = bandwidth_parts(cfg, transfer, scheme, order)?;
+    install_sim(slot, cfg, program)
+}
+
+/// Readies `slot` to simulate `(cfg, program)`: warm-resets the simulator
+/// already in the slot, or cold-constructs one into an empty slot. Both
+/// paths yield identical simulation results; the warm path skips the
+/// allocations construction would repeat.
+pub(crate) fn install_sim(
+    slot: &mut Option<Simulator>,
+    cfg: SimConfig,
+    program: Program,
+) -> Result<&mut Simulator, ExpError> {
+    match slot {
+        Some(sim) => sim.reset_with(cfg, program)?,
+        None => *slot = Some(Simulator::new(cfg, program)?),
+    }
+    Ok(slot.as_mut().expect("slot was just filled"))
 }
 
 /// Runs a full bandwidth panel over [`TRANSFERS`] and the scheme ladder of

@@ -35,11 +35,11 @@ use csb_obs::MetricsSnapshot;
 
 use super::fig5::{self, LockResidency};
 use super::{
-    bandwidth_point_observed, BandwidthPanel, BandwidthRow, ExpError, LatencyPanel, LatencyRow,
+    bandwidth_point_reusing, BandwidthPanel, BandwidthRow, ExpError, LatencyPanel, LatencyRow,
     Scheme, DWORD_BYTES, TRANSFERS,
 };
 use crate::config::SimConfig;
-use crate::sim::MetricsReport;
+use crate::sim::{MetricsReport, Simulator};
 use crate::workloads::StoreOrder;
 
 /// Which observability artifacts to capture for every executed point.
@@ -189,6 +189,19 @@ pub fn execute_point(spec: &PointSpec) -> Result<PointOutcome, ExpError> {
 ///
 /// As for [`execute_point`].
 pub fn execute_point_observed(spec: &PointSpec, obs: ObsConfig) -> Result<PointOutcome, ExpError> {
+    execute_point_reusing(&mut None, spec, obs)
+}
+
+/// [`execute_point_observed`] through a reusable simulator slot. A worker
+/// passes the same slot for every spec in its queue: the first point
+/// cold-constructs the simulator, every later point warm-resets it
+/// ([`Simulator::reset_with`]) instead of rebuilding its arenas. Results
+/// are identical either way; `&mut None` recovers the cold path exactly.
+pub(crate) fn execute_point_reusing(
+    slot: &mut Option<Simulator>,
+    spec: &PointSpec,
+    obs: ObsConfig,
+) -> Result<PointOutcome, ExpError> {
     let t0 = Instant::now();
     let (value, sim_cycles, artifacts) = match spec.work {
         PointWork::Bandwidth {
@@ -197,7 +210,7 @@ pub fn execute_point_observed(spec: &PointSpec, obs: ObsConfig) -> Result<PointO
             order,
         } => {
             let (bw, cycles, artifacts) =
-                bandwidth_point_observed(&spec.cfg, transfer, scheme, order, obs)?;
+                bandwidth_point_reusing(slot, &spec.cfg, transfer, scheme, order, obs)?;
             (PointValue::Bandwidth(bw), cycles, artifacts)
         }
         PointWork::Latency {
@@ -206,7 +219,7 @@ pub fn execute_point_observed(spec: &PointSpec, obs: ObsConfig) -> Result<PointO
             residency,
         } => {
             let (lat, cycles, artifacts) =
-                fig5::latency_point_observed(&spec.cfg, dwords, scheme, residency, obs)?;
+                fig5::latency_point_reusing(slot, &spec.cfg, dwords, scheme, residency, obs)?;
             (PointValue::Latency(lat), cycles, artifacts)
         }
     };
@@ -238,20 +251,41 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    parallel_map_with(items, jobs, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` builds one state value
+/// per worker (one total on the serial path), and `f` receives that
+/// worker's state alongside each item it pulls. The experiment engine uses
+/// this to hand every worker a reusable simulator slot for its whole point
+/// queue. The state never migrates between threads, so the output is still
+/// a pure function of the items whenever `f`'s *result* is — state may
+/// only carry reusable storage, not values that leak into outputs.
+pub fn parallel_map_with<S, I, T, N, F>(items: &[I], jobs: usize, init: N, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> T + Sync,
+{
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let workers = jobs.min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let out = f(&mut state, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                }
             });
         }
     });
@@ -415,7 +449,14 @@ pub fn run_points_observed(
 ) -> (Vec<Result<PointOutcome, ExpError>>, RunReport) {
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let t0 = Instant::now();
-    let results = parallel_map(specs, jobs, |spec| execute_point_observed(spec, obs));
+    // Each worker threads one simulator slot through its whole queue, so
+    // every point after a worker's first runs on a warm-reset simulator.
+    let results = parallel_map_with(
+        specs,
+        jobs,
+        || None,
+        |slot, spec| execute_point_reusing(slot, spec, obs),
+    );
     let wall = t0.elapsed();
     let workers = jobs.min(specs.len()).max(1);
     let mut report = RunReport {
@@ -723,6 +764,78 @@ mod tests {
         let items: Vec<u64> = (0..40).collect();
         let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
         assert_eq!(parallel_map(&items, 1, f), parallel_map(&items, 8, f));
+    }
+
+    #[test]
+    fn warm_reset_reuse_matches_cold_construction() {
+        use super::super::{bandwidth_sim, bandwidth_sim_into, POINT_LIMIT};
+        use fig5::{latency_sim, latency_sim_into};
+
+        let small = SimConfig::default().line_size(32).bus(
+            csb_bus::BusConfig::multiplexed(8)
+                .max_burst(32)
+                .build()
+                .expect("static test bus config is valid"),
+        );
+        let default = SimConfig::default();
+
+        // Bandwidth and latency points deliberately alternating machine
+        // shapes, schemes, and workloads, all through ONE simulator slot —
+        // every warm reset crosses a configuration change.
+        enum P {
+            Bw(SimConfig, usize, Scheme, StoreOrder),
+            Lat(SimConfig, usize, Scheme, LockResidency),
+        }
+        let queue = [
+            P::Bw(default.clone(), 256, Scheme::Csb, StoreOrder::Ascending),
+            P::Lat(
+                default.clone(),
+                8,
+                Scheme::Uncached { block: 8 },
+                LockResidency::Miss,
+            ),
+            P::Bw(
+                small.clone(),
+                64,
+                Scheme::Uncached { block: 32 },
+                StoreOrder::Shuffled,
+            ),
+            P::Lat(default.clone(), 4, Scheme::Csb, LockResidency::Hit),
+            P::Bw(default.clone(), 128, Scheme::R10k, StoreOrder::Ascending),
+            P::Bw(small, 512, Scheme::Ppc620, StoreOrder::Ascending),
+        ];
+
+        let mut slot: Option<Simulator> = None;
+        for (i, p) in queue.iter().enumerate() {
+            let (warm, mut cold) = match p {
+                P::Bw(cfg, transfer, scheme, order) => {
+                    let warm = bandwidth_sim_into(&mut slot, cfg, *transfer, *scheme, *order)
+                        .expect("warm bandwidth sim");
+                    let cold =
+                        bandwidth_sim(cfg, *transfer, *scheme, *order).expect("cold bandwidth sim");
+                    (warm, cold)
+                }
+                P::Lat(cfg, dwords, scheme, residency) => {
+                    let warm = latency_sim_into(&mut slot, cfg, *dwords, *scheme, *residency)
+                        .expect("warm latency sim");
+                    let cold =
+                        latency_sim(cfg, *dwords, *scheme, *residency).expect("cold latency sim");
+                    (warm, cold)
+                }
+            };
+            let warm_summary = warm.run(POINT_LIMIT).expect("warm run completes");
+            let cold_summary = cold.run(POINT_LIMIT).expect("cold run completes");
+            assert_eq!(
+                serde_json::to_string(&warm_summary).unwrap(),
+                serde_json::to_string(&cold_summary).unwrap(),
+                "point {i}: warm-reset summary must be byte-identical to cold"
+            );
+            assert_eq!(
+                serde_json::to_string(warm.device()).unwrap(),
+                serde_json::to_string(cold.device()).unwrap(),
+                "point {i}: warm-reset device log must be byte-identical to cold"
+            );
+        }
     }
 
     #[test]

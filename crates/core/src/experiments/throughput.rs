@@ -2,24 +2,26 @@
 //! cycle-by-cycle loop vs. the event-driven idle-cycle fast-forward, on
 //! representative figure points.
 //!
-//! What is timed is the simulation loop alone: simulators are built (and
-//! the lock line warmed/evicted) *outside* the measured region, then a
-//! batch of prepared simulators is run back to back — the figure points
-//! are short programs, so per-point construction would otherwise drown
-//! the loop in allocator noise. Fast-forward is toggled per simulator,
-//! and the measured values of both legs are asserted identical, so the
-//! throughput bench doubles as one more differential check.
-//! `runner_bench` serializes the resulting [`ThroughputReport`] to
-//! `BENCH_sim_throughput.json`.
+//! What is timed is the sweep engine's steady-state per-point cost: one
+//! simulator is cold-constructed (and its caches faulted in) *outside*
+//! the measured region, then `reps` executions run back to back through
+//! it, each a warm reset ([`Simulator::reset_with`], including the lock
+//! line warm/evict replay) followed by the simulation loop — exactly the
+//! per-worker reuse path [`super::runner::run_points`] takes after its
+//! first point. Fast-forward is toggled per leg, and the measured values
+//! of both legs are asserted identical, so the throughput bench doubles
+//! as one more differential check. `runner_bench` serializes the
+//! resulting [`ThroughputReport`] to `BENCH_sim_throughput.json`.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
 use super::runner::{PointSpec, PointValue, PointWork};
-use super::{fig4, fig5, ExpError, POINT_LIMIT};
+use super::{fig4, fig5, ExpError, Scheme, POINT_LIMIT};
+use crate::config::SimConfig;
 use crate::sim::{RunSummary, Simulator};
-use crate::workloads::{MARK_END, MARK_START};
+use crate::workloads::{StoreOrder, MARK_END, MARK_START};
 
 /// Before/after throughput for one figure point.
 #[derive(Debug, Clone, Serialize)]
@@ -95,7 +97,8 @@ pub fn default_points() -> Vec<PointSpec> {
         .flat_map(|p| p.enumerate())
         .chain(fig5::panel_specs().iter().flat_map(|p| p.enumerate()))
         .collect();
-    want.iter()
+    let mut points: Vec<PointSpec> = want
+        .iter()
         .map(|label| {
             let idx = all
                 .iter()
@@ -103,26 +106,71 @@ pub fn default_points() -> Vec<PointSpec> {
                 .unwrap_or_else(|| panic!("figure harnesses no longer enumerate {label}"));
             all.swap_remove(idx)
         })
-        .collect()
+        .collect();
+    points.push(long_point());
+    points
 }
 
-/// Builds the ready-to-run simulator for `spec` with the requested loop
-/// flavor — shared machinery with the figure harnesses themselves.
-fn prepare(spec: &PointSpec, fast_forward: bool) -> Result<Simulator, ExpError> {
-    let mut sim = match spec.work {
+/// The bench's deliberately *long* point: a Figure-3-shaped machine (8 B
+/// multiplexed bus, 64 B line, 8-cycle address-to-address delay) pushed to
+/// a CPU:bus ratio of 12, streaming a 1 KB uncombined store sequence.
+/// Every doubleword pays the full flow-control acknowledgment spacing at
+/// twice the usual CPU cycles per bus cycle, so one execution simulates
+/// well over 10 000 CPU cycles — long enough that per-run fixed costs
+/// (construction, warmup, cache effects) are noise in the measured rate.
+pub fn long_point() -> PointSpec {
+    let cfg = SimConfig::default()
+        .line_size(64)
+        .bus(
+            csb_bus::BusConfig::multiplexed(8)
+                .max_burst(64)
+                .min_addr_delay(8)
+                .build()
+                .expect("static long-point bus config is valid"),
+        )
+        .frequency_ratio(12);
+    PointSpec {
+        label: "3long/1024B/none".to_string(),
+        cfg,
+        work: PointWork::Bandwidth {
+            transfer: 1024,
+            scheme: Scheme::Uncached { block: 8 },
+            order: StoreOrder::Ascending,
+        },
+    }
+}
+
+/// Readies the simulator in `slot` for one execution of `spec` with the
+/// requested loop flavor — shared machinery with the figure harnesses
+/// themselves (cold construction into an empty slot, warm reset into a
+/// filled one).
+fn prepare_into<'a>(
+    slot: &'a mut Option<Simulator>,
+    spec: &PointSpec,
+    fast_forward: bool,
+) -> Result<&'a mut Simulator, ExpError> {
+    let sim = match spec.work {
         PointWork::Bandwidth {
             transfer,
             scheme,
             order,
-        } => super::bandwidth_sim(&spec.cfg, transfer, scheme, order)?,
+        } => super::bandwidth_sim_into(slot, &spec.cfg, transfer, scheme, order)?,
         PointWork::Latency {
             dwords,
             scheme,
             residency,
-        } => fig5::latency_sim(&spec.cfg, dwords, scheme, residency)?,
+        } => fig5::latency_sim_into(slot, &spec.cfg, dwords, scheme, residency)?,
     };
     sim.set_fast_forward(fast_forward);
     Ok(sim)
+}
+
+/// Cold-builds the ready-to-run simulator for `spec` (test hook).
+#[cfg(test)]
+fn prepare(spec: &PointSpec, fast_forward: bool) -> Result<Simulator, ExpError> {
+    let mut slot = None;
+    prepare_into(&mut slot, spec, fast_forward)?;
+    Ok(slot.expect("slot was just filled"))
 }
 
 /// Extracts the figure value a completed run measured.
@@ -137,32 +185,33 @@ fn point_value(work: &PointWork, summary: &RunSummary) -> Result<PointValue, Exp
     }
 }
 
-/// One timed sample: runs `reps` prepared simulators back to back and
-/// returns (wall seconds per execution, cycles per second, the measured
-/// value, cycles per execution).
+/// One timed sample: `reps` executions back to back through one reused
+/// simulator — each a warm reset plus a full run, the sweep engine's
+/// steady-state per-point cost. Returns (wall seconds per execution,
+/// cycles per second, the measured value, cycles per execution).
 fn sample(
     spec: &PointSpec,
     fast_forward: bool,
     reps: usize,
 ) -> Result<(f64, f64, PointValue, u64), ExpError> {
-    let mut sims = (0..reps.max(1))
-        .map(|_| prepare(spec, fast_forward))
-        .collect::<Result<Vec<_>, _>>()?;
-    let mut summaries = Vec::with_capacity(sims.len());
+    let reps = reps.max(1);
+    let mut slot = None;
+    // Cold construction (and cache/allocator faulting) stays untimed, as
+    // it does in a sweep: every worker pays it once, not per point.
+    prepare_into(&mut slot, spec, fast_forward)?;
+    let mut total = 0u64;
+    let mut last = None;
     let t0 = Instant::now();
-    for sim in &mut sims {
-        summaries.push(sim.run(POINT_LIMIT)?);
+    for _ in 0..reps {
+        let sim = prepare_into(&mut slot, spec, fast_forward)?;
+        let summary = sim.run(POINT_LIMIT)?;
+        total += summary.cycles;
+        last = Some(summary);
     }
     let wall = t0.elapsed().as_secs_f64();
-    let total: u64 = summaries.iter().map(|s| s.cycles).sum();
-    let last = summaries.last().expect("at least one rep ran");
-    let value = point_value(&spec.work, last)?;
-    Ok((
-        wall / summaries.len() as f64,
-        total as f64 / wall,
-        value,
-        last.cycles,
-    ))
+    let last = last.expect("at least one rep ran");
+    let value = point_value(&spec.work, &last)?;
+    Ok((wall / reps as f64, total as f64 / wall, value, last.cycles))
 }
 
 /// Measures one point both ways: naive loop first, then fast-forward.
@@ -240,15 +289,67 @@ mod tests {
     fn default_points_enumerate_both_figures() {
         let points = default_points();
         let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
-        assert_eq!(labels, ["4a/256B/CSB", "5b/8dw/64B"]);
+        assert_eq!(labels, ["4a/256B/CSB", "5b/8dw/64B", "3long/1024B/none"]);
     }
 
     #[test]
     fn measure_point_agrees_across_legs() {
-        let spec = default_points().pop().expect("two points");
-        let p = measure_point(&spec, 1, 4).expect("point simulates");
+        let points = default_points();
+        let spec = &points[1];
+        let p = measure_point(spec, 1, 4).expect("point simulates");
         assert_eq!(p.label, "5b/8dw/64B");
         assert!(p.sim_cycles > 0);
         assert!(p.naive_cycles_per_sec > 0.0 && p.ff_cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_breakdown() {
+        for spec in default_points() {
+            let mut slot = None;
+            prepare_into(&mut slot, &spec, true).unwrap();
+            slot.as_mut().unwrap().run(POINT_LIMIT).unwrap();
+            let n = 3000;
+            let t0 = Instant::now();
+            for _ in 0..n {
+                prepare_into(&mut slot, &spec, true).unwrap();
+            }
+            let reset = t0.elapsed().as_secs_f64() / f64::from(n);
+            let t0 = Instant::now();
+            let mut cycles = 0;
+            for _ in 0..n {
+                prepare_into(&mut slot, &spec, true).unwrap();
+                cycles = slot.as_mut().unwrap().run(POINT_LIMIT).unwrap().cycles;
+            }
+            let full = t0.elapsed().as_secs_f64() / f64::from(n);
+            let t0 = Instant::now();
+            for _ in 0..n {
+                prepare_into(&mut slot, &spec, true).unwrap();
+                let sim = slot.as_mut().unwrap();
+                while !sim.complete() {
+                    sim.tick();
+                }
+            }
+            let naive = t0.elapsed().as_secs_f64() / f64::from(n);
+            println!(
+                "{}: cycles={cycles} reset={:.2}us reset+run(ff)+summary={:.2}us reset+naive-ticks={:.2}us",
+                spec.label,
+                reset * 1e6,
+                full * 1e6,
+                naive * 1e6,
+            );
+        }
+    }
+
+    #[test]
+    fn long_point_simulates_at_least_ten_thousand_cycles() {
+        let spec = long_point();
+        let mut sim = prepare(&spec, true).expect("long point builds");
+        let summary = sim.run(POINT_LIMIT).expect("long point completes");
+        assert!(
+            summary.cycles >= 10_000,
+            "long point must stay long: simulated only {} cycles",
+            summary.cycles
+        );
     }
 }

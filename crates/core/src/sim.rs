@@ -10,8 +10,8 @@ use csb_isa::{Addr, AddressMap, AddressSpace, Program};
 use csb_mem::{AccessKind, FlatMemory, HitLevel, MemoryHierarchy, MemoryStats};
 use csb_obs::{EventKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink, Track};
 use csb_uncached::{
-    ConditionalStoreBuffer, CsbError, CsbStats, PushOutcome, StoreOutcome, UncachedBuffer,
-    UncachedStats,
+    ConditionalStoreBuffer, CsbError, CsbStats, PayloadBuf, PushOutcome, StoreOutcome,
+    UncachedBuffer, UncachedStats,
 };
 use serde::Serialize;
 
@@ -104,11 +104,7 @@ impl Machine {
                 self.metrics
                     .observe("uncached_txn_bytes", pt.txn.payload as u64);
                 self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
-            } else if self.csb.peek_transaction().is_some() {
-                let pt = {
-                    let front = self.csb.peek_transaction().expect("checked");
-                    front.clone()
-                };
+            } else if let Some(&pt) = self.csb.peek_transaction() {
                 let issued = self
                     .bus
                     .try_issue(bus_now, pt.txn)
@@ -127,7 +123,7 @@ impl Machine {
     fn deliver(
         &mut self,
         txn: csb_bus::Transaction,
-        data: Vec<u8>,
+        data: PayloadBuf,
         addr_cycle: u64,
         completes_at: u64,
     ) {
@@ -436,9 +432,9 @@ impl Simulator {
             ratio: cfg.ratio,
             now: 0,
             device: IoDevice::new(),
-            pending_reads: HashMap::new(),
-            pending_swaps: HashMap::new(),
-            swap_writes: HashMap::new(),
+            pending_reads: HashMap::with_capacity(16),
+            pending_swaps: HashMap::with_capacity(16),
+            swap_writes: HashMap::with_capacity(16),
             obs: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
             csb_line_start: None,
@@ -453,6 +449,58 @@ impl Simulator {
             bus_countdown: 0,
             ticks: 0,
         })
+    }
+
+    /// Warm-resets this simulator to the state [`Simulator::new`] would
+    /// produce for `(cfg, program)`, reusing the arena-backed storage a
+    /// cold construction would reallocate: the CPU's ROB ring and fetch
+    /// queue, both cache levels' set arrays (when the geometry is
+    /// unchanged), the uncached buffer's entry/drain queues, the CSB's
+    /// pending-burst queue, the functional memory's touched chunks
+    /// (zeroed in place), and the device log's reserved capacity. Every
+    /// observable result of a subsequent run — summary, stats, metrics,
+    /// device contents — is byte-identical to a cold-constructed
+    /// simulator's; the experiment engine uses this so each worker thread
+    /// drives its whole point queue through one simulator.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::new`]. A failed reset may leave the simulator
+    /// partially reset — run nothing on it until a later `reset_with`
+    /// succeeds (every field is unconditionally reassigned, so a
+    /// subsequent successful reset fully recovers).
+    pub fn reset_with(&mut self, cfg: SimConfig, program: Program) -> Result<(), SimError> {
+        cfg.validate()?;
+        let m = &mut self.machine;
+        m.hier
+            .reset_with(cfg.mem)
+            .map_err(|e| SimError::Component(e.to_string()))?;
+        m.ubuf
+            .reset_with(cfg.uncached)
+            .map_err(|e| SimError::Component(e.to_string()))?;
+        m.csb
+            .reset_with(cfg.csb)
+            .map_err(|e| SimError::Component(e.to_string()))?;
+        m.map = cfg.map.clone();
+        m.flat.reset();
+        m.bus = SystemBus::new(cfg.bus);
+        m.ratio = cfg.ratio;
+        m.now = 0;
+        m.device.clear();
+        m.pending_reads.clear();
+        m.pending_swaps.clear();
+        m.swap_writes.clear();
+        m.obs = TraceSink::disabled();
+        m.metrics = MetricsRegistry::disabled();
+        m.csb_line_start = None;
+        m.csb_retry_since = None;
+        self.cpu
+            .reset_with(cfg.cpu, program, csb_cpu::CpuContext::new(0));
+        self.cfg = cfg;
+        self.fast_forward = default_fast_forward();
+        self.bus_countdown = 0;
+        self.ticks = 0;
+        Ok(())
     }
 
     /// The machine configuration.

@@ -15,8 +15,9 @@
 //! is retried the next cycle, which is exactly the back-pressure that lets
 //! the uncached buffer combine stores while the bus is busy.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+use std::ops::{Index, IndexMut};
 
 use csb_isa::{Addr, AddressSpace, Cond, Inst, InstKind, Operand, Program, RegRef};
 use csb_mem::AccessKind;
@@ -122,6 +123,37 @@ struct OperandSlot {
     src: Src,
 }
 
+/// Inline operand list: an instruction reads at most three registers, so
+/// the slots live directly in the ROB entry instead of a per-dispatch
+/// `Vec` allocation.
+#[derive(Debug, Clone, Copy)]
+struct Ops {
+    slots: [OperandSlot; 3],
+    len: u8,
+}
+
+impl Ops {
+    const NONE: OperandSlot = OperandSlot {
+        reg: RegRef::Cc,
+        src: Src::Ready(0),
+    };
+    const EMPTY: Ops = Ops {
+        slots: [Self::NONE; 3],
+        len: 0,
+    };
+
+    #[inline]
+    fn push(&mut self, slot: OperandSlot) {
+        self.slots[self.len as usize] = slot;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn iter(&self) -> std::slice::Iter<'_, OperandSlot> {
+        self.slots[..self.len as usize].iter()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum St {
     /// Waiting for operands / a functional unit.
@@ -140,13 +172,13 @@ enum St {
     Done,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct RobEntry {
     seq: u64,
     pc: usize,
     inst: Inst,
     st: St,
-    ops: Vec<OperandSlot>,
+    ops: Ops,
     /// Result value: ALU result, condition flags, load value, swap result,
     /// or (for branches) the resolved next pc.
     value: u64,
@@ -163,11 +195,186 @@ struct RobEntry {
 }
 
 impl RobEntry {
+    /// Placeholder filling unused ring slots; never observed by the
+    /// pipeline (the ring's length bounds every access).
+    const EMPTY: RobEntry = RobEntry {
+        seq: 0,
+        pc: 0,
+        inst: Inst::Nop,
+        st: St::Done,
+        ops: Ops::EMPTY,
+        value: 0,
+        addr: None,
+        space: None,
+        predicted_next: 0,
+        mem_started: false,
+        t_fetch: 0,
+        t_dispatch: 0,
+        t_issue: None,
+        t_complete: None,
+    };
+
+    #[inline]
     fn op_val(&self, i: usize) -> u64 {
-        match self.ops[i].src {
+        match self.ops.slots[i].src {
             Src::Ready(v) => v,
             Src::Wait(_) => panic!("operand {i} of {} not ready", self.inst),
         }
+    }
+}
+
+/// The reorder buffer as a fixed-capacity ring indexed by position from
+/// the head, upholding the invariant `rob[i].seq == front_seq + i`. Every
+/// slot is allocated once at construction; push/pop/truncate only move
+/// indices, so the steady-state pipeline neither touches the heap nor
+/// clones an entry.
+#[derive(Debug)]
+struct Rob {
+    slots: Box<[RobEntry]>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    fn with_capacity(cap: usize) -> Self {
+        Rob {
+            slots: vec![RobEntry::EMPTY; cap.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn wrap(&self, i: usize) -> usize {
+        let p = self.head + i;
+        if p >= self.slots.len() {
+            p - self.slots.len()
+        } else {
+            p
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.slots[self.head])
+    }
+
+    #[inline]
+    fn push_back(&mut self, e: RobEntry) {
+        debug_assert!(self.len < self.slots.len(), "ROB ring overflow");
+        let p = self.wrap(self.len);
+        self.slots[p] = e;
+        self.len += 1;
+    }
+
+    /// Pops the head entry by value (a plain `Copy`, not a heap clone).
+    #[inline]
+    fn pop_front(&mut self) -> RobEntry {
+        debug_assert!(self.len > 0, "pop on empty ROB");
+        let e = self.slots[self.head];
+        self.head = self.wrap(1);
+        self.len -= 1;
+        e
+    }
+
+    /// Drops every entry at position `n` and beyond (squash).
+    #[inline]
+    fn truncate(&mut self, n: usize) {
+        if n < self.len {
+            self.len = n;
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        (0..self.len).map(move |i| &self.slots[self.wrap(i)])
+    }
+}
+
+impl Index<usize> for Rob {
+    type Output = RobEntry;
+
+    #[inline]
+    fn index(&self, i: usize) -> &RobEntry {
+        debug_assert!(i < self.len, "ROB index {i} out of {}", self.len);
+        &self.slots[self.wrap(i)]
+    }
+}
+
+impl IndexMut<usize> for Rob {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut RobEntry {
+        debug_assert!(i < self.len, "ROB index {i} out of {}", self.len);
+        let p = self.wrap(i);
+        &mut self.slots[p]
+    }
+}
+
+/// Register rename map as a dense array (32 int + 32 fp + condition
+/// codes): each slot holds the sequence number of the youngest in-flight
+/// writer. Replaces the former `HashMap<RegRef, u64>` so dispatch, commit,
+/// and squash never hash or allocate.
+#[derive(Debug)]
+struct RenameTable {
+    slots: [Option<u64>; RENAME_SLOTS],
+}
+
+const RENAME_SLOTS: usize = csb_isa::reg::NUM_INT_REGS + csb_isa::reg::NUM_FP_REGS + 1;
+
+#[inline]
+fn rename_slot(r: RegRef) -> usize {
+    match r {
+        RegRef::Int(reg) => reg.index(),
+        RegRef::Fp(f) => csb_isa::reg::NUM_INT_REGS + f.index(),
+        RegRef::Cc => RENAME_SLOTS - 1,
+    }
+}
+
+impl RenameTable {
+    fn new() -> Self {
+        RenameTable {
+            slots: [None; RENAME_SLOTS],
+        }
+    }
+
+    #[inline]
+    fn get(&self, r: RegRef) -> Option<u64> {
+        self.slots[rename_slot(r)]
+    }
+
+    #[inline]
+    fn insert(&mut self, r: RegRef, seq: u64) {
+        self.slots[rename_slot(r)] = Some(seq);
+    }
+
+    /// Clears the mapping only if it still names `seq` (commit of the
+    /// youngest writer).
+    #[inline]
+    fn remove_if(&mut self, r: RegRef, seq: u64) {
+        let s = &mut self.slots[rename_slot(r)];
+        if *s == Some(seq) {
+            *s = None;
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.slots = [None; RENAME_SLOTS];
     }
 }
 
@@ -201,10 +408,10 @@ pub struct Cpu {
     fetch_pc: usize,
     fetch_stopped: bool,
     fetch_q: VecDeque<Fetched>,
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     front_seq: u64,
     next_seq: u64,
-    rename: HashMap<RegRef, u64>,
+    rename: RenameTable,
     halted: bool,
     now: u64,
     stats: CpuStats,
@@ -229,17 +436,19 @@ impl Cpu {
     /// Creates a core with an explicit initial context (PID, registers, pc).
     pub fn with_context(cfg: CpuConfig, program: Program, ctx: CpuContext) -> Self {
         let fetch_pc = ctx.pc();
+        let fetch_q = VecDeque::with_capacity(cfg.fetch_queue.max(1));
+        let rob = Rob::with_capacity(cfg.rob_size);
         Cpu {
             cfg,
             program,
             ctx,
             fetch_pc,
             fetch_stopped: false,
-            fetch_q: VecDeque::new(),
-            rob: VecDeque::new(),
+            fetch_q,
+            rob,
             front_seq: 0,
             next_seq: 0,
-            rename: HashMap::new(),
+            rename: RenameTable::new(),
             halted: false,
             now: 0,
             stats: CpuStats::default(),
@@ -249,6 +458,37 @@ impl Cpu {
             uncached_stall_start: None,
             membar_stall_start: None,
         }
+    }
+
+    /// Warm-resets the core in place to the state [`Cpu::with_context`]
+    /// would construct, reusing the ROB ring and fetch-queue storage when
+    /// the new configuration permits. Behaviorally indistinguishable from
+    /// a fresh core; observability sinks revert to disabled.
+    pub fn reset_with(&mut self, cfg: CpuConfig, program: Program, ctx: CpuContext) {
+        if cfg.rob_size != self.cfg.rob_size {
+            self.rob = Rob::with_capacity(cfg.rob_size);
+        } else {
+            self.rob.clear();
+            self.rob.head = 0;
+        }
+        self.fetch_q.clear();
+        self.fetch_q.reserve(cfg.fetch_queue.max(1));
+        self.cfg = cfg;
+        self.program = program;
+        self.ctx = ctx;
+        self.fetch_pc = self.ctx.pc();
+        self.fetch_stopped = false;
+        self.front_seq = 0;
+        self.next_seq = 0;
+        self.rename.clear();
+        self.halted = false;
+        self.now = 0;
+        self.stats = CpuStats::default();
+        self.trace = None;
+        self.obs = TraceSink::disabled();
+        self.metrics = MetricsRegistry::disabled();
+        self.uncached_stall_start = None;
+        self.membar_stall_start = None;
     }
 
     /// Installs a structured trace sink: retires and squashes emit instants
@@ -269,7 +509,9 @@ impl Cpu {
     /// [`crate::trace::render`]. Costs memory per instruction; intended
     /// for short diagnostic runs.
     pub fn enable_trace(&mut self) {
-        self.trace.get_or_insert_with(Vec::new);
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
     }
 
     /// The recorded pipeline trace (empty unless enabled).
@@ -277,6 +519,9 @@ impl Cpu {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Appends one trace record. Callers guard on `self.trace.is_some()`
+    /// so the disabled hot path pays a single branch and never formats.
+    #[inline]
     fn record_trace(&mut self, e: &RobEntry, retired: Option<u64>) {
         if let Some(t) = &mut self.trace {
             t.push(InstTrace {
@@ -673,19 +918,25 @@ impl Cpu {
     }
 
     /// Resolves pending operand references; returns `true` when all ready.
+    /// The update scratch is a stack array — an instruction has at most
+    /// three operands — so the per-tick wakeup scan never allocates.
+    #[inline]
     fn ops_ready(&mut self, idx: usize) -> bool {
         let front = self.front_seq;
-        let mut updates: Vec<(usize, u64)> = Vec::new();
+        let mut updates = [(0usize, 0u64); 3];
+        let mut n = 0;
         let mut all = true;
         for (i, op) in self.rob[idx].ops.iter().enumerate() {
             if let Src::Wait(seq) = op.src {
                 if seq < front {
                     // Producer already retired; its value is architectural.
-                    updates.push((i, self.arch_value(op.reg)));
+                    updates[n] = (i, self.arch_value(op.reg));
+                    n += 1;
                 } else {
                     let p = &self.rob[(seq - front) as usize];
                     if p.st == St::Done {
-                        updates.push((i, p.value));
+                        updates[n] = (i, p.value);
+                        n += 1;
                     } else {
                         all = false;
                     }
@@ -693,8 +944,8 @@ impl Cpu {
             }
         }
         let e = &mut self.rob[idx];
-        for (i, v) in updates {
-            e.ops[i].src = Src::Ready(v);
+        for &(i, v) in &updates[..n] {
+            e.ops.slots[i].src = Src::Ready(v);
         }
         all
     }
@@ -763,10 +1014,20 @@ impl Cpu {
                 },
             );
         }
-        if self.trace.is_some() {
-            for i in idx + 1..self.rob.len() {
-                let e = self.rob[i].clone();
-                self.record_trace(&e, None);
+        if let Some(t) = self.trace.as_mut() {
+            for i in idx + 1..self.rob.len {
+                let e = &self.rob[i];
+                t.push(InstTrace {
+                    seq: e.seq,
+                    pc: e.pc,
+                    text: e.inst.to_string(),
+                    fetched: e.t_fetch,
+                    dispatched: e.t_dispatch,
+                    issued: e.t_issue,
+                    completed: e.t_complete,
+                    retired: None,
+                    squashed: true,
+                });
             }
         }
         self.rob.truncate(idx + 1);
@@ -776,7 +1037,7 @@ impl Cpu {
         // head does), so their tags cannot be in flight.
         self.next_seq = self.front_seq + self.rob.len() as u64;
         self.rename.clear();
-        for e in &self.rob {
+        for e in self.rob.iter() {
             if let Some(d) = e.inst.def() {
                 self.rename.insert(d, e.seq);
             }
@@ -954,7 +1215,7 @@ impl Cpu {
 
     /// Commits the head entry (which must be `Done`).
     fn commit_head<P: MemPort>(&mut self, port: &mut P) {
-        let e = self.rob.pop_front().expect("commit on empty ROB");
+        let e = self.rob.pop_front();
         self.front_seq = e.seq + 1;
         debug_assert_eq!(e.st, St::Done);
         let now = self.now;
@@ -981,9 +1242,7 @@ impl Cpu {
                 RegRef::Fp(r) => self.ctx.set_fp_reg(r, e.value),
                 RegRef::Cc => self.ctx.set_cc(e.value),
             }
-            if self.rename.get(&d) == Some(&e.seq) {
-                self.rename.remove(&d);
-            }
+            self.rename.remove_if(d, e.seq);
         }
 
         // Committed pc.
@@ -1203,10 +1462,12 @@ impl Cpu {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let mut ops = Vec::with_capacity(3);
-            for reg in f.inst.uses() {
-                let src = match self.rename.get(&reg) {
-                    Some(&pseq) => {
+            let mut ops = Ops::EMPTY;
+            let mut regs = [RegRef::Cc; 3];
+            let nregs = f.inst.uses_into(&mut regs);
+            for &reg in &regs[..nregs] {
+                let src = match self.rename.get(reg) {
+                    Some(pseq) => {
                         let idx = (pseq - self.front_seq) as usize;
                         let p = &self.rob[idx];
                         if p.st == St::Done {

@@ -342,46 +342,59 @@ impl Inst {
 
     /// Registers read by the instruction (up to three).
     pub fn uses(&self) -> Vec<RegRef> {
-        let mut u = Vec::with_capacity(3);
+        let mut buf = [RegRef::Cc; 3];
+        let n = self.uses_into(&mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// Writes the registers read by the instruction into `out` and returns
+    /// how many were written (at most three). The allocation-free form of
+    /// [`Inst::uses`], for per-instruction hot paths like dispatch.
+    pub fn uses_into(&self, out: &mut [RegRef; 3]) -> usize {
+        let mut n = 0;
+        let mut push = |r: RegRef| {
+            out[n] = r;
+            n += 1;
+        };
         match *self {
             Inst::Alu { a, b, .. } => {
-                u.push(RegRef::Int(a));
+                push(RegRef::Int(a));
                 if let Operand::Reg(r) = b {
-                    u.push(RegRef::Int(r));
+                    push(RegRef::Int(r));
                 }
             }
             Inst::Movi { .. } | Inst::FMovi { .. } => {}
             Inst::Fpu { a, b, .. } => {
-                u.push(RegRef::Fp(a));
-                u.push(RegRef::Fp(b));
+                push(RegRef::Fp(a));
+                push(RegRef::Fp(b));
             }
             Inst::Cmp { a, b } => {
-                u.push(RegRef::Int(a));
+                push(RegRef::Int(a));
                 if let Operand::Reg(r) = b {
-                    u.push(RegRef::Int(r));
+                    push(RegRef::Int(r));
                 }
             }
             Inst::Branch { cond, .. } => {
                 if cond != Cond::Always {
-                    u.push(RegRef::Cc);
+                    push(RegRef::Cc);
                 }
             }
-            Inst::Load { base, .. } => u.push(RegRef::Int(base)),
+            Inst::Load { base, .. } => push(RegRef::Int(base)),
             Inst::Store { src, base, .. } => {
-                u.push(RegRef::Int(src));
-                u.push(RegRef::Int(base));
+                push(RegRef::Int(src));
+                push(RegRef::Int(base));
             }
             Inst::StoreF { src, base, .. } => {
-                u.push(RegRef::Fp(src));
-                u.push(RegRef::Int(base));
+                push(RegRef::Fp(src));
+                push(RegRef::Int(base));
             }
             Inst::Swap { reg, base, .. } => {
-                u.push(RegRef::Int(reg));
-                u.push(RegRef::Int(base));
+                push(RegRef::Int(reg));
+                push(RegRef::Int(base));
             }
             Inst::Membar | Inst::Nop | Inst::Mark { .. } | Inst::Halt => {}
         }
-        u
+        n
     }
 
     /// Register written by the instruction, if any.

@@ -137,7 +137,9 @@ impl CacheStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     tag: u64,
-    valid: bool,
+    /// A line is valid iff its epoch matches the cache's current epoch
+    /// (see [`Cache::clear`]); epoch 0 never matches a live cache.
+    epoch: u64,
     dirty: bool,
     lru: u64,
 }
@@ -163,6 +165,7 @@ struct Line {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
+    epoch: u64,
     tick: u64,
     stats: CacheStats,
 }
@@ -179,7 +182,7 @@ impl Cache {
             vec![
                 Line {
                     tag: 0,
-                    valid: false,
+                    epoch: 0,
                     dirty: false,
                     lru: 0
                 };
@@ -190,6 +193,7 @@ impl Cache {
         Ok(Cache {
             cfg,
             sets,
+            epoch: 1,
             tick: 0,
             stats: CacheStats::default(),
         })
@@ -198,6 +202,20 @@ impl Cache {
     /// The cache configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// Invalidates every line and zeroes the statistics in place, keeping
+    /// the set storage — indistinguishable from a fresh cache without any
+    /// allocator traffic (the simulator's warm-reset path).
+    ///
+    /// O(1): validity is epoch-tagged, so bumping the cache epoch retires
+    /// every resident line at once instead of sweeping the set arrays
+    /// (the L2's ~16K lines would otherwise dominate a short point's
+    /// warm-reset cost).
+    pub fn clear(&mut self) {
+        self.epoch += 1;
+        self.tick = 0;
+        self.stats = CacheStats::default();
     }
 
     /// Hit/miss statistics.
@@ -218,7 +236,7 @@ impl Cache {
         self.tick += 1;
         let (set, tag) = self.index(addr);
         for line in &mut self.sets[set] {
-            if line.valid && line.tag == tag {
+            if line.epoch == self.epoch && line.tag == tag {
                 line.lru = self.tick;
                 line.dirty |= write;
                 self.stats.hits += 1;
@@ -235,17 +253,18 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
+        let epoch = self.epoch;
         let victim = self.sets[set]
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .min_by_key(|l| if l.epoch == epoch { l.lru } else { 0 })
             .expect("associativity is nonzero");
-        let wb = victim.valid && victim.dirty;
+        let wb = victim.epoch == epoch && victim.dirty;
         if wb {
             self.stats.writebacks += 1;
         }
         *victim = Line {
             tag,
-            valid: true,
+            epoch,
             dirty: write,
             lru: tick,
         };
@@ -256,15 +275,17 @@ impl Cache {
     /// stats side effects).
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.sets[set]
+            .iter()
+            .any(|l| l.epoch == self.epoch && l.tag == tag)
     }
 
     /// Invalidates the line containing `addr`, if present.
     pub fn invalidate(&mut self, addr: Addr) {
         let (set, tag) = self.index(addr);
         for line in &mut self.sets[set] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
+            if line.epoch == self.epoch && line.tag == tag {
+                line.epoch = 0;
             }
         }
     }

@@ -93,6 +93,16 @@ impl FlatMemory {
     pub fn touched_chunks(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Zeroes every allocated chunk in place, keeping the storage. The
+    /// memory reads all-zero afterwards — indistinguishable from a fresh
+    /// instance — without returning anything to the allocator, which is
+    /// what the simulator's warm-reset path wants between sweep points.
+    pub fn reset(&mut self) {
+        for chunk in self.chunks.values_mut() {
+            chunk.fill(0);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -141,6 +141,36 @@ impl MemoryHierarchy {
         &self.cfg
     }
 
+    /// Resets to the state [`MemoryHierarchy::new`]`(cfg)` would produce,
+    /// reusing each level's set array when its geometry is unchanged — the
+    /// common case across a sweep, where reallocating the caches would
+    /// dominate the cost of re-preparing a short point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryHierarchy::new`]. On error the hierarchy is
+    /// unchanged.
+    pub fn reset_with(&mut self, cfg: MemoryConfig) -> Result<(), CacheConfigError> {
+        // Validate (and build) any changed geometry before mutating.
+        let new_l1 = (cfg.l1 != self.cfg.l1)
+            .then(|| Cache::new(cfg.l1))
+            .transpose()?;
+        let new_l2 = (cfg.l2 != self.cfg.l2)
+            .then(|| Cache::new(cfg.l2))
+            .transpose()?;
+        match new_l1 {
+            Some(c) => self.l1 = c,
+            None => self.l1.clear(),
+        }
+        match new_l2 {
+            Some(c) => self.l2 = c,
+            None => self.l2.clear(),
+        }
+        self.cfg = cfg;
+        self.stats_mem = 0;
+        Ok(())
+    }
+
     /// Performs a timed access starting at CPU cycle `now`.
     ///
     /// Returns `(ready_at, level)`: the cycle at which the access completes

@@ -8,8 +8,8 @@ use csb_isa::Addr;
 use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
-use crate::mask::{decompose, ByteMask, Chunk, MAX_BLOCK};
-use crate::PreparedTxn;
+use crate::mask::{decompose_into, ByteMask, Chunk, MAX_BLOCK};
+use crate::{PayloadBuf, PreparedTxn};
 
 /// How the buffer decides which stores may combine and how entries drain.
 ///
@@ -146,11 +146,13 @@ pub struct UncachedStats {
     pub transactions: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct StoreEntry {
     base: Addr, // block-aligned
     mask: ByteMask,
-    data: Box<[u8]>, // `block` bytes
+    /// Inline staging for the entry's data; the first `block` bytes are
+    /// live. Fixed at the maximum line size so entries never allocate.
+    data: [u8; MAX_BLOCK],
     /// Once the entry starts draining it no longer accepts coalescing.
     locked: bool,
     /// Pattern rules close an entry against further coalescing without
@@ -164,11 +166,9 @@ struct StoreEntry {
     beat: usize,
     /// Number of stores merged into the entry.
     stores: usize,
-    /// Remaining decomposed chunks once locked.
-    pending: VecDeque<Chunk>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Entry {
     Store(StoreEntry),
     Load { addr: Addr, width: usize, tag: u64 },
@@ -210,6 +210,10 @@ enum Entry {
 pub struct UncachedBuffer {
     cfg: UncachedConfig,
     entries: VecDeque<Entry>,
+    /// Remaining decomposed chunks of the locked head entry. Only the head
+    /// ever drains, so one reusable queue serves the whole buffer — refilled
+    /// in place when a head locks, never reallocated in steady state.
+    drain: VecDeque<Chunk>,
     stats: UncachedStats,
     /// Structured trace sink (disabled by default; see
     /// [`UncachedBuffer::set_trace_sink`]).
@@ -232,10 +236,34 @@ impl UncachedBuffer {
         }
         Ok(UncachedBuffer {
             cfg,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(cfg.capacity),
+            drain: VecDeque::with_capacity(MAX_BLOCK),
             stats: UncachedStats::default(),
             sink: TraceSink::disabled(),
         })
+    }
+
+    /// Resets to the state [`UncachedBuffer::new`]`(cfg)` would produce,
+    /// keeping the entry and drain storage (the entry queue's reservation
+    /// grows if `cfg.capacity` increased). The simulator's warm-reset path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UncachedBuffer::new`]. On error the buffer is unchanged.
+    pub fn reset_with(&mut self, cfg: UncachedConfig) -> Result<(), UncachedConfigError> {
+        if cfg.block < 8 || cfg.block > MAX_BLOCK || !cfg.block.is_power_of_two() {
+            return Err(UncachedConfigError::BadBlock(cfg.block));
+        }
+        if cfg.capacity == 0 {
+            return Err(UncachedConfigError::ZeroCapacity);
+        }
+        self.entries.clear();
+        self.entries.reserve(cfg.capacity);
+        self.drain.clear();
+        self.cfg = cfg;
+        self.stats = UncachedStats::default();
+        self.sink = TraceSink::disabled();
+        Ok(())
     }
 
     /// Installs a structured trace sink; accepted pushes, loads, and full
@@ -317,13 +345,12 @@ impl UncachedBuffer {
         let mut se = StoreEntry {
             base,
             mask: ByteMask::empty(),
-            data: vec![0u8; self.cfg.block].into_boxed_slice(),
+            data: [0u8; MAX_BLOCK],
             locked: false,
             closed: false,
             expected_next: addr.raw() + width as u64,
             beat: width,
             stores: 1,
-            pending: VecDeque::new(),
         };
         se.mask.set_range(off, width);
         se.data[off..off + width].copy_from_slice(data);
@@ -546,47 +573,47 @@ impl UncachedBuffer {
             Entry::Store(se) => {
                 if !se.locked {
                     se.locked = true;
-                    se.pending = match self.cfg.rule {
-                        CombineRule::Block => decompose(se.mask, self.cfg.block).into(),
+                    debug_assert!(self.drain.is_empty());
+                    match self.cfg.rule {
+                        CombineRule::Block => {
+                            decompose_into(se.mask, self.cfg.block, |c| self.drain.push_back(c));
+                        }
                         CombineRule::Sequential => {
                             if se.mask.covers(0, self.cfg.block) {
                                 // Complete line: one burst (R10000).
-                                vec![Chunk {
+                                self.drain.push_back(Chunk {
                                     offset: 0,
                                     size: self.cfg.block,
-                                }]
-                                .into()
+                                });
                             } else {
                                 // Pattern incomplete: single-beat transfers.
                                 let first = se.mask.bits().trailing_zeros() as usize;
-                                (0..se.stores)
-                                    .map(|i| Chunk {
+                                for i in 0..se.stores {
+                                    self.drain.push_back(Chunk {
                                         offset: first + i * se.beat,
                                         size: se.beat,
-                                    })
-                                    .collect()
+                                    });
+                                }
                             }
                         }
                         CombineRule::Pair => {
                             let first = se.mask.bits().trailing_zeros() as usize;
-                            vec![Chunk {
+                            self.drain.push_back(Chunk {
                                 offset: first,
                                 size: se.beat * se.stores,
-                            }]
-                            .into()
+                            });
                         }
-                    };
+                    }
                 }
-                let chunk = *se.pending.front().expect("locked store entry has chunks");
-                let data = se.data[chunk.offset..chunk.offset + chunk.size].to_vec();
+                let chunk = *self.drain.front().expect("locked store entry has chunks");
                 Some(PreparedTxn {
                     txn: Transaction::write(se.base.offset(chunk.offset as i64), chunk.size),
-                    data,
+                    data: PayloadBuf::from_slice(&se.data[chunk.offset..chunk.offset + chunk.size]),
                 })
             }
             Entry::Load { addr, width, tag } => Some(PreparedTxn {
                 txn: Transaction::read(*addr, *width).tag(*tag),
-                data: Vec::new(),
+                data: PayloadBuf::empty(),
             }),
             Entry::Barrier => unreachable!("leading barriers were discarded"),
         }
@@ -600,18 +627,17 @@ impl UncachedBuffer {
     /// Panics if no transaction was pending.
     pub fn transaction_accepted(&mut self) {
         self.stats.transactions += 1;
-        match self.entries.front_mut().expect("no pending transaction") {
+        let done = match self.entries.front().expect("no pending transaction") {
             Entry::Store(se) => {
                 assert!(se.locked, "no pending transaction");
-                se.pending.pop_front().expect("no pending chunk");
-                if se.pending.is_empty() {
-                    self.entries.pop_front();
-                }
+                self.drain.pop_front().expect("no pending chunk");
+                self.drain.is_empty()
             }
-            Entry::Load { .. } => {
-                self.entries.pop_front();
-            }
+            Entry::Load { .. } => true,
             Entry::Barrier => unreachable!("barriers are skipped by peek_transaction"),
+        };
+        if done {
+            self.entries.pop_front();
         }
     }
 }

@@ -8,8 +8,8 @@ use csb_isa::Addr;
 use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
-use crate::mask::{decompose, ByteMask, MAX_BLOCK};
-use crate::PreparedTxn;
+use crate::mask::{decompose_into, ByteMask, MAX_BLOCK};
+use crate::{PayloadBuf, PreparedTxn};
 
 /// A process identifier as seen by the CSB.
 ///
@@ -174,12 +174,14 @@ impl fmt::Display for CsbStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct LineBuf {
     base: Addr,
     pid: Pid,
     mask: ByteMask,
-    data: Box<[u8]>,
+    /// Inline line staging; the first `line` bytes are live. Fixed at the
+    /// maximum line size so resets are a zeroing memcpy, not an allocation.
+    data: [u8; MAX_BLOCK],
     count: u64,
 }
 
@@ -226,10 +228,34 @@ impl ConditionalStoreBuffer {
         Ok(ConditionalStoreBuffer {
             cfg,
             current: None,
-            pending: VecDeque::new(),
+            // Worst case: a variable-burst flush decomposes into one chunk
+            // per written byte, doubled when double-buffered.
+            pending: VecDeque::with_capacity(if cfg.variable_burst { 2 * cfg.line } else { 2 }),
             stats: CsbStats::default(),
             sink: TraceSink::disabled(),
         })
+    }
+
+    /// Resets to the state [`ConditionalStoreBuffer::new`]`(cfg)` would
+    /// produce, keeping the pending-burst storage (its reservation grows
+    /// if the new shape needs more). The simulator's warm-reset path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConditionalStoreBuffer::new`]. On error the CSB is
+    /// unchanged.
+    pub fn reset_with(&mut self, cfg: CsbConfig) -> Result<(), CsbConfigError> {
+        if cfg.line < 8 || cfg.line > MAX_BLOCK || !cfg.line.is_power_of_two() {
+            return Err(CsbConfigError { line: cfg.line });
+        }
+        self.current = None;
+        self.pending.clear();
+        self.pending
+            .reserve(if cfg.variable_burst { 2 * cfg.line } else { 2 });
+        self.cfg = cfg;
+        self.stats = CsbStats::default();
+        self.sink = TraceSink::disabled();
+        Ok(())
     }
 
     /// Installs a structured trace sink; stores, busy stalls, and flush
@@ -329,7 +355,7 @@ impl ConditionalStoreBuffer {
                     base,
                     pid,
                     mask: ByteMask::empty(),
-                    data: vec![0u8; self.cfg.line].into_boxed_slice(),
+                    data: [0u8; MAX_BLOCK],
                     count: 1,
                 };
                 line.mask.set_range(off, width);
@@ -401,18 +427,20 @@ impl ConditionalStoreBuffer {
         );
         self.stats.payload_bytes += payload_total as u64;
         if self.cfg.variable_burst {
-            for c in decompose(line.mask, self.cfg.line) {
-                self.pending.push_back(PreparedTxn {
+            let pending = &mut self.pending;
+            let bursts = &mut self.stats.bursts;
+            decompose_into(line.mask, self.cfg.line, |c| {
+                pending.push_back(PreparedTxn {
                     txn: Transaction::write(line.base.offset(c.offset as i64), c.size),
-                    data: line.data[c.offset..c.offset + c.size].to_vec(),
+                    data: PayloadBuf::from_slice(&line.data[c.offset..c.offset + c.size]),
                 });
-                self.stats.bursts += 1;
-            }
+                *bursts += 1;
+            });
         } else {
             // Always a full line; unwritten bytes are zero padding.
             self.pending.push_back(PreparedTxn {
                 txn: Transaction::write(line.base, self.cfg.line).payload(payload_total),
-                data: line.data.into_vec(),
+                data: PayloadBuf::from_slice(&line.data[..self.cfg.line]),
             });
             self.stats.bursts += 1;
         }

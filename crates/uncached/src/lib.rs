@@ -54,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 mod buffer;
 mod csb;
 mod mask;
@@ -65,16 +67,144 @@ pub use csb::{
     ConditionalStoreBuffer, CsbConfig, CsbConfigError, CsbError, CsbStats, FlushOutcome,
     StoreOutcome,
 };
-pub use mask::{decompose, ByteMask, Chunk, MAX_BLOCK};
+pub use mask::{decompose, decompose_into, ByteMask, Chunk, MAX_BLOCK};
+
+/// Fixed-capacity inline payload staging: up to [`MAX_BLOCK`] bytes held
+/// directly in the value, no heap allocation. This is the data half of
+/// every transaction the uncached buffer and the CSB prepare — sized by
+/// the largest line the model supports, so staging, peeking, and handing a
+/// payload to the bus are all allocation-free in steady state.
+///
+/// Dereferences to `[u8]`, so slicing, indexing, and iteration work as
+/// they did when this was a `Vec<u8>`.
+#[derive(Clone, Copy)]
+pub struct PayloadBuf {
+    len: u8,
+    bytes: [u8; MAX_BLOCK],
+}
+
+impl PayloadBuf {
+    /// The empty payload (a read transaction carries no data).
+    pub const fn empty() -> Self {
+        PayloadBuf {
+            len: 0,
+            bytes: [0; MAX_BLOCK],
+        }
+    }
+
+    /// Copies `src` into a fresh payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` exceeds [`MAX_BLOCK`] bytes.
+    pub fn from_slice(src: &[u8]) -> Self {
+        assert!(
+            src.len() <= MAX_BLOCK,
+            "payload of {} bytes exceeds {MAX_BLOCK}",
+            src.len()
+        );
+        let mut p = PayloadBuf::empty();
+        p.bytes[..src.len()].copy_from_slice(src);
+        p.len = src.len() as u8;
+        p
+    }
+
+    /// The staged bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Number of staged bytes.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes via Deref
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl std::ops::Deref for PayloadBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PayloadBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for PayloadBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBuf {}
+
+impl PartialEq<[u8]> for PayloadBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for PayloadBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for PayloadBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(src: &[u8]) -> Self {
+        PayloadBuf::from_slice(src)
+    }
+}
+
+// Serialized exactly as the `Vec<u8>` it replaced: a JSON array of
+// numbers, so checked-in artifacts are unchanged.
+impl serde::Serialize for PayloadBuf {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Array(
+            self.as_slice()
+                .iter()
+                .map(serde::Serialize::to_value)
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for PayloadBuf {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let bytes = Vec::<u8>::from_value(v)?;
+        if bytes.len() > MAX_BLOCK {
+            return Err(serde::de::Error::mismatch("PayloadBuf", v));
+        }
+        Ok(PayloadBuf::from_slice(&bytes))
+    }
+}
 
 /// A bus transaction paired with the data bytes it carries.
 ///
 /// [`csb_bus::Transaction`] is timing-only; I/O devices in the simulator
-/// also need the written values, which travel alongside here.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// also need the written values, which travel alongside in a fixed
+/// [`PayloadBuf`] — copying a prepared transaction is a plain memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreparedTxn {
     /// The timing-level transaction to hand to the bus.
     pub txn: csb_bus::Transaction,
     /// The `txn.size` data bytes (padding already zeroed).
-    pub data: Vec<u8>,
+    pub data: PayloadBuf,
 }

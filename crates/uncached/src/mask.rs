@@ -162,11 +162,23 @@ impl std::ops::BitOr for ByteMask {
 /// assert_eq!(decompose(ByteMask::range(0, 64), 64).len(), 1);
 /// ```
 pub fn decompose(mask: ByteMask, max_chunk: usize) -> Vec<Chunk> {
+    let mut out = Vec::new();
+    decompose_into(mask, max_chunk, |c| out.push(c));
+    out
+}
+
+/// Streaming form of [`decompose`]: invokes `emit` for each chunk in
+/// ascending offset order without allocating. The hot drain path uses this
+/// to refill a reused scratch queue.
+///
+/// # Panics
+///
+/// Panics if `max_chunk` is zero or not a power of two.
+pub fn decompose_into(mask: ByteMask, max_chunk: usize, mut emit: impl FnMut(Chunk)) {
     assert!(
         max_chunk > 0 && max_chunk.is_power_of_two(),
         "max_chunk {max_chunk} must be a nonzero power of two"
     );
-    let mut out = Vec::new();
     let mut bits = mask.bits();
     while bits != 0 {
         let i = bits.trailing_zeros() as usize;
@@ -180,7 +192,7 @@ pub fn decompose(mask: ByteMask, max_chunk: usize) -> Vec<Chunk> {
             }
             size = next;
         }
-        out.push(Chunk { offset: i, size });
+        emit(Chunk { offset: i, size });
         let clear = if size == MAX_BLOCK {
             u128::MAX
         } else {
@@ -188,7 +200,6 @@ pub fn decompose(mask: ByteMask, max_chunk: usize) -> Vec<Chunk> {
         };
         bits &= !clear;
     }
-    out
 }
 
 #[cfg(test)]

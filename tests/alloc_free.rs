@@ -1,0 +1,116 @@
+//! Steady-state allocation audit: once a simulation is past its warmup
+//! window, the cycle kernel must not touch the heap at all.
+//!
+//! A counting global allocator wraps the system allocator; the test runs
+//! one Figure 3 bandwidth point (CSB store stream) and one Figure 5
+//! latency point (lock sequence through the uncached buffer), ticks each
+//! through its warmup — first-touch functional-memory chunks, the
+//! MARK_START retirement, device-log growth into its reserved capacity —
+//! and then asserts that a long mid-run window of ticks performs zero
+//! allocations. Counting is thread-local so that the libtest harness
+//! thread (which may print or poll concurrently) cannot pollute a
+//! measurement window, and both points live in ONE `#[test]` so no
+//! sibling test thread shares the audited thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use csb_core::{workloads, SimConfig, Simulator};
+use csb_isa::Program;
+
+struct CountingAllocator;
+
+// Const-initialized thread-locals: first access from the allocator hooks
+// must not itself allocate (a lazily-initialized thread-local could).
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    if COUNTING.with(Cell::get) {
+        ALLOCS.with(|a| a.set(a.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Audits one point the way the sweep engine runs it in steady state: a
+/// first cold execution pays every one-time cost (functional-memory
+/// chunk first-touch, reserved capacities), then the simulator is
+/// warm-reset onto the same point. The re-run ticks through the first
+/// 30% (warmup: MARK_START retirement, allocator-free by then) and must
+/// perform zero allocations over the next 40% (safely clear of both
+/// MARK retirements and run completion).
+fn audit(label: &str, cfg: &SimConfig, program: &Program, prep: impl Fn(&mut Simulator)) {
+    let mut sim = Simulator::new(cfg.clone(), program.clone()).expect("point builds");
+    prep(&mut sim);
+    let total = sim.run(50_000_000).expect("point completes").cycles;
+    let warmup = total * 3 / 10;
+    let window = total * 4 / 10;
+    assert!(
+        window > 100,
+        "{label}: run too short to audit ({total} cycles)"
+    );
+
+    sim.reset_with(cfg.clone(), program.clone())
+        .expect("warm reset");
+    prep(&mut sim);
+    for _ in 0..warmup {
+        sim.tick();
+    }
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..window {
+        sim.tick();
+    }
+    COUNTING.with(|c| c.set(false));
+    assert!(
+        !sim.complete(),
+        "{label}: completed inside the measured window"
+    );
+    let n = ALLOCS.with(Cell::get);
+    assert_eq!(n, 0, "{label}: {n} heap allocation(s) in steady state");
+}
+
+#[test]
+fn steady_state_ticks_do_not_allocate() {
+    // Figure 3 shape: 8B multiplexed bus, 64B line, 1 KB CSB store
+    // stream. Exercises the CSB line buffers, burst decomposition, the
+    // bus, and delivery into functional memory + device log.
+    let cfg = SimConfig::default();
+    let program =
+        workloads::store_bandwidth(1024, &cfg, workloads::StorePath::Csb).expect("fig3 workload");
+    audit("fig3 1KB/CSB", &cfg, &program, |_| {});
+
+    // Figure 5 shape: the lock/store/unlock sequence under 8-byte
+    // (uncombined) staging, lock line missing to memory. Exercises the
+    // uncached buffer's drain scratch, the swap path, and the caches.
+    let cfg = SimConfig::default().combining_block(8);
+    let program = workloads::lock_sequence(16).expect("fig5 workload");
+    audit("fig5 16dw/none/miss", &cfg, &program, |sim| {
+        sim.evict_line(csb_isa::Addr::new(csb_core::LOCK_ADDR));
+    });
+}

@@ -294,6 +294,48 @@ proptest! {
         prop_assert!(ff_ticks <= naive_ticks);
     }
 
+    /// A queue of random points through ONE warm-reset simulator
+    /// ([`Simulator::reset_with`]) must match fresh construction
+    /// point-for-point, byte-for-byte — the invariant the sweep engine's
+    /// per-worker simulator reuse rests on. Machine shape, program, and
+    /// queue length all vary, so every reset crosses a config change.
+    #[test]
+    fn warm_reuse_matches_fresh_construction(
+        points in proptest::collection::vec(
+            (0u64..1_000_000, 30usize..120, 20u8..80, 1u64..8, 3u32..7),
+            2..5,
+        ),
+    ) {
+        let mut slot: Option<Simulator> = None;
+        for (seed, ops, mem_percent, ratio, block_log) in points {
+            let cfg = SimConfig::default()
+                .frequency_ratio(ratio)
+                .combining_block(1usize << block_log);
+            let mix = workloads::RandomMix { ops, mem_percent };
+            let program = workloads::random_mixed(seed, mix, &cfg).unwrap();
+            match slot.as_mut() {
+                Some(sim) => sim.reset_with(cfg.clone(), program.clone()).unwrap(),
+                None => slot = Some(Simulator::new(cfg.clone(), program.clone()).unwrap()),
+            }
+            let warm = slot.as_mut().unwrap();
+            let mut fresh = Simulator::new(cfg, program).unwrap();
+            match (warm.run(50_000_000), fresh.run(50_000_000)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    serde_json::to_string(&a).unwrap(),
+                    serde_json::to_string(&b).unwrap(),
+                    "warm-reset RunSummary JSON must be byte-identical to fresh"
+                ),
+                (Err(_), Err(_)) => {} // both hit the limit; compare partial state below
+                (a, b) => panic!("outcome diverged: warm={a:?} fresh={b:?}"),
+            }
+            prop_assert_eq!(
+                serde_json::to_string(&warm.summary()).unwrap(),
+                serde_json::to_string(&fresh.summary()).unwrap()
+            );
+            prop_assert_eq!(warm.csb_stats(), fresh.csb_stats());
+        }
+    }
+
     /// Hardware-combining rules have deferred-mutation subtleties
     /// (`closed` entries); stress them specifically.
     #[test]
