@@ -9,7 +9,15 @@ use csb_core::dma::{DmaModel, PioMethod, MESSAGE_SIZES};
 use csb_core::experiments::{ablations, format_table};
 use csb_core::SimConfig;
 
+const USAGE: &str = "ablations [--jobs N] [--json out.json] [--no-fast-forward]";
+
 fn main() {
+    csb_bench::validate_args(
+        USAGE,
+        &["--jobs", "--json"],
+        csb_bench::STANDARD_BARE_FLAGS,
+        0,
+    );
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
 

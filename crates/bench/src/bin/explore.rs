@@ -61,39 +61,51 @@ impl Default for Args {
     }
 }
 
+const USAGE: &str = "explore [--bus mux|split] [--width N] [--line N] [--ratio N] \
+[--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
+[--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] [--no-fast-forward]";
+
 fn parse_args() -> Args {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
+            it.next().unwrap_or_else(|| {
+                csb_bench::usage_error(USAGE, format!("{name} requires a value"))
+            })
         };
+        // Numeric flags share one error shape: `--flag` plus a value that
+        // must parse as an integer.
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> T {
+            v.parse().unwrap_or_else(|_| {
+                csb_bench::usage_error(USAGE, format!("{name} requires an integer, got {v:?}"))
+            })
+        }
         match flag.as_str() {
             "--bus" => args.bus = val("--bus"),
-            "--width" => args.width = val("--width").parse().expect("numeric --width"),
-            "--line" => args.line = val("--line").parse().expect("numeric --line"),
-            "--ratio" => args.ratio = val("--ratio").parse().expect("numeric --ratio"),
-            "--turnaround" => {
-                args.turnaround = val("--turnaround").parse().expect("numeric --turnaround")
-            }
-            "--delay" => args.delay = val("--delay").parse().expect("numeric --delay"),
+            "--width" => args.width = num("--width", val("--width")),
+            "--line" => args.line = num("--line", val("--line")),
+            "--ratio" => args.ratio = num("--ratio", val("--ratio")),
+            "--turnaround" => args.turnaround = num("--turnaround", val("--turnaround")),
+            "--delay" => args.delay = num("--delay", val("--delay")),
             "--scheme" => args.scheme = val("--scheme"),
             "--bytes" => {
-                args.bytes = val("--bytes")
-                    .split(',')
-                    .map(|b| b.parse().expect("numeric --bytes list"))
-                    .collect();
-                assert!(!args.bytes.is_empty(), "--bytes requires at least one size");
+                let list = val("--bytes");
+                args.bytes = list.split(',').map(|b| num("--bytes", b.into())).collect();
+                if args.bytes.is_empty() {
+                    csb_bench::usage_error(USAGE, "--bytes requires at least one size");
+                }
             }
             "--jobs" => {
-                args.jobs = val("--jobs").parse().expect("numeric --jobs");
-                assert!(args.jobs > 0, "--jobs requires a positive integer");
+                args.jobs = num("--jobs", val("--jobs"));
+                if args.jobs == 0 {
+                    csb_bench::usage_error(USAGE, "--jobs requires a positive integer");
+                }
             }
-            "--timeline" => args.timeline = val("--timeline").parse().expect("numeric --timeline"),
+            "--timeline" => args.timeline = num("--timeline", val("--timeline")),
             "--asm" => args.asm = Some(val("--asm")),
             "--no-fast-forward" => csb_core::set_default_fast_forward(false),
-            other => panic!("unknown flag {other}; see the binary's doc comment"),
+            other => csb_bench::usage_error(USAGE, format!("unknown flag {other}")),
         }
     }
     args
@@ -108,7 +120,10 @@ fn scheme_from_flag(flag: &str, line: usize) -> Scheme {
         "ppc620" => Scheme::Ppc620,
         n => Scheme::Uncached {
             block: n.parse().unwrap_or_else(|_| {
-                panic!("--scheme none|16|32|64|128|r10k|ppc620|csb, got {n} (line {line}B)")
+                csb_bench::usage_error(
+                    USAGE,
+                    format!("--scheme none|16|32|64|128|r10k|ppc620|csb, got {n} (line {line}B)"),
+                )
             }),
         },
     }
@@ -119,26 +134,27 @@ fn main() {
     let bus = match args.bus.as_str() {
         "mux" => BusConfig::multiplexed(args.width),
         "split" => BusConfig::split(args.width),
-        other => panic!("--bus must be mux or split, got {other}"),
+        other => csb_bench::usage_error(USAGE, format!("--bus must be mux or split, got {other}")),
     }
     .max_burst(args.line)
     .turnaround(args.turnaround)
     .min_addr_delay(args.delay)
     .build()
-    .expect("valid bus configuration");
+    .unwrap_or_else(|e| csb_bench::die(e));
     let cfg = SimConfig::default()
         .line_size(args.line)
         .bus(bus)
         .frequency_ratio(args.ratio);
-    cfg.validate().expect("consistent machine configuration");
+    if let Err(e) = cfg.validate() {
+        csb_bench::die(e);
+    }
 
     // A comma list of transfer sizes runs as a sweep on the parallel
     // experiment runner instead of the single-point timeline path.
     if args.bytes.len() > 1 {
-        assert!(
-            args.asm.is_none(),
-            "--asm is a single-point mode; drop the --bytes list"
-        );
+        if args.asm.is_some() {
+            csb_bench::usage_error(USAGE, "--asm is a single-point mode; drop the --bytes list");
+        }
         let scheme = scheme_from_flag(&args.scheme, args.line);
         let specs: Vec<PointSpec> = args
             .bytes
@@ -216,9 +232,12 @@ fn main() {
             Some(csb_uncached::UncachedConfig::ppc620()),
         ),
         n => {
-            let block: usize = n
-                .parse()
-                .expect("--scheme none|16|32|64|128|r10k|ppc620|csb");
+            let block: usize = n.parse().unwrap_or_else(|_| {
+                csb_bench::usage_error(
+                    USAGE,
+                    format!("--scheme none|16|32|64|128|r10k|ppc620|csb, got {n}"),
+                )
+            });
             (
                 workloads::StorePath::Uncached,
                 Some(csb_uncached::UncachedConfig::with_block(block)),
@@ -232,11 +251,12 @@ fn main() {
 
     let program = match &args.asm {
         Some(file) => {
-            let source =
-                std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
-            csb_isa::parse_asm(&source).unwrap_or_else(|e| panic!("{file}: {e}"))
+            let source = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| csb_bench::die(format!("cannot read {file}: {e}")));
+            csb_isa::parse_asm(&source).unwrap_or_else(|e| csb_bench::die(format!("{file}: {e}")))
         }
-        None => workloads::store_bandwidth(bytes, &cfg, path).expect("valid transfer size"),
+        None => workloads::store_bandwidth(bytes, &cfg, path)
+            .unwrap_or_else(|e| csb_bench::die(format!("--bytes {bytes}: {e}"))),
     };
     let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
     sim.enable_tracing();

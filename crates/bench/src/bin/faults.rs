@@ -1,0 +1,36 @@
+//! Fault-injection sweep: success rate and latency degradation of each
+//! software retry policy (naive spin, bounded, exponential backoff) as the
+//! deterministic fault schedule's rates rise.
+//!
+//! Usage: `cargo run -p csb-bench --bin faults [--jobs N] [--json out.json]
+//! [--no-fast-forward]`
+//!
+//! Every cell averages a batch of seeded schedules; the same seeds produce
+//! the same table on every run and worker count. Pass `--json` to dump the
+//! raw sweep (per-cell success counts, livelocks, attempt and latency
+//! means) for further processing.
+
+use std::io::{BufWriter, Write};
+
+use csb_core::experiments::faults;
+
+const USAGE: &str = "faults [--jobs N] [--json out.json] [--no-fast-forward]";
+
+fn main() {
+    csb_bench::validate_args(
+        USAGE,
+        &["--jobs", "--json"],
+        csb_bench::STANDARD_BARE_FLAGS,
+        0,
+    );
+    csb_bench::apply_fast_forward_flag();
+    let jobs = csb_bench::jobs_from_args();
+    let (sweep, report) = faults::run_jobs(jobs).expect("fault sweep simulates");
+    let mut out = BufWriter::new(std::io::stdout().lock());
+    writeln!(out, "{}", sweep.to_table()).expect("stdout writable");
+    out.flush().expect("stdout flushes");
+    eprintln!("{}", report.render());
+    if let Some(path) = csb_bench::json_path_from_args() {
+        csb_bench::dump_json(&path, &sweep);
+    }
+}

@@ -9,7 +9,11 @@ use std::io::{BufWriter, Write};
 
 use csb_core::experiments::fig4;
 
+const USAGE: &str = "fig4 [--jobs N] [--json out.json] [--trace-out trace.json] \
+[--metrics-out metrics.json] [--no-fast-forward]";
+
 fn main() {
+    csb_bench::validate_standard_args(USAGE);
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
     let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();

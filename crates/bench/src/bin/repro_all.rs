@@ -17,7 +17,16 @@ use std::io::{BufWriter, Write};
 
 use csb_core::experiments::{fig3, fig4, fig5};
 
+const USAGE: &str = "repro_all [--jobs N] [--trace-out trace.json] \
+[--metrics-out metrics.json] [--no-fast-forward]";
+
 fn main() {
+    csb_bench::validate_args(
+        USAGE,
+        &["--jobs", "--trace-out", "--metrics-out"],
+        csb_bench::STANDARD_BARE_FLAGS,
+        0,
+    );
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
     let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();

@@ -32,7 +32,16 @@ fn all_points() -> Vec<PointSpec> {
     specs
 }
 
+const USAGE: &str =
+    "trace <point> [--trace-out trace.json] [--metrics-out metrics.json] | trace --list";
+
 fn main() -> ExitCode {
+    csb_bench::validate_args(
+        USAGE,
+        &["--trace-out", "--metrics-out"],
+        &["--no-fast-forward", "--list"],
+        1,
+    );
     let positional: Vec<String> = {
         let mut args = std::env::args().skip(1);
         let mut pos = Vec::new();

@@ -23,11 +23,75 @@ use std::path::{Path, PathBuf};
 
 use csb_core::experiments::runner::{LabeledArtifacts, ObsConfig};
 
+/// The value-taking flags every figure binary accepts.
+pub const STANDARD_VALUE_FLAGS: &[&str] = &["--jobs", "--json", "--trace-out", "--metrics-out"];
+
+/// The bare flags every figure binary accepts.
+pub const STANDARD_BARE_FLAGS: &[&str] = &["--no-fast-forward"];
+
+/// Prints a one-line error and exits with status 2 (bad invocation).
+/// These binaries are user-facing harnesses: a mistyped flag or an
+/// inconsistent machine configuration is an input error, not a bug, and
+/// must not produce a panic backtrace.
+pub fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// [`die`] plus a usage line.
+pub fn usage_error(usage: &str, msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// Validates the raw command line against the binary's flag vocabulary:
+/// every `--flag` must be a known value-taking flag (followed by a value,
+/// or written `--flag=value`) or a known bare flag, and at most
+/// `max_positional` non-flag arguments may appear. Anything else prints
+/// the usage line and exits 2. Call this first in `main`, before the
+/// flag-extraction helpers.
+pub fn validate_args(
+    usage: &str,
+    value_flags: &[&str],
+    bare_flags: &[&str],
+    max_positional: usize,
+) {
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if !a.starts_with("--") {
+            positional += 1;
+            if positional > max_positional {
+                usage_error(usage, format!("unexpected argument {a:?}"));
+            }
+            continue;
+        }
+        let name = a.split_once('=').map_or(a.as_str(), |(n, _)| n);
+        if value_flags.contains(&name) {
+            if !a.contains('=') && args.next().is_none() {
+                usage_error(usage, format!("{name} requires a value"));
+            }
+        } else if bare_flags.contains(&name) {
+            if a.contains('=') {
+                usage_error(usage, format!("{name} does not take a value"));
+            }
+        } else {
+            usage_error(usage, format!("unknown flag {name}"));
+        }
+    }
+}
+
+/// [`validate_args`] with the standard figure-binary vocabulary
+/// (`--jobs`, `--json`, `--trace-out`, `--metrics-out`,
+/// `--no-fast-forward`) and no positional arguments.
+pub fn validate_standard_args(usage: &str) {
+    validate_args(usage, STANDARD_VALUE_FLAGS, STANDARD_BARE_FLAGS, 0);
+}
+
 /// Parses an optional `--json <path>` argument from the command line.
 ///
-/// # Panics
-///
-/// Panics if `--json` is given without a path.
+/// Exits with status 2 if `--json` is given without a path.
 pub fn json_path_from_args() -> Option<PathBuf> {
     flag_path_from_args("--json")
 }
@@ -35,16 +99,14 @@ pub fn json_path_from_args() -> Option<PathBuf> {
 /// Parses an optional `<flag> <path>` (or `<flag>=<path>`) argument from
 /// the command line.
 ///
-/// # Panics
-///
-/// Panics if the flag is given without a path.
+/// Exits with status 2 if the flag is given without a path.
 pub fn flag_path_from_args(flag: &str) -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == flag {
-            let p = args
-                .next()
-                .unwrap_or_else(|| panic!("{flag} requires a path"));
+            let Some(p) = args.next() else {
+                die(format!("{flag} requires a path"));
+            };
             return Some(PathBuf::from(p));
         }
         if let Some(p) = a.strip_prefix(&format!("{flag}=")) {
@@ -139,21 +201,23 @@ pub fn apply_fast_forward_flag() {
 /// count for the parallel experiment runner. Returns `0` ("all cores",
 /// which the runner resolves via `available_parallelism`) when absent.
 ///
-/// # Panics
-///
-/// Panics if `--jobs` is given without a positive integer.
+/// Exits with status 2 if `--jobs` is given without a positive integer.
 pub fn jobs_from_args() -> usize {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let value = if a == "--jobs" {
-            Some(args.next().expect("--jobs requires a worker count"))
+            match args.next() {
+                Some(v) => Some(v),
+                None => die("--jobs requires a worker count"),
+            }
         } else {
             a.strip_prefix("--jobs=").map(str::to_string)
         };
         if let Some(v) = value {
-            let n: usize = v.parse().expect("--jobs requires a positive integer");
-            assert!(n > 0, "--jobs requires a positive integer");
-            return n;
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => die(format!("--jobs requires a positive integer, got {v:?}")),
+            }
         }
     }
     0

@@ -1,5 +1,6 @@
 //! The system bus: occupancy, ordering, and completion tracking.
 
+use csb_faults::{FaultInjector, FaultKind};
 use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +84,12 @@ pub struct SystemBus {
     /// Structured trace sink (disabled by default; see
     /// [`SystemBus::set_trace_sink`]).
     sink: TraceSink,
+    /// Fault-injection hook (disabled by default; see
+    /// [`SystemBus::set_fault_hook`]).
+    faults: FaultInjector,
+    /// Bus transactions errored by the fault hook since construction or
+    /// the last [`SystemBus::reset`].
+    fault_errors: u64,
 }
 
 impl SystemBus {
@@ -96,7 +103,27 @@ impl SystemBus {
             stats: BusStats::default(),
             log: None,
             sink: TraceSink::disabled(),
+            faults: FaultInjector::disabled(),
+            fault_errors: 0,
         }
+    }
+
+    /// Installs a fault-injection hook. Each accepted issue asks the
+    /// schedule whether the transaction errors ([`FaultKind::BusError`]):
+    /// an errored transaction consumes its occupancy (address + data
+    /// cycles, turnaround, address-delay window, and any foreign-debt
+    /// accrual) exactly like a successful one, but delivers nothing and
+    /// is *not* recorded in [`SystemBus::stats`] — the master sees
+    /// [`SystemBus::try_issue`] return `Ok(None)` and must re-arbitrate.
+    /// Bounded hardware retry comes from the schedule's
+    /// `max_consecutive` parameter, which forces an eventual clean slot.
+    pub fn set_fault_hook(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Transactions errored by the fault hook (0 when no hook is set).
+    pub fn fault_errors(&self) -> u64 {
+        self.fault_errors
     }
 
     /// Installs a structured trace sink; every local transaction emits a
@@ -196,28 +223,45 @@ impl SystemBus {
         let completes_at = now + duration - 1;
         self.next_free = completes_at + 1 + self.cfg.turnaround();
         self.last_addr = Some(now);
-        self.stats.record(now, completes_at, txn.size, txn.payload);
-        self.sink.emit_span(
-            now,
-            duration,
-            Track::Bus,
-            EventKind::BusTxn {
-                addr: txn.addr.raw(),
-                size: txn.size,
-                payload: txn.payload,
-                write: matches!(txn.kind, crate::transaction::TxnKind::Write),
-                tag: txn.tag,
-            },
-        );
-        if let Some(log) = &mut self.log {
-            log.push(BusLogEntry {
-                addr_cycle: now,
-                completes_at,
-                size: txn.size,
-                kind: txn.kind,
-                foreign: false,
-                tag: txn.tag,
-            });
+        // An injected bus error consumes the occupancy just computed but
+        // delivers nothing: the caller sees `Ok(None)` (the same signal as
+        // a busy bus), keeps the transaction queued, and re-arbitrates.
+        let faulted = self.faults.inject(FaultKind::BusError);
+        if faulted {
+            self.fault_errors += 1;
+            self.sink.emit_span(
+                now,
+                duration,
+                Track::Bus,
+                EventKind::BusFault {
+                    addr: txn.addr.raw(),
+                    size: txn.size,
+                },
+            );
+        } else {
+            self.stats.record(now, completes_at, txn.size, txn.payload);
+            self.sink.emit_span(
+                now,
+                duration,
+                Track::Bus,
+                EventKind::BusTxn {
+                    addr: txn.addr.raw(),
+                    size: txn.size,
+                    payload: txn.payload,
+                    write: matches!(txn.kind, crate::transaction::TxnKind::Write),
+                    tag: txn.tag,
+                },
+            );
+            if let Some(log) = &mut self.log {
+                log.push(BusLogEntry {
+                    addr_cycle: now,
+                    completes_at,
+                    size: txn.size,
+                    kind: txn.kind,
+                    foreign: false,
+                    tag: txn.tag,
+                });
+            }
         }
         // Fair arbitration against foreign masters: every local transaction
         // accrues a proportional debt of foreign bus time, paid off as whole
@@ -248,6 +292,9 @@ impl SystemBus {
                 }
             }
         }
+        if faulted {
+            return Ok(None);
+        }
         Ok(Some(Issued {
             addr_cycle: now,
             completes_at,
@@ -269,6 +316,7 @@ impl SystemBus {
         self.last_addr = None;
         self.foreign_debt = 0.0;
         self.stats = BusStats::default();
+        self.fault_errors = 0;
         if let Some(log) = &mut self.log {
             log.clear();
         }
@@ -383,6 +431,55 @@ mod tests {
             .try_issue(9, Transaction::write(Addr::new(64), 8))
             .unwrap()
             .is_some());
+    }
+
+    #[test]
+    fn fault_hook_consumes_slot_without_recording() {
+        use csb_faults::FaultConfig;
+        let mut bus = mux8();
+        // Every issue faults until the consecutive bound forces a clean
+        // slot: bounded hardware retry.
+        bus.set_fault_hook(FaultInjector::enabled(
+            FaultConfig::new(1).bus_error_rate(1.0).max_consecutive(2),
+        ));
+        let txn = Transaction::write(Addr::new(0), 8);
+        assert_eq!(bus.try_issue(0, txn).unwrap(), None); // fault 1
+        assert!(!bus.can_accept(1)); // slot was consumed anyway
+        let mut now = bus.earliest_start(1);
+        assert_eq!(bus.try_issue(now, txn).unwrap(), None); // fault 2
+        now = bus.earliest_start(now);
+        let issued = bus.try_issue(now, txn).unwrap();
+        assert!(issued.is_some(), "third attempt must be forced clean");
+        assert_eq!(bus.fault_errors(), 2);
+        // Errored transactions never enter the architectural statistics.
+        assert_eq!(bus.stats().transactions, 1);
+    }
+
+    #[test]
+    fn fault_hook_emits_bus_fault_spans() {
+        use csb_faults::FaultConfig;
+        let mut bus = mux8();
+        let sink = TraceSink::enabled();
+        bus.set_trace_sink(sink.scaled(6));
+        bus.set_fault_hook(FaultInjector::enabled(
+            FaultConfig::new(1).bus_error_rate(1.0).max_consecutive(1),
+        ));
+        assert_eq!(
+            bus.try_issue(0, Transaction::write(Addr::new(0x40), 8))
+                .unwrap(),
+            None
+        );
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, Track::Bus);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::BusFault {
+                addr: 0x40,
+                size: 8
+            }
+        ));
+        assert_eq!(events[0].kind.name(), "fault.bus");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! * [`ablations`] — the in-text studies: superscalar width vs. lock
 //!   overhead, the double-buffered CSB, and the variable-burst CSB,
 //! * [`throughput`] — simulated-cycles-per-second of the engine itself,
-//!   naive loop vs. idle-cycle fast-forward.
+//!   naive loop vs. idle-cycle fast-forward,
+//! * [`faults`] — success rate and latency degradation of software retry
+//!   policies under a seeded fault schedule (robustness study).
 //!
 //! Each harness returns serializable panel structures with a plain-text
 //! table renderer, so the `csb-bench` binaries can print the same rows and
@@ -15,6 +17,7 @@
 //! Figure 5.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

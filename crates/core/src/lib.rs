@@ -19,7 +19,13 @@
 //! * [`multiproc`] — a context-switching scheduler for the multi-process
 //!   conflict, livelock, and backoff studies,
 //! * [`dma`] — the PIO-vs-DMA break-even model from the qualitative
-//!   evaluation (§5).
+//!   evaluation (§5),
+//! * fault injection ([`Simulator::set_faults`], re-exported from
+//!   `csb-faults`) and a livelock watchdog
+//!   ([`Simulator::set_watchdog`]) for the robustness studies: seeded,
+//!   deterministic bus errors, device NACKs, and forced flush
+//!   disturbances, with structured [`SimError::Livelock`] reports when
+//!   retry loops stop making progress.
 //!
 //! # Examples
 //!
@@ -57,7 +63,9 @@ pub mod trace;
 pub mod workloads;
 
 pub use config::{SimConfig, SimConfigError, COMBINING_BASE, LOCK_ADDR, UNCACHED_BASE};
+pub use csb_faults::{FaultConfig, FaultInjector, FaultKind, FaultStats, FaultWindow};
 pub use device::{DeliveredWrite, IoDevice};
 pub use sim::{
-    default_fast_forward, set_default_fast_forward, MetricsReport, RunSummary, SimError, Simulator,
+    default_fast_forward, set_default_fast_forward, ActorState, LivelockReport, LivelockTrigger,
+    MetricsReport, RunSummary, SimError, Simulator, WatchdogConfig,
 };

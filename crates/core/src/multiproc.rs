@@ -25,7 +25,8 @@ use csb_isa::Program;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
-use crate::sim::{SimError, Simulator};
+use crate::sim::{ActorState, SimError, Simulator, WatchdogConfig};
+use csb_faults::{FaultConfig, FaultStats};
 
 /// Scheduling policy for the time-sliced core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -165,12 +166,37 @@ impl MultiSim {
         self.switches += 1;
     }
 
+    /// Builds the per-process actor snapshot for a livelock report.
+    fn enrich_livelock(&self, e: SimError) -> SimError {
+        match e {
+            SimError::Livelock(mut r) => {
+                r.actors = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| ActorState {
+                        name: format!("proc{i}"),
+                        running: i == self.current,
+                        halted: p.done,
+                        completion_cycle: self.completions[i],
+                        slice: self.slices[i],
+                    })
+                    .collect();
+                SimError::Livelock(r)
+            }
+            other => other,
+        }
+    }
+
     /// Runs until every process has halted and the machine drained.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::CycleLimit`] on livelock (e.g. a fixed slice
-    /// shorter than the CSB sequence, so no flush ever succeeds).
+    /// Returns [`SimError::Livelock`] when the progress watchdog detects a
+    /// livelock (e.g. a fixed slice shorter than the CSB sequence, so no
+    /// flush ever succeeds — the paper's §3.2 scenario), with one
+    /// [`ActorState`] per process in the report, or
+    /// [`SimError::CycleLimit`] if the run merely ran out of cycles.
     pub fn run(&mut self, limit: u64) -> Result<MultiSummary, SimError> {
         let mut slice_start = 0u64;
         let mut failures_at_slice_start = 0u64;
@@ -182,7 +208,9 @@ impl MultiSim {
                     if self.sim.cpu().now() >= limit {
                         return Err(SimError::CycleLimit { limit });
                     }
-                    self.sim.advance(limit);
+                    self.sim
+                        .advance_checked(limit)
+                        .map_err(|e| self.enrich_livelock(e))?;
                 }
                 break;
             }
@@ -200,7 +228,9 @@ impl MultiSim {
             } else {
                 limit
             };
-            self.sim.advance(cap.max(now + 1));
+            self.sim
+                .advance_checked(cap.max(now + 1))
+                .map_err(|e| self.enrich_livelock(e))?;
             let now = self.sim.cpu().now();
 
             if self.sim.cpu().halted() && !self.procs[self.current].done {
@@ -261,6 +291,24 @@ impl MultiSim {
     pub fn set_fast_forward(&mut self, on: bool) {
         self.sim.set_fast_forward(on);
     }
+
+    /// Installs a deterministic fault schedule on the underlying simulator
+    /// (see [`Simulator::set_faults`]).
+    pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        self.sim.set_faults(cfg);
+    }
+
+    /// Counters of the active fault schedule (see
+    /// [`Simulator::fault_stats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.sim.fault_stats()
+    }
+
+    /// Replaces the progress-watchdog thresholds (see
+    /// [`Simulator::set_watchdog`]).
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.sim.set_watchdog(cfg);
+    }
 }
 
 #[cfg(test)]
@@ -307,9 +355,19 @@ mod tests {
         let cfg = SimConfig::default();
         let programs = two_workers(&cfg, 1);
         // Slices far shorter than a sequence: no flush can ever succeed.
+        // The watchdog must report a structured livelock well before the
+        // cycle limit, with one actor per process.
         let mut ms = MultiSim::new(cfg, programs, SwitchPolicy::Fixed(6)).unwrap();
         match ms.run(300_000) {
-            Err(SimError::CycleLimit { .. }) => {}
+            Err(SimError::Livelock(r)) => {
+                assert_eq!(r.trigger, crate::sim::LivelockTrigger::FlushFutility);
+                assert!(r.cycle < 300_000, "must fire before the cycle limit");
+                assert_eq!(r.consecutive_flush_failures, 64);
+                assert_eq!(r.csb.flush_successes, 0);
+                assert_eq!(r.actors.len(), 2);
+                assert!(r.actors.iter().all(|a| !a.halted));
+                assert_eq!(r.actors[0].name, "proc0");
+            }
             other => panic!("expected livelock, got {other:?}"),
         }
     }

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use csb_bus::{BusStats, SystemBus, TxnKind};
 use csb_cpu::{Cpu, CpuHorizon, CpuStats, MemPort, Pid, StallCause};
+use csb_faults::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use csb_isa::{Addr, AddressMap, AddressSpace, Program};
 use csb_mem::{AccessKind, FlatMemory, HitLevel, MemoryHierarchy, MemoryStats};
 use csb_obs::{EventKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink, Track};
@@ -30,6 +31,10 @@ pub enum SimError {
         /// The limit that was hit, in CPU cycles.
         limit: u64,
     },
+    /// The progress watchdog detected a livelock: the machine is still
+    /// ticking but provably going nowhere (see [`WatchdogConfig`]). The
+    /// boxed report carries the trigger and a per-actor state snapshot.
+    Livelock(Box<LivelockReport>),
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +45,148 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => {
                 write!(f, "simulation did not complete within {limit} CPU cycles")
             }
+            SimError::Livelock(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// What convinced the watchdog the run is livelocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivelockTrigger {
+    /// No instruction retired and no bus transaction was accepted or
+    /// delivered for [`WatchdogConfig::stall_cycles`] CPU cycles: the
+    /// machine is hard-stalled (e.g. a device NACKing every delivery).
+    HardStall,
+    /// [`WatchdogConfig::futile_flushes`] conditional flushes failed in a
+    /// row without a single success or device delivery in between: the
+    /// software retry loop is spinning without progress (the paper's
+    /// §3.2 livelock — instructions still retire, so this is invisible
+    /// to the hard-stall trigger).
+    FlushFutility,
+}
+
+impl fmt::Display for LivelockTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LivelockTrigger::HardStall => f.write_str("hard stall"),
+            LivelockTrigger::FlushFutility => f.write_str("flush futility"),
+        }
+    }
+}
+
+/// One actor's state at the moment the watchdog fired. For a plain
+/// [`Simulator`] run there is a single actor (the running process); a
+/// [`crate::multiproc::MultiSim`] replaces the list with one entry per
+/// time-sliced process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorState {
+    /// Actor label (`"pid0"`, or `"proc2"` under [`crate::multiproc`]).
+    pub name: String,
+    /// `true` if this actor owned the core when the watchdog fired.
+    pub running: bool,
+    /// `true` if the actor's program has halted.
+    pub halted: bool,
+    /// Completion cycle, when the actor finished before the livelock.
+    pub completion_cycle: Option<u64>,
+    /// Current scheduler slice in CPU cycles (0 outside multiproc runs).
+    pub slice: u64,
+}
+
+impl fmt::Display for ActorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        match (self.halted, self.running) {
+            (true, _) => write!(f, "done")?,
+            (false, true) => write!(f, "running")?,
+            (false, false) => write!(f, "waiting")?,
+        }
+        if let Some(c) = self.completion_cycle {
+            write!(f, "@{c}")?;
+        }
+        if self.slice > 0 {
+            write!(f, ", slice {}", self.slice)?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// The structured diagnostic carried by [`SimError::Livelock`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivelockReport {
+    /// CPU cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Which condition fired.
+    pub trigger: LivelockTrigger,
+    /// CPU cycles since the last retirement or bus progress.
+    pub no_progress_for: u64,
+    /// Failed conditional flushes since the last success or delivery.
+    pub consecutive_flush_failures: u64,
+    /// Instructions retired in total.
+    pub retired: u64,
+    /// Bus transactions completed in total.
+    pub bus_transactions: u64,
+    /// Faults injected by the active schedule (0 without one).
+    pub injected_faults: u64,
+    /// CSB counters at the time of the report.
+    pub csb: CsbStats,
+    /// One entry per process known to the run.
+    pub actors: Vec<ActorState>,
+}
+
+impl fmt::Display for LivelockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "livelock detected at cycle {} ({}): {} consecutive failed \
+             flushes, {} cycles without progress, {} retired, {} bus txns, \
+             {} injected faults; actors:",
+            self.cycle,
+            self.trigger,
+            self.consecutive_flush_failures,
+            self.no_progress_for,
+            self.retired,
+            self.bus_transactions,
+            self.injected_faults
+        )?;
+        for a in &self.actors {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Progress-watchdog thresholds (see [`Simulator::set_watchdog`]).
+///
+/// Both triggers are conservative: they fire only on provable
+/// non-progress, never on a slow-but-advancing run, and detection is
+/// cycle-exact — the naive tick loop and the fast-forward path report
+/// the livelock at the same cycle with the same statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Fire [`LivelockTrigger::HardStall`] after this many CPU cycles
+    /// with no retirement and no bus progress (0 disables the trigger).
+    pub stall_cycles: u64,
+    /// Fire [`LivelockTrigger::FlushFutility`] after this many
+    /// consecutive failed conditional flushes with no success and no
+    /// device delivery in between (0 disables the trigger).
+    pub futile_flushes: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_cycles: 10_000,
+            futile_flushes: 64,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A watchdog that never fires.
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            stall_cycles: 0,
+            futile_flushes: 0,
         }
     }
 }
@@ -82,6 +229,16 @@ pub(crate) struct Machine {
     /// CPU cycle of the first failed conditional flush of the current retry
     /// sequence (for the flush retry latency histogram).
     csb_retry_since: Option<u64>,
+    /// Master handle on the fault schedule (clones installed into the bus
+    /// and CSB hooks); disabled unless [`Simulator::set_faults`] ran.
+    faults: FaultInjector,
+    /// Monotone count of bus transactions accepted and delivered — the
+    /// machine-side progress signal the livelock watchdog monitors.
+    /// Faulted issues and NACKed deliveries do *not* count.
+    progress: u64,
+    /// Consecutive failed conditional flushes with no success and no
+    /// device delivery in between (the watchdog's futility signal).
+    futile_flushes: u64,
 }
 
 impl Machine {
@@ -95,22 +252,61 @@ impl Machine {
         let bus_now = self.bus_now();
         while self.bus.can_accept(bus_now) {
             if let Some(pt) = self.ubuf.peek_transaction() {
-                let issued = self
+                // `can_accept` held, so `Ok(None)` can only mean the bus
+                // fault hook errored the transaction: the slot is spent,
+                // nothing was delivered, and the transaction stays queued
+                // for hardware retry on a later bus cycle.
+                let Some(issued) = self
                     .bus
                     .try_issue(bus_now, pt.txn)
                     .expect("uncached buffer emits only legal transactions")
-                    .expect("bus said it could accept");
+                else {
+                    self.metrics.inc("fault_bus_errors");
+                    break;
+                };
+                if matches!(pt.txn.kind, TxnKind::Write)
+                    && self.faults.inject(FaultKind::DeviceNack)
+                {
+                    // The device NACKed the delivery: the bus slot was
+                    // spent carrying it, but the transaction stays queued
+                    // and reissues (each carry counts in the bus stats).
+                    self.metrics.inc("fault_device_nacks");
+                    self.obs.emit(
+                        Track::Bus,
+                        EventKind::DeviceNack {
+                            addr: pt.txn.addr.raw(),
+                        },
+                    );
+                    break;
+                }
                 self.ubuf.transaction_accepted();
+                self.progress += 1;
                 self.metrics
                     .observe("uncached_txn_bytes", pt.txn.payload as u64);
                 self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
             } else if let Some(&pt) = self.csb.peek_transaction() {
-                let issued = self
+                let Some(issued) = self
                     .bus
                     .try_issue(bus_now, pt.txn)
                     .expect("CSB emits only legal transactions")
-                    .expect("bus said it could accept");
+                else {
+                    self.metrics.inc("fault_bus_errors");
+                    break;
+                };
+                if matches!(pt.txn.kind, TxnKind::Write)
+                    && self.faults.inject(FaultKind::DeviceNack)
+                {
+                    self.metrics.inc("fault_device_nacks");
+                    self.obs.emit(
+                        Track::Bus,
+                        EventKind::DeviceNack {
+                            addr: pt.txn.addr.raw(),
+                        },
+                    );
+                    break;
+                }
                 self.csb.transaction_accepted();
+                self.progress += 1;
                 self.metrics
                     .observe("csb_burst_bytes", pt.txn.payload as u64);
                 self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
@@ -131,6 +327,9 @@ impl Machine {
             TxnKind::Write => {
                 self.flat.write_bytes(txn.addr, &data);
                 self.device.deliver(txn.addr, data, txn.payload, addr_cycle);
+                // A delivery is forward progress for the retry loop even
+                // when the triggering flush itself keeps failing.
+                self.futile_flushes = 0;
             }
             TxnKind::Read => {
                 // Value travels back with the data phase; the register is
@@ -285,7 +484,15 @@ impl MemPort for Machine {
     }
 
     fn csb_flush(&mut self, pid: Pid, addr: Addr, expected: u64) -> u64 {
+        let disturbs_before = self.csb.fault_disturbs();
         let outcome = self.csb.conditional_flush(pid, addr, expected);
+        if self.csb.fault_disturbs() != disturbs_before {
+            self.metrics.inc("fault_flush_disturbs");
+        }
+        match outcome {
+            csb_uncached::FlushOutcome::Success => self.futile_flushes = 0,
+            csb_uncached::FlushOutcome::Fail => self.futile_flushes += 1,
+        }
         if self.metrics.is_enabled() {
             match outcome {
                 csb_uncached::FlushOutcome::Success => {
@@ -409,6 +616,14 @@ pub struct Simulator {
     bus_countdown: u64,
     /// Real (non-skipped) ticks executed, for fast-forward diagnostics.
     ticks: u64,
+    /// Progress-watchdog thresholds (see [`Simulator::set_watchdog`]).
+    watchdog: WatchdogConfig,
+    /// CPU cycle at which progress was last observed.
+    wd_last_progress: u64,
+    /// Retirement count at the last watchdog check.
+    wd_seen_retired: u64,
+    /// Machine progress count at the last watchdog check.
+    wd_seen_progress: u64,
 }
 
 impl Simulator {
@@ -439,6 +654,9 @@ impl Simulator {
             metrics: MetricsRegistry::disabled(),
             csb_line_start: None,
             csb_retry_since: None,
+            faults: FaultInjector::disabled(),
+            progress: 0,
+            futile_flushes: 0,
         };
         let cpu = Cpu::new(cfg.cpu, program);
         Ok(Simulator {
@@ -448,6 +666,10 @@ impl Simulator {
             fast_forward: default_fast_forward(),
             bus_countdown: 0,
             ticks: 0,
+            watchdog: WatchdogConfig::default(),
+            wd_last_progress: 0,
+            wd_seen_retired: 0,
+            wd_seen_progress: 0,
         })
     }
 
@@ -494,12 +716,19 @@ impl Simulator {
         m.metrics = MetricsRegistry::disabled();
         m.csb_line_start = None;
         m.csb_retry_since = None;
+        m.faults = FaultInjector::disabled();
+        m.progress = 0;
+        m.futile_flushes = 0;
         self.cpu
             .reset_with(cfg.cpu, program, csb_cpu::CpuContext::new(0));
         self.cfg = cfg;
         self.fast_forward = default_fast_forward();
         self.bus_countdown = 0;
         self.ticks = 0;
+        self.watchdog = WatchdogConfig::default();
+        self.wd_last_progress = 0;
+        self.wd_seen_retired = 0;
+        self.wd_seen_progress = 0;
         Ok(())
     }
 
@@ -570,6 +799,46 @@ impl Simulator {
         let metrics = MetricsRegistry::enabled();
         self.cpu.set_metrics(metrics.clone());
         self.machine.metrics = metrics;
+    }
+
+    /// Installs a deterministic fault schedule (or clears it with
+    /// `None`). One [`FaultInjector`] is shared by every hook point —
+    /// bus transaction errors, device NACKs on write delivery, and
+    /// forced conditional-flush disturbances — so each fault kind draws
+    /// from its own ordinal stream and the whole schedule replays
+    /// identically for a given [`FaultConfig`], independent of
+    /// fast-forward and of which worker thread runs the simulation.
+    ///
+    /// With no schedule installed (or a zero-rate one) every hook is a
+    /// single predicted-false branch and the simulation is byte-identical
+    /// to one without the fault layer.
+    pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        let injector = match cfg {
+            Some(cfg) => FaultInjector::enabled(cfg),
+            None => FaultInjector::disabled(),
+        };
+        self.machine.bus.set_fault_hook(injector.clone());
+        self.machine.csb.set_fault_hook(injector.clone());
+        self.machine.faults = injector;
+    }
+
+    /// Counters of the active fault schedule (all zeros when none is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.machine.faults.stats()
+    }
+
+    /// Replaces the progress-watchdog thresholds. The default
+    /// ([`WatchdogConfig::default`]) is conservative enough never to fire
+    /// on a fault-free run; pass [`WatchdogConfig::disabled`] to turn the
+    /// watchdog off entirely.
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = cfg;
+    }
+
+    /// The active progress-watchdog thresholds.
+    pub fn watchdog(&self) -> WatchdogConfig {
+        self.watchdog
     }
 
     /// Advances the machine by one CPU cycle (bus included on its ticks).
@@ -660,6 +929,69 @@ impl Simulator {
         }
     }
 
+    /// [`Simulator::advance`] plus the livelock watchdog. Fast-forward
+    /// jumps are additionally capped at the hard-stall deadline, so the
+    /// naive tick loop and the fast-forward path observe a livelock at
+    /// exactly the same cycle with identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Livelock`] when a watchdog trigger fires; the
+    /// simulation can still be inspected (summary, stats, device) but has
+    /// provably stopped making progress.
+    pub fn advance_checked(&mut self, cap: u64) -> Result<(), SimError> {
+        let mut cap = cap;
+        if self.watchdog.stall_cycles > 0 {
+            cap = cap.min(self.wd_last_progress + self.watchdog.stall_cycles);
+        }
+        self.advance(cap);
+        self.check_watchdog()
+    }
+
+    fn check_watchdog(&mut self) -> Result<(), SimError> {
+        let retired = self.cpu.stats().retired;
+        let progress = self.machine.progress;
+        if retired != self.wd_seen_retired || progress != self.wd_seen_progress {
+            self.wd_seen_retired = retired;
+            self.wd_seen_progress = progress;
+            self.wd_last_progress = self.cpu.now();
+        }
+        let w = self.watchdog;
+        if w.futile_flushes > 0 && self.machine.futile_flushes >= w.futile_flushes {
+            return Err(SimError::Livelock(
+                self.livelock_report(LivelockTrigger::FlushFutility),
+            ));
+        }
+        if w.stall_cycles > 0
+            && self.cpu.now().saturating_sub(self.wd_last_progress) >= w.stall_cycles
+        {
+            return Err(SimError::Livelock(
+                self.livelock_report(LivelockTrigger::HardStall),
+            ));
+        }
+        Ok(())
+    }
+
+    fn livelock_report(&self, trigger: LivelockTrigger) -> Box<LivelockReport> {
+        Box::new(LivelockReport {
+            cycle: self.cpu.now(),
+            trigger,
+            no_progress_for: self.cpu.now().saturating_sub(self.wd_last_progress),
+            consecutive_flush_failures: self.machine.futile_flushes,
+            retired: self.cpu.stats().retired,
+            bus_transactions: self.machine.bus.stats().transactions,
+            injected_faults: self.machine.faults.stats().total_injected(),
+            csb: *self.machine.csb.stats(),
+            actors: vec![ActorState {
+                name: format!("pid{}", self.cpu.context().pid()),
+                running: true,
+                halted: self.cpu.halted(),
+                completion_cycle: None,
+                slice: 0,
+            }],
+        })
+    }
+
     /// `true` once the program halted *and* all buffered I/O reached the
     /// bus.
     pub fn complete(&self) -> bool {
@@ -671,13 +1003,16 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] if the run does not complete in
-    /// time (e.g. livelocked conditional-flush retries).
+    /// time, or [`SimError::Livelock`] if the progress watchdog detects
+    /// that the run has provably stopped making progress (e.g. a device
+    /// NACKing every delivery, or conditional-flush retries that can
+    /// never succeed).
     pub fn run(&mut self, limit: u64) -> Result<RunSummary, SimError> {
         while !self.complete() {
             if self.cpu.now() >= limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            self.advance(limit);
+            self.advance_checked(limit)?;
         }
         Ok(self.summary())
     }
@@ -966,5 +1301,145 @@ mod tests {
             Simulator::new(cfg, program),
             Err(SimError::Config(SimConfigError::BlockExceedsLine { .. }))
         ));
+    }
+
+    /// One full-line CSB sequence with the §3.2 retry loop.
+    fn csb_program() -> Program {
+        assemble(|a| {
+            let retry = a.new_label();
+            a.movi(Reg::O1, COMBINING_BASE as i64);
+            a.bind(retry).unwrap();
+            a.movi(Reg::L4, 8);
+            for i in 0..8 {
+                a.movi(Reg::L0, 0x10 + i);
+                a.std(Reg::L0, Reg::O1, 8 * i);
+            }
+            a.swap(Reg::L4, Reg::O1, 0);
+            a.cmpi(Reg::L4, 8);
+            a.bnz(retry);
+            a.halt();
+        })
+    }
+
+    #[test]
+    fn zero_rate_fault_schedule_changes_nothing() {
+        let mut plain = Simulator::new(SimConfig::default(), csb_program()).unwrap();
+        let baseline = plain.run(100_000).unwrap();
+
+        let mut faulted = Simulator::new(SimConfig::default(), csb_program()).unwrap();
+        faulted.set_faults(Some(FaultConfig::new(42)));
+        let s = faulted.run(100_000).unwrap();
+        assert_eq!(s, baseline, "zero-rate schedule must be inert");
+        let stats = faulted.fault_stats();
+        assert_eq!(stats.total_injected(), 0);
+        assert!(
+            stats.checks(FaultKind::FlushDisturb) > 0,
+            "hooks must still count ordinals"
+        );
+    }
+
+    #[test]
+    fn flush_disturbs_force_software_retries() {
+        let mut sim = Simulator::new(SimConfig::default(), csb_program()).unwrap();
+        sim.set_faults(Some(
+            FaultConfig::new(9)
+                .flush_disturb_rate(1.0)
+                .max_consecutive(2),
+        ));
+        let s = sim.run(100_000).unwrap();
+        assert_eq!(s.csb.flush_failures, 2, "two forced disturbances");
+        assert_eq!(s.csb.flush_successes, 1, "third attempt forced clean");
+        assert_eq!(sim.device().payload_bytes(), 64, "payload still delivered");
+        assert_eq!(sim.fault_stats().injected(FaultKind::FlushDisturb), 2);
+    }
+
+    #[test]
+    fn naive_and_fast_forward_agree_under_faults() {
+        let schedule = FaultConfig::new(7)
+            .flush_disturb_rate(0.5)
+            .bus_error_rate(0.25)
+            .device_nack_rate(0.25)
+            .max_consecutive(8);
+        let mut results = Vec::new();
+        for ff in [false, true] {
+            let mut sim = Simulator::new(SimConfig::default(), csb_program()).unwrap();
+            sim.set_fast_forward(ff);
+            sim.set_faults(Some(schedule));
+            let s = sim.run(1_000_000).unwrap();
+            results.push((s, sim.fault_stats(), sim.device().payload_bytes()));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "fault schedule must be path-invariant"
+        );
+    }
+
+    #[test]
+    fn device_nack_livelock_detected_on_both_paths() {
+        // A device NACKing every delivery: the store stays queued, every
+        // bus slot is spent re-carrying it, nothing ever retires or
+        // drains. Both execution paths must report a hard stall at the
+        // same cycle — not hang until the cycle limit.
+        let mut reports = Vec::new();
+        for ff in [false, true] {
+            let program = assemble(|a| {
+                a.movi(Reg::O1, UNCACHED_BASE as i64);
+                a.movi(Reg::L0, 1);
+                a.std(Reg::L0, Reg::O1, 0);
+                a.halt();
+            });
+            let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+            sim.set_fast_forward(ff);
+            sim.set_faults(Some(FaultConfig::new(1).device_nack_rate(1.0)));
+            match sim.run(1_000_000) {
+                Err(SimError::Livelock(r)) => {
+                    assert_eq!(r.trigger, LivelockTrigger::HardStall);
+                    assert_eq!(r.no_progress_for, sim.watchdog().stall_cycles);
+                    assert!(r.injected_faults > 0, "NACKs must be on record");
+                    assert!(r.bus_transactions > 0, "slots were spent re-carrying");
+                    assert_eq!(r.actors.len(), 1);
+                    reports.push((r.cycle, r.retired, r.bus_transactions));
+                }
+                other => panic!("expected livelock (ff={ff}), got {other:?}"),
+            }
+        }
+        assert_eq!(reports[0], reports[1], "livelock must be cycle-exact");
+    }
+
+    #[test]
+    fn disabled_watchdog_falls_back_to_cycle_limit() {
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.movi(Reg::L0, 1);
+            a.std(Reg::L0, Reg::O1, 0);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        sim.set_faults(Some(FaultConfig::new(1).device_nack_rate(1.0)));
+        sim.set_watchdog(WatchdogConfig::disabled());
+        assert!(matches!(
+            sim.run(50_000),
+            Err(SimError::CycleLimit { limit: 50_000 })
+        ));
+    }
+
+    #[test]
+    fn bus_errors_retry_transparently() {
+        // Bounded hardware retry: with a consecutive-fault bound the
+        // program needs no software involvement and still completes.
+        let program = assemble(|a| {
+            a.movi(Reg::O1, UNCACHED_BASE as i64);
+            a.movi(Reg::L0, 1);
+            a.std(Reg::L0, Reg::O1, 0);
+            a.halt();
+        });
+        let mut sim = Simulator::new(SimConfig::default(), program).unwrap();
+        sim.set_faults(Some(
+            FaultConfig::new(5).bus_error_rate(1.0).max_consecutive(3),
+        ));
+        let s = sim.run(100_000).unwrap();
+        assert_eq!(sim.device().payload_bytes(), 8);
+        assert_eq!(sim.fault_stats().injected(FaultKind::BusError), 3);
+        assert_eq!(s.bus.transactions, 1, "errored carries are not recorded");
     }
 }

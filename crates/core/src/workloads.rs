@@ -336,6 +336,142 @@ pub fn csb_sequence_with_fallback(
     Ok(a.assemble()?)
 }
 
+/// Software retry policy for the conditional-flush loop — the space of
+/// §3.2 livelock remedies the fault sweeps compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Retry forever, back-to-back (the paper's baseline listing). Under a
+    /// hostile fault schedule this is the policy the livelock watchdog
+    /// exists for.
+    NaiveSpin,
+    /// Give up after `attempts` failed conditional flushes and halt
+    /// without delivering (success is observable from the device
+    /// contents).
+    Bounded {
+        /// Total flush attempts before giving up (>= 1).
+        attempts: u64,
+    },
+    /// Bounded retries with exponential backoff and deterministic jitter:
+    /// after the k-th failure the program spins a delay loop of
+    /// `min(base << k, max)` iterations plus a seed-derived jitter of at
+    /// most half that, then retries. Jitter is computed at assembly time,
+    /// so the program — and therefore the whole simulation — stays fully
+    /// deterministic per seed.
+    Backoff {
+        /// Total flush attempts before giving up (>= 1).
+        attempts: u64,
+        /// Delay-loop iterations after the first failure.
+        base: u64,
+        /// Upper bound on the un-jittered delay.
+        max: u64,
+        /// Jitter seed (vary per actor to de-synchronize retries).
+        seed: u64,
+    },
+}
+
+impl RetryPolicy {
+    /// Short label for tables and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryPolicy::NaiveSpin => "naive-spin",
+            RetryPolicy::Bounded { .. } => "bounded",
+            RetryPolicy::Backoff { .. } => "backoff",
+        }
+    }
+}
+
+/// Assembly-time jitter for [`RetryPolicy::Backoff`] (SplitMix64, same
+/// generator family as the fault schedule, different constants path).
+fn backoff_jitter(seed: u64, attempt: u64, span: u64) -> u64 {
+    if span == 0 {
+        return 0;
+    }
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % span
+}
+
+/// Builds the CSB atomic-access kernel under a configurable software
+/// retry policy: `dwords` combining stores, a conditional flush, and —
+/// on failure — whatever [`RetryPolicy`] prescribes. The success path
+/// retires [`MARK_END`]; a bounded policy that exhausts its budget halts
+/// without it, leaving the device empty (how the fault sweeps measure
+/// success rate).
+///
+/// [`RetryPolicy::NaiveSpin`] reduces to [`csb_sequence`]; bounded
+/// policies are unrolled per attempt so each backoff delay can carry its
+/// own assembly-time jittered immediate.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadDwords`] for out-of-range sizes or a zero
+/// attempt budget.
+pub fn csb_sequence_with_policy(
+    dwords: usize,
+    policy: RetryPolicy,
+    cfg: &SimConfig,
+) -> Result<Program, WorkloadError> {
+    let max_dw = cfg.line() / 8;
+    if dwords == 0 || dwords > max_dw {
+        return Err(WorkloadError::BadDwords {
+            dwords,
+            max: max_dw,
+        });
+    }
+    let attempts = match policy {
+        RetryPolicy::NaiveSpin => return csb_sequence(dwords, cfg),
+        RetryPolicy::Bounded { attempts } | RetryPolicy::Backoff { attempts, .. } => attempts,
+    };
+    if attempts == 0 {
+        return Err(WorkloadError::BadDwords {
+            dwords,
+            max: max_dw,
+        });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O1, COMBINING_BASE as i64);
+    a.movi(Reg::L1, 0x6262_6262_6262_6262u64 as i64);
+    a.mark(MARK_START);
+    let done = a.new_label();
+    for attempt in 0..attempts {
+        a.movi(Reg::L4, dwords as i64);
+        for i in 0..dwords {
+            a.std(Reg::L1, Reg::O1, 8 * i as i64);
+        }
+        a.swap(Reg::L4, Reg::O1, 0);
+        a.cmpi(Reg::L4, dwords as i64);
+        a.bz(done);
+        if attempt + 1 == attempts {
+            // Budget exhausted: give up without delivering.
+            continue;
+        }
+        if let RetryPolicy::Backoff {
+            base, max, seed, ..
+        } = policy
+        {
+            let delay = (base << attempt.min(63)).min(max.max(base));
+            let delay = delay + backoff_jitter(seed, attempt, delay / 2 + 1);
+            if delay > 0 {
+                let spin = a.new_label();
+                a.movi(Reg::L0, delay as i64);
+                a.bind(spin)?;
+                a.alui(csb_isa::AluOp::Sub, Reg::L0, Reg::L0, 1);
+                a.cmpi(Reg::L0, 0);
+                a.bnz(spin);
+            }
+        }
+    }
+    // Budget exhausted: fall through and halt without MARK_END.
+    a.halt();
+    a.bind(done)?;
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
 /// Builds a worker for the multi-process conflict experiments: `iterations`
 /// CSB sequences of `dwords` stores each (each with the full retry loop),
 /// all to this process's own `line_index`-th line of the combining window.

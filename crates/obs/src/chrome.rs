@@ -98,6 +98,12 @@ fn args_into(out: &mut String, kind: &EventKind) {
         EventKind::ForeignTxn { size } => {
             let _ = write!(out, "{{\"size\":{size}}}");
         }
+        EventKind::BusFault { addr, size } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\",\"size\":{size}}}");
+        }
+        EventKind::DeviceNack { addr } | EventKind::FlushDisturb { addr } => {
+            let _ = write!(out, "{{\"addr\":\"{addr:#x}\"}}");
+        }
     }
 }
 

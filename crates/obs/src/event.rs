@@ -160,6 +160,26 @@ pub enum EventKind {
         /// Foreign burst size in bytes.
         size: usize,
     },
+    /// An injected bus transaction error: the slot was consumed but the
+    /// transfer completed with an error status, so the master retries.
+    BusFault {
+        /// Target address of the errored transaction.
+        addr: u64,
+        /// Transfer size in bytes.
+        size: usize,
+    },
+    /// An injected device busy/NACK: the bus carried the write but the
+    /// device refused the payload, so the master retries.
+    DeviceNack {
+        /// Target address of the refused write.
+        addr: u64,
+    },
+    /// An injected conditional-flush disturbance (forced flush failure,
+    /// as if a competing access hit the buffered line).
+    FlushDisturb {
+        /// Line address whose flush was disturbed.
+        addr: u64,
+    },
 }
 
 impl EventKind {
@@ -181,6 +201,9 @@ impl EventKind {
             EventKind::BusTxn { write: true, .. } => "bus.write",
             EventKind::BusTxn { write: false, .. } => "bus.read",
             EventKind::ForeignTxn { .. } => "bus.foreign",
+            EventKind::BusFault { .. } => "fault.bus",
+            EventKind::DeviceNack { .. } => "fault.nack",
+            EventKind::FlushDisturb { .. } => "fault.disturb",
         }
     }
 }

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use csb_bus::Transaction;
+use csb_faults::{FaultInjector, FaultKind};
 use csb_isa::Addr;
 use csb_obs::{EventKind, TraceSink, Track};
 use serde::{Deserialize, Serialize};
@@ -212,6 +213,11 @@ pub struct ConditionalStoreBuffer {
     /// Structured trace sink (disabled by default; see
     /// [`ConditionalStoreBuffer::set_trace_sink`]).
     sink: TraceSink,
+    /// Fault-injection hook (disabled by default; see
+    /// [`ConditionalStoreBuffer::set_fault_hook`]).
+    faults: FaultInjector,
+    /// Flushes forced to fail by the fault hook.
+    fault_disturbs: u64,
 }
 
 impl ConditionalStoreBuffer {
@@ -233,6 +239,8 @@ impl ConditionalStoreBuffer {
             pending: VecDeque::with_capacity(if cfg.variable_burst { 2 * cfg.line } else { 2 }),
             stats: CsbStats::default(),
             sink: TraceSink::disabled(),
+            faults: FaultInjector::disabled(),
+            fault_disturbs: 0,
         })
     }
 
@@ -255,7 +263,25 @@ impl ConditionalStoreBuffer {
         self.cfg = cfg;
         self.stats = CsbStats::default();
         self.sink = TraceSink::disabled();
+        self.faults = FaultInjector::disabled();
+        self.fault_disturbs = 0;
         Ok(())
+    }
+
+    /// Installs a fault-injection hook. Each conditional flush asks the
+    /// schedule whether it is disturbed ([`FaultKind::FlushDisturb`]): a
+    /// disturbed flush behaves exactly as if a competing access had hit
+    /// the buffered line — the buffer is cleared, nothing is issued, and
+    /// the flush reports [`FlushOutcome::Fail`] so software retries.
+    /// This makes the paper's retry path exercisable without a second
+    /// processor.
+    pub fn set_fault_hook(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Flushes forced to fail by the fault hook (0 when no hook is set).
+    pub fn fault_disturbs(&self) -> u64 {
+        self.fault_disturbs
     }
 
     /// Installs a structured trace sink; stores, busy stalls, and flush
@@ -398,7 +424,14 @@ impl ConditionalStoreBuffer {
                 expected,
             },
         );
-        let ok = self.can_accept_flush()
+        let disturbed = self.faults.inject(FaultKind::FlushDisturb);
+        if disturbed {
+            self.fault_disturbs += 1;
+            self.sink
+                .emit(Track::Csb, EventKind::FlushDisturb { addr: base.raw() });
+        }
+        let ok = !disturbed
+            && self.can_accept_flush()
             && self
                 .current
                 .as_ref()
@@ -642,6 +675,54 @@ mod tests {
         }
         assert_eq!(sizes, vec![8, 16, 32]);
         assert_eq!(c.stats().bursts, 3);
+    }
+
+    #[test]
+    fn fault_hook_forces_flush_failures() {
+        use csb_faults::FaultConfig;
+        let mut c = csb();
+        c.set_fault_hook(FaultInjector::enabled(
+            FaultConfig::new(9)
+                .flush_disturb_rate(1.0)
+                .max_consecutive(2),
+        ));
+        let line = Addr::new(0x1000);
+        // Two disturbed attempts, then the consecutive bound forces one
+        // through — the retry loop the paper's software is written for.
+        for attempt in 0..3 {
+            c.store(1, line, &dword(attempt)).unwrap();
+            let out = c.conditional_flush(1, line, 1);
+            if attempt < 2 {
+                assert_eq!(out, FlushOutcome::Fail, "attempt {attempt}");
+                // Disturbance clears the buffer, like a real conflict.
+                assert_eq!(c.store(1, line, &dword(0)).unwrap(), StoreOutcome::Reset);
+                c.clear();
+            } else {
+                assert_eq!(out, FlushOutcome::Success);
+            }
+        }
+        assert_eq!(c.fault_disturbs(), 2);
+        assert_eq!(c.stats().flush_failures, 2);
+        assert_eq!(c.stats().flush_successes, 1);
+    }
+
+    #[test]
+    fn fault_hook_emits_disturb_events() {
+        use csb_faults::FaultConfig;
+        let mut c = csb();
+        let sink = TraceSink::enabled();
+        c.set_trace_sink(sink.clone());
+        c.set_fault_hook(FaultInjector::enabled(
+            FaultConfig::new(9).flush_disturb_rate(1.0),
+        ));
+        let line = Addr::new(0x1000);
+        c.store(1, line, &dword(1)).unwrap();
+        assert_eq!(c.conditional_flush(1, line, 1), FlushOutcome::Fail);
+        let kinds: Vec<&'static str> = sink.snapshot().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec!["csb.store", "csb.flush", "fault.disturb", "csb.flush.done"]
+        );
     }
 
     #[test]

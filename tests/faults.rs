@@ -1,0 +1,185 @@
+//! Integration tests for the deterministic fault-injection layer: seeded
+//! schedules must be invisible at rate zero, identical across worker
+//! counts and simulation loops, and hostile schedules must end in a
+//! structured [`SimError::Livelock`] — never a hang or a bare timeout.
+//!
+//! The zero-fault *default* path (no injector installed at all) is pinned
+//! separately by `tests/golden.rs`: those snapshots predate this layer,
+//! so their passing is the proof that an absent schedule changes nothing.
+
+use csb_core::experiments::runner::parallel_map;
+use csb_core::multiproc::{MultiSim, SwitchPolicy};
+use csb_core::workloads::{self, RetryPolicy};
+use csb_core::{FaultConfig, LivelockTrigger, SimConfig, SimError, Simulator};
+use proptest::prelude::*;
+
+/// One seeded fault point: dwords through the CSB under `policy` with a
+/// mixed schedule. Returns a string capturing every observable — run
+/// outcome, post-run summary JSON, and the injector's counters — so
+/// differential tests can compare byte-for-byte.
+fn run_point(seed: u64, dwords: usize, rate: f64, policy: RetryPolicy) -> String {
+    let cfg = SimConfig::default();
+    let program = workloads::csb_sequence_with_policy(dwords, policy, &cfg).expect("valid program");
+    let mut sim = Simulator::new(cfg, program).expect("valid machine");
+    sim.set_faults(Some(
+        FaultConfig::new(seed)
+            .flush_disturb_rate(rate)
+            .bus_error_rate(rate * 0.25)
+            .device_nack_rate(rate * 0.25)
+            .max_consecutive(8),
+    ));
+    let outcome = match sim.run(2_000_000) {
+        Ok(s) => format!("ok:{}", serde_json::to_string(&s).unwrap()),
+        Err(SimError::Livelock(r)) => format!("livelock@{}:{:?}", r.cycle, r.trigger),
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    };
+    format!(
+        "{outcome}|{}|{:?}",
+        serde_json::to_string(&sim.summary()).unwrap(),
+        sim.fault_stats(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded schedule produces byte-identical results on 1 worker
+    /// and 4: fault decisions are keyed on per-kind ordinals, not on
+    /// scheduling order, so the parallel experiment engine cannot
+    /// perturb them.
+    #[test]
+    fn jobs_one_and_four_are_byte_identical(
+        seed in any::<u64>(),
+        rate_pct in 0u32..95,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let points: Vec<(u64, usize, RetryPolicy)> = (0..6u64)
+            .map(|i| {
+                let policy = match i % 3 {
+                    0 => RetryPolicy::NaiveSpin,
+                    1 => RetryPolicy::Bounded { attempts: 4 },
+                    _ => RetryPolicy::Backoff {
+                        attempts: 8,
+                        base: 16,
+                        max: 512,
+                        seed: seed ^ i,
+                    },
+                };
+                (seed.wrapping_add(i.wrapping_mul(0x9e37_79b9)), 1 + (i as usize % 8), policy)
+            })
+            .collect();
+        let serial = parallel_map(&points, 1, |&(s, d, p)| run_point(s, d, rate, p));
+        let fanned = parallel_map(&points, 4, |&(s, d, p)| run_point(s, d, rate, p));
+        prop_assert_eq!(serial, fanned);
+    }
+
+    /// A schedule with every rate at zero is indistinguishable from no
+    /// schedule at all, whatever the seed: the injector burns no
+    /// entropy, alters no timing, and the `RunSummary` JSON is
+    /// byte-identical.
+    #[test]
+    fn zero_rate_schedule_is_invisible(seed in any::<u64>(), dwords in 1usize..=8) {
+        let cfg = SimConfig::default();
+        let program = workloads::csb_sequence(dwords, &cfg).expect("valid program");
+        let mut plain = Simulator::new(cfg.clone(), program.clone()).expect("valid machine");
+        let mut faulted = Simulator::new(cfg, program).expect("valid machine");
+        faulted.set_faults(Some(FaultConfig::new(seed)));
+        let a = plain.run(2_000_000).expect("completes");
+        let b = faulted.run(2_000_000).expect("completes");
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        prop_assert_eq!(faulted.fault_stats().total_injected(), 0);
+    }
+
+    /// Fast-forward must stay invisible under an *active* schedule: the
+    /// naive loop and the event-driven loop agree on every observable,
+    /// including the injector's own counters.
+    #[test]
+    fn fast_forward_differential_under_faults(
+        seed in any::<u64>(),
+        rate_pct in 5u32..95,
+        dwords in 1usize..=8,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let run = |ff: bool| {
+            let cfg = SimConfig::default();
+            let program = workloads::csb_sequence_with_policy(
+                dwords,
+                RetryPolicy::Bounded { attempts: 6 },
+                &cfg,
+            )
+            .expect("valid program");
+            let mut sim = Simulator::new(cfg, program).expect("valid machine");
+            sim.set_fast_forward(ff);
+            sim.set_faults(Some(
+                FaultConfig::new(seed)
+                    .flush_disturb_rate(rate)
+                    .bus_error_rate(rate * 0.25)
+                    .device_nack_rate(rate * 0.25)
+                    .max_consecutive(8),
+            ));
+            let outcome = match sim.run(2_000_000) {
+                Ok(s) => format!("ok:{}", serde_json::to_string(&s).unwrap()),
+                Err(SimError::Livelock(r)) => format!("livelock@{}:{:?}", r.cycle, r.trigger),
+                Err(e) => panic!("unexpected simulation error: {e}"),
+            };
+            (
+                outcome,
+                serde_json::to_string(&sim.summary()).unwrap(),
+                format!("{:?}", sim.fault_stats()),
+            )
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+/// The paper's §3.2 livelock, reproduced deliberately: two processes
+/// ping-pong CSB disturbances under a pathological 6-cycle scheduler
+/// slice, so no conditional flush ever succeeds. The watchdog must end
+/// the run with a structured [`SimError::Livelock`] — not a cycle-limit
+/// timeout — at the identical cycle on both simulation loops.
+#[test]
+fn two_processor_disturbance_loop_livelocks_on_both_paths() {
+    let cfg = SimConfig::default();
+    let mut reports = Vec::new();
+    for ff in [true, false] {
+        let programs = vec![
+            workloads::csb_worker(1, 8, 0, &cfg).unwrap(),
+            workloads::csb_worker(1, 8, 1, &cfg).unwrap(),
+        ];
+        let mut ms = MultiSim::new(cfg.clone(), programs, SwitchPolicy::Fixed(6)).unwrap();
+        ms.set_fast_forward(ff);
+        let Err(SimError::Livelock(r)) = ms.run(10_000_000) else {
+            panic!("pathological slicing must livelock (ff={ff})");
+        };
+        assert_eq!(r.trigger, LivelockTrigger::FlushFutility, "ff={ff}");
+        assert_eq!(r.actors.len(), 2, "one entry per process (ff={ff})");
+        assert!(r.actors.iter().all(|a| !a.halted), "nobody finished");
+        assert_eq!(r.csb.flush_successes, 0, "no flush ever succeeded");
+        reports.push((r.cycle, r.consecutive_flush_failures, r.retired));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "both loops must fire the watchdog at the same cycle"
+    );
+}
+
+/// A device that NACKs every delivery hard-stalls the machine:
+/// instructions stop retiring and the bus makes no progress, so the
+/// stall trigger fires after exactly `stall_cycles` quiet cycles.
+#[test]
+fn total_nack_schedule_trips_the_hard_stall_watchdog() {
+    let cfg = SimConfig::default();
+    let program =
+        workloads::store_bandwidth(8, &cfg, workloads::StorePath::Uncached).expect("valid program");
+    let mut sim = Simulator::new(cfg, program).expect("valid machine");
+    sim.set_faults(Some(FaultConfig::new(99).device_nack_rate(1.0)));
+    let Err(SimError::Livelock(r)) = sim.run(10_000_000) else {
+        panic!("an always-NACKing device must hard-stall");
+    };
+    assert_eq!(r.trigger, LivelockTrigger::HardStall);
+    assert_eq!(r.no_progress_for, sim.watchdog().stall_cycles);
+    assert!(r.injected_faults > 0, "the NACKs must be on the report");
+}
