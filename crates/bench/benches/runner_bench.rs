@@ -4,11 +4,16 @@
 //!
 //! Run with `cargo bench -p csb-bench --bench runner_bench`; the parallel
 //! numbers are recorded in EXPERIMENTS.md, and the fast-forward sweep is
-//! written to `BENCH_sim_throughput.json` in the working directory (the
+//! written to `BENCH_sim_throughput.json` in the workspace root (the
 //! checked-in copy at the repo root is regenerated this way; CI's
-//! perf-smoke job gates on the Figure 5(b) speedup in it).
+//! perf-smoke job gates on the Figure 5(b) and long-CSB-point speedups in
+//! it).
+//!
+//! `-- --samples N` overrides the wall-clock samples taken per sweep leg
+//! and `-- --reps N` the executions batched inside each timed sample;
+//! both default to the values the checked-in JSON was generated with.
 
-use criterion::{criterion_group, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use csb_core::experiments::runner::run_bandwidth_panels;
 use csb_core::experiments::{fig3, throughput};
 
@@ -31,21 +36,42 @@ fn bench_runner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_runner);
+/// Runs the criterion group. A hand-rolled driver instead of
+/// `criterion_group!`: the generated runner calls `configure_from_args`,
+/// whose clap parser would reject this harness's own `--reps`/`--samples`
+/// flags (the criterion defaults are what CI and the checked-in numbers
+/// use anyway).
+fn benches() {
+    let mut criterion = Criterion::default();
+    bench_runner(&mut criterion);
+}
 
 /// Wall-clock samples per leg of the fast-forward sweep; the best is
-/// reported, so a handful suffices.
+/// reported, so a handful suffices. Overridable with `--samples N`.
 const THROUGHPUT_SAMPLES: usize = 5;
 
 /// Executions batched inside each timed sample — the figure points are
 /// short programs, so a single run is below timer resolution.
+/// Overridable with `--reps N`.
 const THROUGHPUT_REPS: usize = 64;
 
+/// The harness's value flags. `--bench`/`--test` below are accepted bare
+/// because cargo appends them when dispatching bench targets.
+const VALUE_FLAGS: &[&str] = &["--reps", "--samples"];
+
+/// Bare flags cargo itself passes to bench executables.
+const BARE_FLAGS: &[&str] = &["--bench", "--test"];
+
+const USAGE: &str = "cargo bench -p csb-bench --bench runner_bench [-- --samples N] [-- --reps N]";
+
 fn main() {
+    csb_bench::validate_args(USAGE, VALUE_FLAGS, BARE_FLAGS, 0);
+    let samples = csb_bench::count_from_args("--samples", THROUGHPUT_SAMPLES);
+    let reps = csb_bench::count_from_args("--reps", THROUGHPUT_REPS);
+
     benches();
 
-    let report = throughput::measure(THROUGHPUT_SAMPLES, THROUGHPUT_REPS)
-        .expect("throughput points simulate");
+    let report = throughput::measure(samples, reps).expect("throughput points simulate");
     eprint!("{}", report.render());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Anchor to the workspace root: cargo-bench's CWD is the package dir.

@@ -223,6 +223,32 @@ pub fn jobs_from_args() -> usize {
     0
 }
 
+/// Parses an optional `<flag> <N>` (or `<flag>=N`) argument holding a
+/// positive count, e.g. the throughput bench's `--reps`/`--samples`.
+/// Returns `default` when the flag is absent.
+///
+/// Exits with status 2 if the flag is given without a positive integer.
+pub fn count_from_args(flag: &str, default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == flag {
+            match args.next() {
+                Some(v) => Some(v),
+                None => die(format!("{flag} requires a positive integer")),
+            }
+        } else {
+            a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+        };
+        if let Some(v) = value {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => die(format!("{flag} requires a positive integer, got {v:?}")),
+            }
+        }
+    }
+    default
+}
+
 /// Serializes `value` to `path` as pretty-printed JSON.
 ///
 /// # Panics

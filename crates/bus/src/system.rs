@@ -19,6 +19,18 @@ pub struct Issued {
     pub tag: u64,
 }
 
+impl Issued {
+    /// The bus cycle the destination observes the transfer: the cycle
+    /// after the final data cycle. For reads this is when the returned
+    /// value is available to the master; for writes, when the device has
+    /// the payload. Together with [`Issued::addr_cycle`] and
+    /// [`Issued::completes_at`] this is the transaction's complete
+    /// timeline, frozen at [`SystemBus::try_issue`] time.
+    pub fn delivery_cycle(&self) -> u64 {
+        self.completes_at + 1
+    }
+}
+
 /// One entry of the optional per-transaction log (see
 /// [`SystemBus::enable_log`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +87,10 @@ pub struct SystemBus {
     next_free: u64,
     /// Address cycle of the most recent transaction.
     last_addr: Option<u64>,
+    /// Final data cycle of the most recent occupancy (faulted issues
+    /// included — their occupancy is real), for
+    /// [`SystemBus::next_completion`].
+    last_completes: Option<u64>,
     /// Fair-share accumulator for the background-traffic model: bus cycles
     /// owed to foreign masters.
     foreign_debt: f64,
@@ -99,6 +115,7 @@ impl SystemBus {
             cfg,
             next_free: 0,
             last_addr: None,
+            last_completes: None,
             foreign_debt: 0.0,
             stats: BusStats::default(),
             log: None,
@@ -174,6 +191,32 @@ impl SystemBus {
         self.earliest_start(now) == now
     }
 
+    /// The next transaction-granular event on the frozen timeline, strictly
+    /// after `now`: the earlier of the in-flight occupancy's delivery cycle
+    /// (final data cycle + 1 — when the destination observes the transfer)
+    /// and the next possible grant ([`SystemBus::earliest_start`], which
+    /// folds in turnaround, the address-delay window, and foreign-master
+    /// debt). `None` when both are already behind `now` — the bus is
+    /// quiescent and only a new issue can create an event.
+    ///
+    /// The whole timeline of every accepted transaction (grant, occupancy
+    /// end, delivery) is fixed at [`SystemBus::try_issue`] time — nothing
+    /// else mutates bus state — so between issues this horizon is exact,
+    /// not an estimate: callers may jump the clock straight to it.
+    pub fn next_completion(&self, now: u64) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        let mut note = |t: u64| {
+            if t > now {
+                horizon = Some(horizon.map_or(t, |h: u64| h.min(t)));
+            }
+        };
+        if let Some(c) = self.last_completes {
+            note(c + 1);
+        }
+        note(self.earliest_start(now));
+        horizon
+    }
+
     /// Validates a transaction against the bus's architectural rules without
     /// issuing it.
     ///
@@ -223,6 +266,7 @@ impl SystemBus {
         let completes_at = now + duration - 1;
         self.next_free = completes_at + 1 + self.cfg.turnaround();
         self.last_addr = Some(now);
+        self.last_completes = Some(completes_at);
         // An injected bus error consumes the occupancy just computed but
         // delivers nothing: the caller sees `Ok(None)` (the same signal as
         // a busy bus), keeps the transaction queued, and re-arbitrates.
@@ -314,6 +358,7 @@ impl SystemBus {
     pub fn reset(&mut self) {
         self.next_free = 0;
         self.last_addr = None;
+        self.last_completes = None;
         self.foreign_debt = 0.0;
         self.stats = BusStats::default();
         self.fault_errors = 0;
@@ -521,6 +566,57 @@ mod tests {
             .unwrap();
         assert_eq!(issued.tag, 42);
         assert_eq!(issued.addr_cycle, 0);
+    }
+
+    #[test]
+    fn next_completion_tracks_the_frozen_timeline() {
+        let mut bus = mux8();
+        // Quiescent bus: a grant is possible right now, so there is no
+        // future event to jump to.
+        assert_eq!(bus.next_completion(0), None);
+        let issued = bus
+            .try_issue(0, Transaction::write(Addr::new(0), 64))
+            .unwrap()
+            .unwrap();
+        assert_eq!(issued.completes_at, 8);
+        assert_eq!(issued.delivery_cycle(), 9);
+        // Mid-occupancy the next event is the grant/delivery cycle.
+        assert_eq!(bus.next_completion(3), Some(9));
+        // At the delivery cycle itself, nothing is left in the future.
+        assert_eq!(bus.next_completion(9), None);
+        // With turnaround, the next grant trails the delivery.
+        let cfg = BusConfig::multiplexed(8).turnaround(2).build().unwrap();
+        let mut bus = SystemBus::new(cfg);
+        let issued = bus
+            .try_issue(0, Transaction::write(Addr::new(0), 8))
+            .unwrap()
+            .unwrap();
+        assert_eq!(bus.next_completion(0), Some(issued.delivery_cycle()));
+        assert_eq!(bus.next_completion(issued.delivery_cycle()), Some(4));
+        assert!(bus.can_accept(4));
+    }
+
+    #[test]
+    fn next_completion_covers_faulted_occupancy_and_addr_delay() {
+        use csb_faults::FaultConfig;
+        let cfg = BusConfig::multiplexed(8).min_addr_delay(8).build().unwrap();
+        let mut bus = SystemBus::new(cfg);
+        bus.set_fault_hook(FaultInjector::enabled(
+            FaultConfig::new(1).bus_error_rate(1.0).max_consecutive(1),
+        ));
+        // The errored issue delivers nothing but its occupancy is real:
+        // the timeline still reports the delivery cycle, and the
+        // address-delay window governs the retry grant.
+        assert_eq!(
+            bus.try_issue(0, Transaction::write(Addr::new(0), 8))
+                .unwrap(),
+            None
+        );
+        assert_eq!(bus.next_completion(0), Some(2));
+        assert_eq!(bus.next_completion(2), Some(8));
+        assert!(bus.can_accept(8));
+        bus.reset();
+        assert_eq!(bus.next_completion(0), None);
     }
 
     #[test]

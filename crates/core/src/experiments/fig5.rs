@@ -134,7 +134,9 @@ fn latency_parts(
             let p = workloads::lock_sequence(dwords)?;
             (c, p)
         }
-        Scheme::Csb => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
+        // The latency kernel has no bandwidth-style retry unrolling to
+        // outline; both CSB flavors measure the same sequence.
+        Scheme::Csb | Scheme::CsbOutlined => (cfg.clone(), workloads::csb_sequence(dwords, cfg)?),
     })
 }
 

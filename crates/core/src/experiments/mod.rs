@@ -94,6 +94,11 @@ pub enum Scheme {
     Ppc620,
     /// The conditional store buffer.
     Csb,
+    /// The CSB driven by the out-of-line-retry kernel layout
+    /// ([`workloads::StorePath::CsbOutlined`]): identical hardware, retry
+    /// branches compiled off the hot path. Used by the throughput bench's
+    /// long CSB-active point; not part of the figure ladders.
+    CsbOutlined,
 }
 
 impl Scheme {
@@ -120,6 +125,7 @@ impl fmt::Display for Scheme {
             Scheme::R10k => f.write_str("R10000"),
             Scheme::Ppc620 => f.write_str("PPC620"),
             Scheme::Csb => f.write_str("CSB"),
+            Scheme::CsbOutlined => f.write_str("CSBo"),
         }
     }
 }
@@ -322,6 +328,7 @@ fn bandwidth_parts(
             StorePath::Uncached
         }
         Scheme::Csb => StorePath::Csb,
+        Scheme::CsbOutlined => StorePath::CsbOutlined,
     };
     let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order)?;
     Ok((cfg, program))

@@ -108,6 +108,7 @@ pub fn default_points() -> Vec<PointSpec> {
         })
         .collect();
     points.push(long_point());
+    points.push(csb_active_point());
     points
 }
 
@@ -135,6 +136,38 @@ pub fn long_point() -> PointSpec {
         work: PointWork::Bandwidth {
             transfer: 1024,
             scheme: Scheme::Uncached { block: 8 },
+            order: StoreOrder::Ascending,
+        },
+    }
+}
+
+/// The bench's long *CSB-active* point: a Figure-4-shaped split bus (8 B
+/// data path, 64 B bursts) at a CPU:bus ratio of 12, streaming 16 KB
+/// through the conditional store buffer — 256 full-line bursts of
+/// sustained store/flush traffic, well over 10 000 CPU cycles with the
+/// bus occupied almost end to end. The kernel uses the out-of-line retry
+/// layout ([`Scheme::CsbOutlined`]) so successful flushes retire without
+/// branch squashes; the CPU then genuinely *waits* on CSB capacity for
+/// most of the run, and those waits are bridged by the
+/// transaction-granular drain walk rather than ticked through. This is
+/// the bench's gate for fast-forward staying O(1) per bus transaction
+/// while the bus is busy (the idle-gap points above cannot show that).
+pub fn csb_active_point() -> PointSpec {
+    let cfg = SimConfig::default()
+        .line_size(64)
+        .bus(
+            csb_bus::BusConfig::split(8)
+                .max_burst(64)
+                .build()
+                .expect("static csb-active bus config is valid"),
+        )
+        .frequency_ratio(12);
+    PointSpec {
+        label: "4along/16KB/CSB".to_string(),
+        cfg,
+        work: PointWork::Bandwidth {
+            transfer: 16 * 1024,
+            scheme: Scheme::CsbOutlined,
             order: StoreOrder::Ascending,
         },
     }
@@ -289,7 +322,15 @@ mod tests {
     fn default_points_enumerate_both_figures() {
         let points = default_points();
         let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
-        assert_eq!(labels, ["4a/256B/CSB", "5b/8dw/64B", "3long/1024B/none"]);
+        assert_eq!(
+            labels,
+            [
+                "4a/256B/CSB",
+                "5b/8dw/64B",
+                "3long/1024B/none",
+                "4along/16KB/CSB"
+            ]
+        );
     }
 
     #[test]
@@ -351,5 +392,21 @@ mod tests {
             "long point must stay long: simulated only {} cycles",
             summary.cycles
         );
+    }
+
+    #[test]
+    fn csb_active_point_is_long_and_bus_bound() {
+        let spec = csb_active_point();
+        let mut sim = prepare(&spec, true).expect("csb-active point builds");
+        let summary = sim.run(POINT_LIMIT).expect("csb-active point completes");
+        assert!(
+            summary.cycles >= 10_000,
+            "csb-active point must stay long: simulated only {} cycles",
+            summary.cycles
+        );
+        // 16 KB through 64 B CSB bursts: the point is meaningless if the
+        // traffic stops flowing through the conditional store buffer.
+        assert_eq!(summary.csb.flush_successes, 256);
+        assert_eq!(summary.bus.transactions, 256);
     }
 }

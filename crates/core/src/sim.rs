@@ -236,9 +236,59 @@ pub(crate) struct Machine {
     /// machine-side progress signal the livelock watchdog monitors.
     /// Faulted issues and NACKed deliveries do *not* count.
     progress: u64,
+    /// CPU cycle at which the watchdog would observe the most recent
+    /// `progress` increment in the naive loop: the accepting cycle + 1
+    /// (the naive tick advances the clock before the watchdog check).
+    /// Keeping this per-accept stamp lets bulk-applied accepts reset the
+    /// hard-stall deadline at exactly the cycle the naive loop would.
+    progress_at: u64,
     /// Consecutive failed conditional flushes with no success and no
     /// device delivery in between (the watchdog's futility signal).
     futile_flushes: u64,
+}
+
+/// What one grant attempt in [`Machine::issue_step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueOutcome {
+    /// A transaction was accepted and delivered. `from_csb` tells which
+    /// buffer drained; `freed_entry` whether the accept released queue
+    /// capacity (an uncached entry fully drained, or a CSB burst slot
+    /// freed) — the condition that can unblock a capacity-stalled CPU.
+    Accepted { from_csb: bool, freed_entry: bool },
+    /// The bus fault hook errored the transaction: the slot is spent,
+    /// nothing was delivered, the transaction stays queued for retry.
+    Faulted,
+    /// The device NACKed the write delivery: slot spent, transaction
+    /// stays queued and reissues.
+    Nacked,
+    /// Neither buffer had a transaction to offer (popping leading
+    /// uncached barriers is the only possible state change).
+    NoWork,
+}
+
+/// Which bulk-applied bus event must hand control back to real ticking
+/// during a [`Machine::fast_forward`] walk — the machine-side mirror of
+/// the CPU's [`StallCause`]. Stopping too early is always safe (the next
+/// real tick re-evaluates everything); failing to stop when an event
+/// could change the CPU's horizon would be unsound, so every mapping
+/// below is conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainWake {
+    /// CPU halted: only a full I/O drain (or the cap) ends the walk.
+    Drained,
+    /// A membar holds retirement: wake when the uncached buffer empties.
+    UncachedDrained,
+    /// The head uncached store/load was refused for capacity: wake on
+    /// any accept that frees an uncached-buffer entry.
+    UncachedAccept,
+    /// The head combining store/flush was refused: wake on any CSB-burst
+    /// accept (each frees both store and flush capacity).
+    CsbAccept,
+    /// The CPU waits only on its own timetable (`stall: None`): bus
+    /// accepts cannot unblock it — uncached ops issue exclusively at the
+    /// ROB head, so no pending completion can appear out of a grant —
+    /// and only pending read/swap completions stop the walk.
+    None,
 }
 
 impl Machine {
@@ -251,68 +301,99 @@ impl Machine {
     fn bus_tick(&mut self) {
         let bus_now = self.bus_now();
         while self.bus.can_accept(bus_now) {
-            if let Some(pt) = self.ubuf.peek_transaction() {
-                // `can_accept` held, so `Ok(None)` can only mean the bus
-                // fault hook errored the transaction: the slot is spent,
-                // nothing was delivered, and the transaction stays queued
-                // for hardware retry on a later bus cycle.
-                let Some(issued) = self
-                    .bus
-                    .try_issue(bus_now, pt.txn)
-                    .expect("uncached buffer emits only legal transactions")
-                else {
-                    self.metrics.inc("fault_bus_errors");
-                    break;
-                };
-                if matches!(pt.txn.kind, TxnKind::Write)
-                    && self.faults.inject(FaultKind::DeviceNack)
-                {
-                    // The device NACKed the delivery: the bus slot was
-                    // spent carrying it, but the transaction stays queued
-                    // and reissues (each carry counts in the bus stats).
-                    self.metrics.inc("fault_device_nacks");
-                    self.obs.emit(
-                        Track::Bus,
-                        EventKind::DeviceNack {
-                            addr: pt.txn.addr.raw(),
-                        },
-                    );
-                    break;
-                }
-                self.ubuf.transaction_accepted();
-                self.progress += 1;
-                self.metrics
-                    .observe("uncached_txn_bytes", pt.txn.payload as u64);
-                self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
-            } else if let Some(&pt) = self.csb.peek_transaction() {
-                let Some(issued) = self
-                    .bus
-                    .try_issue(bus_now, pt.txn)
-                    .expect("CSB emits only legal transactions")
-                else {
-                    self.metrics.inc("fault_bus_errors");
-                    break;
-                };
-                if matches!(pt.txn.kind, TxnKind::Write)
-                    && self.faults.inject(FaultKind::DeviceNack)
-                {
-                    self.metrics.inc("fault_device_nacks");
-                    self.obs.emit(
-                        Track::Bus,
-                        EventKind::DeviceNack {
-                            addr: pt.txn.addr.raw(),
-                        },
-                    );
-                    break;
-                }
-                self.csb.transaction_accepted();
-                self.progress += 1;
-                self.metrics
-                    .observe("csb_burst_bytes", pt.txn.payload as u64);
-                self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
-            } else {
+            if !matches!(
+                self.issue_step(bus_now, self.now),
+                IssueOutcome::Accepted { .. }
+            ) {
                 break;
             }
+        }
+    }
+
+    /// One grant attempt, shared verbatim by the naive loop's [`bus_tick`]
+    /// and the fast-forward walk: offers the uncached buffer's head
+    /// transaction (program order first), else the CSB's oldest committed
+    /// burst, to the bus at `bus_now`. `cpu_cycle` is the CPU cycle this
+    /// grant belongs to; an accept stamps `progress_at = cpu_cycle + 1`,
+    /// the cycle the naive loop's watchdog would observe it. The caller
+    /// must hold `bus.can_accept(bus_now)`; the fault hooks are invoked in
+    /// exactly the naive order (one `BusError` draw inside each accepted
+    /// `try_issue` slot, one `DeviceNack` draw per issued write), so the
+    /// per-kind fault ordinals — and therefore the whole schedule — replay
+    /// identically however many grants are applied per call.
+    ///
+    /// [`bus_tick`]: Machine::bus_tick
+    fn issue_step(&mut self, bus_now: u64, cpu_cycle: u64) -> IssueOutcome {
+        if let Some(pt) = self.ubuf.peek_transaction() {
+            // `can_accept` held, so `Ok(None)` can only mean the bus
+            // fault hook errored the transaction: the slot is spent,
+            // nothing was delivered, and the transaction stays queued
+            // for hardware retry on a later bus cycle.
+            let Some(issued) = self
+                .bus
+                .try_issue(bus_now, pt.txn)
+                .expect("uncached buffer emits only legal transactions")
+            else {
+                self.metrics.inc("fault_bus_errors");
+                return IssueOutcome::Faulted;
+            };
+            if matches!(pt.txn.kind, TxnKind::Write) && self.faults.inject(FaultKind::DeviceNack) {
+                // The device NACKed the delivery: the bus slot was
+                // spent carrying it, but the transaction stays queued
+                // and reissues (each carry counts in the bus stats).
+                self.metrics.inc("fault_device_nacks");
+                self.obs.emit(
+                    Track::Bus,
+                    EventKind::DeviceNack {
+                        addr: pt.txn.addr.raw(),
+                    },
+                );
+                return IssueOutcome::Nacked;
+            }
+            let entries_before = self.ubuf.len();
+            self.ubuf.transaction_accepted();
+            self.progress += 1;
+            self.progress_at = cpu_cycle + 1;
+            self.metrics
+                .observe("uncached_txn_bytes", pt.txn.payload as u64);
+            self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
+            IssueOutcome::Accepted {
+                from_csb: false,
+                freed_entry: self.ubuf.len() < entries_before,
+            }
+        } else if let Some(&pt) = self.csb.peek_transaction() {
+            let Some(issued) = self
+                .bus
+                .try_issue(bus_now, pt.txn)
+                .expect("CSB emits only legal transactions")
+            else {
+                self.metrics.inc("fault_bus_errors");
+                return IssueOutcome::Faulted;
+            };
+            if matches!(pt.txn.kind, TxnKind::Write) && self.faults.inject(FaultKind::DeviceNack) {
+                self.metrics.inc("fault_device_nacks");
+                self.obs.emit(
+                    Track::Bus,
+                    EventKind::DeviceNack {
+                        addr: pt.txn.addr.raw(),
+                    },
+                );
+                return IssueOutcome::Nacked;
+            }
+            self.csb.transaction_accepted();
+            self.progress += 1;
+            self.progress_at = cpu_cycle + 1;
+            self.metrics
+                .observe("csb_burst_bytes", pt.txn.payload as u64);
+            self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
+            IssueOutcome::Accepted {
+                from_csb: true,
+                // Every CSB accept pops one pending burst, freeing both
+                // flush capacity and (single-buffered) store capacity.
+                freed_entry: true,
+            }
+        } else {
+            IssueOutcome::NoWork
         }
     }
 
@@ -351,34 +432,110 @@ impl Machine {
         self.ubuf.is_drained() && self.csb.is_drained()
     }
 
-    /// The earliest future CPU cycle at which the memory system can change
-    /// state on its own: an outstanding uncached read/swap completing, or
-    /// the next bus cycle at which a queued transaction can issue. `None`
-    /// when nothing is in flight (only the CPU can create new work).
+    /// Transaction-granular drain walk: bulk-applies every machine-side
+    /// event strictly before `target` that cannot change the (stalled or
+    /// halted) CPU's behaviour, and returns the CPU cycle at which real
+    /// ticking must resume (always `<= target`). Each accepted, faulted,
+    /// or NACKed issue costs O(1) — the bus timeline is frozen at issue
+    /// time (state mutates exclusively inside `try_issue`), so the walk
+    /// hops from `earliest_start` to `earliest_start` instead of ticking
+    /// through every occupied cycle.
     ///
-    /// Valid only between ticks: bus state mutates exclusively inside
-    /// `try_issue` (foreign debt included), so `earliest_start` is frozen
-    /// until the next issue — which happens no earlier than the returned
-    /// cycle.
-    fn next_event(&self) -> Option<u64> {
-        let mut horizon: Option<u64> = None;
-        let mut note = |t: u64| horizon = Some(horizon.map_or(t, |h: u64| h.min(t)));
-        for &(ready, _) in self
-            .pending_reads
-            .values()
-            .chain(self.pending_swaps.values())
-        {
-            note(ready);
-        }
-        if !self.ubuf.is_empty() || !self.csb.is_drained() {
-            // First bus tick at or after `now` is bus cycle ceil(now/ratio);
+    /// Events, in cursor order:
+    /// - An outstanding uncached read/swap becoming ready stops the walk
+    ///   at its ready cycle: only a real CPU tick can poll it.
+    /// - A queued transaction issuing is applied via [`issue_step`] —
+    ///   exactly the naive `bus_tick` body, fault hooks included, so the
+    ///   per-kind fault ordinals (and therefore any replayed schedule)
+    ///   are identical however many grants are bulk-applied. After an
+    ///   accept the `wake` condition decides whether the CPU could react:
+    ///   if so the walk stops *at the issue cycle* (the naive loop's
+    ///   `bus_tick` runs before the CPU tick of the same cycle, so the
+    ///   CPU observes the accept at exactly that cycle; re-entering
+    ///   `bus_tick` there is a provable no-op because the slot is spent).
+    /// - A fully drained I/O system under [`DrainWake::Drained`] resumes
+    ///   at the cycle *after* the final accept — mirroring the naive
+    ///   loop's last halted tick, which advances the clock past the
+    ///   accepting cycle before `complete()` turns true.
+    ///
+    /// The walk terminates: every issue spends a bus slot, which pushes
+    /// `earliest_start` forward by at least one bus cycle.
+    ///
+    /// [`issue_step`]: Machine::issue_step
+    fn fast_forward(&mut self, target: u64, wake: DrainWake) -> u64 {
+        let mut t = self.now;
+        loop {
+            let mut ready: Option<u64> = None;
+            for &(r, _) in self
+                .pending_reads
+                .values()
+                .chain(self.pending_swaps.values())
+            {
+                ready = Some(ready.map_or(r, |h: u64| h.min(r)));
+            }
+            // First bus tick at or after `t` is bus cycle ceil(t/ratio);
             // the bus accepts at `earliest_start` of that cycle (idempotent
             // at its own result, so that really is the issue cycle). A
             // barrier-only uncached buffer also drains exactly there.
-            let bus_cycle = self.bus.earliest_start(self.now.div_ceil(self.ratio));
-            note(bus_cycle * self.ratio);
+            let issue = (!self.ubuf.is_empty() || !self.csb.is_drained())
+                .then(|| self.bus.earliest_start(t.div_ceil(self.ratio)) * self.ratio);
+            let (at, is_issue) = match (ready, issue) {
+                (None, None) => return target,
+                // Ties go to the ready event: stopping early is safe, and
+                // the real tick's own `bus_tick` performs the issue.
+                (Some(r), Some(i)) if r <= i => (r, false),
+                (Some(r), None) => (r, false),
+                (_, Some(i)) => (i, true),
+            };
+            if at >= target {
+                return target;
+            }
+            if !is_issue {
+                return at;
+            }
+            t = at;
+            match self.issue_step(at / self.ratio, at) {
+                IssueOutcome::Accepted {
+                    from_csb,
+                    freed_entry,
+                } => match wake {
+                    DrainWake::Drained => {
+                        if self.io_drained() {
+                            return at + 1;
+                        }
+                    }
+                    DrainWake::UncachedDrained => {
+                        if self.ubuf.is_drained() {
+                            return at;
+                        }
+                    }
+                    DrainWake::UncachedAccept => {
+                        if !from_csb && freed_entry {
+                            return at;
+                        }
+                    }
+                    DrainWake::CsbAccept => {
+                        if from_csb {
+                            return at;
+                        }
+                    }
+                    DrainWake::None => {}
+                },
+                // Slot spent, transaction still queued: the next issue
+                // candidate is strictly later, keep walking (this is what
+                // makes NACK/bus-error retry storms O(1) per carry).
+                IssueOutcome::Faulted | IssueOutcome::Nacked => {}
+                IssueOutcome::NoWork => {
+                    // `peek_transaction` popped leading barriers; a
+                    // barrier-only uncached buffer just drained here.
+                    match wake {
+                        DrainWake::Drained if self.io_drained() => return at + 1,
+                        DrainWake::UncachedDrained if self.ubuf.is_drained() => return at,
+                        _ => {}
+                    }
+                }
+            }
         }
-        horizon
     }
 }
 
@@ -656,6 +813,7 @@ impl Simulator {
             csb_retry_since: None,
             faults: FaultInjector::disabled(),
             progress: 0,
+            progress_at: 0,
             futile_flushes: 0,
         };
         let cpu = Cpu::new(cfg.cpu, program);
@@ -718,6 +876,7 @@ impl Simulator {
         m.csb_retry_since = None;
         m.faults = FaultInjector::disabled();
         m.progress = 0;
+        m.progress_at = 0;
         m.futile_flushes = 0;
         self.cpu
             .reset_with(cfg.cpu, program, csb_cpu::CpuContext::new(0));
@@ -882,12 +1041,28 @@ impl Simulator {
 
     /// Attempts one fast-forward jump, never past `cap`. Returns `false`
     /// when the next cycle must be simulated for real.
+    ///
+    /// Unlike the original idle-gap jump, the machine side is a
+    /// transaction-granular walk ([`Machine::fast_forward`]): queued bus
+    /// transactions issuing inside the gap are bulk-applied instead of
+    /// ending it, so an I/O-active phase costs O(1) per transaction
+    /// rather than O(cycles). The walk may mutate machine state and still
+    /// report `resume <= now` (an issue landing on the current cycle);
+    /// that is safe — the real tick's `bus_tick` re-entry is a no-op for
+    /// a spent slot, and no stall cycles are skipped.
     fn try_fast_forward(&mut self, cap: u64) -> bool {
         if !self.fast_forward || self.machine.obs.is_enabled() {
             return false;
         }
         let now = self.cpu.now();
         if now >= cap {
+            return false;
+        }
+        // A tick that mutated the pipeline is usually followed by another:
+        // skip the horizon scan entirely and tick for real. Costs at most
+        // one extra real tick per stall entry, saves the scan on every
+        // busy tick.
+        if self.cpu.last_tick_worked() {
             return false;
         }
         let CpuHorizon::Idle { wake, stall } = self.cpu.next_event(&self.machine) else {
@@ -897,13 +1072,26 @@ impl Simulator {
         if let Some(w) = wake {
             target = target.min(w);
         }
-        if let Some(m) = self.machine.next_event() {
-            target = target.min(m);
-        }
         if target <= now {
             return false;
         }
-        let skipped = target - now;
+        let drain_wake = if self.cpu.halted() {
+            DrainWake::Drained
+        } else {
+            match stall {
+                Some(StallCause::UncachedStoreFull | StallCause::UncachedLoadFull) => {
+                    DrainWake::UncachedAccept
+                }
+                Some(StallCause::CsbStoreBusy | StallCause::CsbFlushWait) => DrainWake::CsbAccept,
+                Some(StallCause::Membar) => DrainWake::UncachedDrained,
+                None => DrainWake::None,
+            }
+        };
+        let resume = self.machine.fast_forward(target, drain_wake);
+        if resume <= now {
+            return false;
+        }
+        let skipped = resume - now;
         // Component-side counters the skipped refusals would have bumped
         // (the CPU-side counters are handled by `Cpu::fast_forward`).
         match stall {
@@ -913,10 +1101,10 @@ impl Simulator {
             Some(StallCause::CsbStoreBusy) => self.machine.csb.add_busy_stalls(skipped),
             Some(StallCause::CsbFlushWait | StallCause::Membar) | None => {}
         }
-        self.cpu.fast_forward(target, stall);
-        self.machine.now = target;
+        self.cpu.fast_forward(resume, stall);
+        self.machine.now = resume;
         let ratio = self.machine.ratio;
-        self.bus_countdown = (ratio - target % ratio) % ratio;
+        self.bus_countdown = (ratio - resume % ratio) % ratio;
         true
     }
 
@@ -952,9 +1140,20 @@ impl Simulator {
         let retired = self.cpu.stats().retired;
         let progress = self.machine.progress;
         if retired != self.wd_seen_retired || progress != self.wd_seen_progress {
+            // Stamp each signal at the cycle the naive loop would observe
+            // it: retirement happens only in real ticks (the post-tick
+            // clock is exact); bus progress may have been bulk-applied
+            // mid-jump, so it carries its own accept-cycle stamp.
+            let mut at = 0;
+            if retired != self.wd_seen_retired {
+                at = self.cpu.now();
+            }
+            if progress != self.wd_seen_progress {
+                at = at.max(self.machine.progress_at);
+            }
             self.wd_seen_retired = retired;
             self.wd_seen_progress = progress;
-            self.wd_last_progress = self.cpu.now();
+            self.wd_last_progress = at;
         }
         let w = self.watchdog;
         if w.futile_flushes > 0 && self.machine.futile_flushes >= w.futile_flushes {

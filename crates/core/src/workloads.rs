@@ -36,6 +36,14 @@ pub enum StorePath {
     /// Combining space: stores accumulate in the CSB; each line is committed
     /// with a conditional flush.
     Csb,
+    /// [`StorePath::Csb`] with the retry branch compiled out of line: the
+    /// per-line flush check is a *forward* `bnz` to a stub after the hot
+    /// sequence, and the stub branches back to the line's start. Static
+    /// forward-not-taken prediction is then correct on every successful
+    /// flush, so the hot path retires without a single squash — the
+    /// unlikely-path layout a compiler's branch-probability pass produces
+    /// for the paper's §3.2 retry idiom.
+    CsbOutlined,
 }
 
 /// Issue order of the stores within each cache line.
@@ -166,6 +174,8 @@ pub fn store_bandwidth_ordered(
     let mut a = Assembler::new();
     a.movi(Reg::L1, 0x5151_5151_5151_5151u64 as i64);
     a.mark(MARK_START);
+    // (out-of-line stub, line entry) pairs, emitted after `halt`.
+    let mut stubs = Vec::new();
     match path {
         StorePath::Uncached => {
             a.movi(Reg::O1, UNCACHED_BASE as i64);
@@ -201,9 +211,38 @@ pub fn store_bandwidth_ordered(
                 line_idx += 1;
             }
         }
+        StorePath::CsbOutlined => {
+            a.movi(Reg::O1, COMBINING_BASE as i64);
+            let mut remaining = dwords;
+            let mut line_idx = 0i64;
+            while remaining > 0 {
+                let n = remaining.min(per_line);
+                let base_off = line_idx * line as i64;
+                let retry = a.new_label();
+                let stub = a.new_label();
+                a.bind(retry)?;
+                a.movi(Reg::L4, n as i64);
+                for i in order.order(n) {
+                    a.std(Reg::L1, Reg::O1, base_off + 8 * i as i64);
+                }
+                a.swap(Reg::L4, Reg::O1, base_off);
+                a.cmpi(Reg::L4, n as i64);
+                // Forward branch: predicted not-taken, i.e. correct on a
+                // successful flush. A failed flush pays one squash to
+                // reach the stub, which re-enters the line's retry loop.
+                a.bnz(stub);
+                stubs.push((stub, retry));
+                remaining -= n;
+                line_idx += 1;
+            }
+        }
     }
     a.mark(MARK_END);
     a.halt();
+    for (stub, retry) in stubs {
+        a.bind(stub)?;
+        a.ba(retry);
+    }
     Ok(a.assemble()?)
 }
 

@@ -425,6 +425,9 @@ pub struct Cpu {
     uncached_stall_start: Option<u64>,
     /// First cycle of the membar-stall run currently in progress.
     membar_stall_start: Option<u64>,
+    /// `true` if the most recent tick moved any instruction through the
+    /// pipeline (see [`Cpu::last_tick_worked`]).
+    worked: bool,
 }
 
 impl Cpu {
@@ -457,6 +460,7 @@ impl Cpu {
             metrics: MetricsRegistry::disabled(),
             uncached_stall_start: None,
             membar_stall_start: None,
+            worked: false,
         }
     }
 
@@ -489,6 +493,7 @@ impl Cpu {
         self.metrics = MetricsRegistry::disabled();
         self.uncached_stall_start = None;
         self.membar_stall_start = None;
+        self.worked = false;
     }
 
     /// Installs a structured trace sink: retires and squashes emit instants
@@ -642,6 +647,7 @@ impl Cpu {
         if watching {
             self.obs.set_now(self.now);
         }
+        self.worked = false;
         if !self.halted {
             self.writeback(port);
             self.retire(port);
@@ -654,6 +660,19 @@ impl Cpu {
         }
         self.now += 1;
         self.stats.cycles = self.now;
+    }
+
+    /// `true` if the most recent [`Cpu::tick`] moved any instruction
+    /// through the pipeline — fetched, dispatched, issued, completed,
+    /// redirected, or retired something, or started a memory action. A
+    /// quiet tick means the core only spun on a stall (or is drained),
+    /// which is the precondition for the much costlier [`Cpu::next_event`]
+    /// ROB scan to have any chance of reporting an idle horizon; drivers
+    /// use this to skip the scan while the pipeline is demonstrably busy.
+    /// Conservative in the safe direction: stall-counter increments alone
+    /// do not count as work.
+    pub fn last_tick_worked(&self) -> bool {
+        self.worked
     }
 
     /// Opens/extends/closes stall-run bookkeeping by comparing the stall
@@ -961,10 +980,12 @@ impl Cpu {
             match e.st {
                 St::Agen { done_at } if done_at <= now => {
                     e.st = St::AddrReady;
+                    self.worked = true;
                 }
                 St::Exec { done_at } if done_at <= now => {
                     e.st = St::Done;
                     e.t_complete = Some(now);
+                    self.worked = true;
                     if e.inst.kind() == InstKind::Branch && e.value as usize != e.predicted_next {
                         redirect = Some((idx, e.value as usize));
                         break;
@@ -973,6 +994,7 @@ impl Cpu {
                 St::MemAccess { done_at } if done_at <= now => {
                     e.st = St::Done;
                     e.t_complete = Some(now);
+                    self.worked = true;
                 }
                 St::UncachedWait => {
                     let seq = e.seq;
@@ -987,6 +1009,7 @@ impl Cpu {
                         e.value = v;
                         e.st = St::Done;
                         e.t_complete = Some(now);
+                        self.worked = true;
                     }
                 }
                 _ => {}
@@ -1103,6 +1126,7 @@ impl Cpu {
                 e.value = old;
                 e.mem_started = true;
                 e.st = St::MemAccess { done_at };
+                self.worked = true;
                 false
             }
             (Inst::Swap { .. }, AddressSpace::UncachedCombining) => {
@@ -1130,6 +1154,7 @@ impl Cpu {
                 e.value = result;
                 e.mem_started = true;
                 e.st = St::Exec { done_at };
+                self.worked = true;
                 false
             }
             (Inst::Swap { .. }, AddressSpace::Uncached) => {
@@ -1148,6 +1173,7 @@ impl Cpu {
                 let e = &mut self.rob[0];
                 e.mem_started = true;
                 e.st = St::UncachedWait;
+                self.worked = true;
                 false
             }
             (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::Uncached) => {
@@ -1205,6 +1231,7 @@ impl Cpu {
                 let e = &mut self.rob[0];
                 e.mem_started = true;
                 e.st = St::UncachedWait;
+                self.worked = true;
                 false
             }
             // Cached loads/stores never reach here in AddrReady at the
@@ -1217,6 +1244,7 @@ impl Cpu {
     fn commit_head<P: MemPort>(&mut self, port: &mut P) {
         let e = self.rob.pop_front();
         self.front_seq = e.seq + 1;
+        self.worked = true;
         debug_assert_eq!(e.st, St::Done);
         let now = self.now;
         self.record_trace(&e, Some(now));
@@ -1312,6 +1340,7 @@ impl Cpu {
                             e.st = St::Exec {
                                 done_at: now + self.cfg.int_latency,
                             };
+                            self.worked = true;
                         }
                         InstKind::FpAlu if fp_avail > 0 && self.ops_ready(idx) => {
                             fp_avail -= 1;
@@ -1323,6 +1352,7 @@ impl Cpu {
                             e.st = St::Exec {
                                 done_at: now + self.cfg.fp_latency,
                             };
+                            self.worked = true;
                         }
                         InstKind::Load | InstKind::Store | InstKind::Swap
                             if agen_avail > 0 && self.ops_ready(idx) =>
@@ -1349,6 +1379,7 @@ impl Cpu {
                             e.st = St::Agen {
                                 done_at: now + self.cfg.agen_latency,
                             };
+                            self.worked = true;
                         }
                         // Nop/Mark/Halt/Membar were Done at dispatch.
                         _ => {}
@@ -1368,12 +1399,14 @@ impl Cpu {
                             let e = &mut self.rob[idx];
                             e.value = value;
                             e.st = St::MemAccess { done_at };
+                            self.worked = true;
                         }
                         (InstKind::Store, Some(AddressSpace::Cached)) => {
                             // Completes now; memory written at commit.
                             let e = &mut self.rob[idx];
                             e.st = St::Done;
                             e.t_complete = Some(now);
+                            self.worked = true;
                         }
                         // Uncached ops and atomics wait for the head.
                         _ => {}
@@ -1504,6 +1537,7 @@ impl Cpu {
                 t_issue: None,
                 t_complete: None,
             });
+            self.worked = true;
         }
     }
 
@@ -1539,6 +1573,7 @@ impl Cpu {
                 predicted_next,
                 t_fetch: self.now,
             });
+            self.worked = true;
             if matches!(inst, Inst::Halt) {
                 self.fetch_stopped = true;
                 break;

@@ -299,6 +299,39 @@ impl UncachedBuffer {
         self.entries.is_empty()
     }
 
+    /// The exact number of bus grants still required to drain the buffer
+    /// as it stands — the buffer-side half of a transaction-granular
+    /// drain horizon (the bus timeline supplies *when* each grant can
+    /// happen; this supplies *how many* are left). The locked head
+    /// contributes its remaining drain chunks, every other store entry
+    /// the chunk count its decomposition will produce, loads one grant
+    /// each, barriers none (they are popped, not granted). Later
+    /// coalescing into a still-open entry can change the figure; it is
+    /// exact whenever the CPU side is stalled (the fast-forward case).
+    pub fn pending_grants(&self) -> usize {
+        let mut grants = 0usize;
+        for (i, entry) in self.entries.iter().enumerate() {
+            match entry {
+                Entry::Store(se) if i == 0 && se.locked => grants += self.drain.len(),
+                Entry::Store(se) => {
+                    grants += match self.cfg.rule {
+                        CombineRule::Block => {
+                            let mut n = 0;
+                            decompose_into(se.mask, self.cfg.block, |_| n += 1);
+                            n
+                        }
+                        CombineRule::Sequential if se.mask.covers(0, self.cfg.block) => 1,
+                        CombineRule::Sequential => se.stores,
+                        CombineRule::Pair => 1,
+                    }
+                }
+                Entry::Load { .. } => grants += 1,
+                Entry::Barrier => {}
+            }
+        }
+        grants
+    }
+
     /// Offers an uncached store of `data.len()` bytes at `addr`.
     ///
     /// # Panics
@@ -986,5 +1019,40 @@ mod tests {
         assert!(CombineRule::Pair.to_string().contains("620"));
         assert_eq!(UncachedConfig::r10000(64).rule, CombineRule::Sequential);
         assert_eq!(UncachedConfig::ppc620().block, 16);
+    }
+
+    #[test]
+    fn pending_grants_counts_remaining_bus_transactions() {
+        let mut b = buf(64);
+        assert_eq!(b.pending_grants(), 0);
+        // A full aligned block drains as one transaction; a lone dword at
+        // an odd slot of a second block adds another.
+        for i in 0..8 {
+            b.push_store(Addr::new(0x1000 + 8 * i), &dword(i));
+        }
+        b.push_store(Addr::new(0x1048), &dword(9));
+        b.push_barrier();
+        assert!(b.push_load(Addr::new(0x1080), 8, 7));
+        assert_eq!(b.pending_grants(), 3);
+        // Locking the head must not change the count, only its source.
+        assert!(b.peek_transaction().is_some());
+        assert_eq!(b.pending_grants(), 3);
+        // Drain to empty: one grant at a time, monotonically.
+        for left in (0..3usize).rev() {
+            assert!(b.peek_transaction().is_some());
+            b.transaction_accepted();
+            assert_eq!(b.pending_grants(), left);
+        }
+        assert!(b.is_drained());
+    }
+
+    #[test]
+    fn pending_grants_matches_partial_block_decomposition() {
+        // Bytes at offsets 0..8 and 16..24 of one block: two naturally
+        // aligned transactions, never one.
+        let mut b = buf(64);
+        b.push_store(Addr::new(0x1000), &dword(1));
+        b.push_store(Addr::new(0x1010), &dword(2));
+        assert_eq!(b.pending_grants(), 2);
     }
 }

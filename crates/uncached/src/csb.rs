@@ -505,6 +505,17 @@ impl ConditionalStoreBuffer {
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Committed bursts still queued for the bus — the CSB-side half of a
+    /// transaction-granular drain horizon. Each pending burst costs
+    /// exactly one bus grant, so `pending_bursts()` grants from now the
+    /// CSB is drained and ([`ConditionalStoreBuffer::can_accept_flush`])
+    /// flush capacity is free again; `0` is [`is_drained`].
+    ///
+    /// [`is_drained`]: ConditionalStoreBuffer::is_drained
+    pub fn pending_bursts(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 #[cfg(test)]
@@ -858,5 +869,28 @@ mod tests {
             width: 3,
         };
         assert!(e.to_string().contains("3B"));
+    }
+
+    #[test]
+    fn pending_bursts_is_the_drain_horizon() {
+        let mut c = ConditionalStoreBuffer::new(CsbConfig::new(64).double_buffered()).unwrap();
+        let line = Addr::new(0x1000);
+        assert_eq!(c.pending_bursts(), 0);
+        c.store(1, line, &dword(1)).unwrap();
+        assert_eq!(c.conditional_flush(1, line, 1), FlushOutcome::Success);
+        c.store(1, line.offset(64), &dword(2)).unwrap();
+        assert_eq!(
+            c.conditional_flush(1, line.offset(64), 1),
+            FlushOutcome::Success
+        );
+        // Double-buffered: two committed bursts queued, capacity now gone.
+        assert_eq!(c.pending_bursts(), 2);
+        assert!(!c.can_accept_flush());
+        c.transaction_accepted();
+        assert_eq!(c.pending_bursts(), 1);
+        assert!(c.can_accept_flush());
+        c.transaction_accepted();
+        assert_eq!(c.pending_bursts(), 0);
+        assert!(c.is_drained());
     }
 }

@@ -10,7 +10,7 @@ use csb_bus::BusConfig;
 use csb_core::experiments::fig5::{self, LockResidency};
 use csb_core::experiments::{bandwidth_point, Scheme};
 use csb_core::multiproc::{MultiSim, SwitchPolicy};
-use csb_core::{workloads, SimConfig, Simulator};
+use csb_core::{workloads, FaultConfig, SimConfig, SimError, Simulator, WatchdogConfig};
 use csb_isa::Program;
 use csb_uncached::UncachedConfig;
 use proptest::prelude::*;
@@ -19,12 +19,25 @@ use proptest::prelude::*;
 /// on both, and asserts every observable is identical. Returns
 /// `(cycles, ff_ticks, naive_ticks)`.
 fn assert_differential(cfg: &SimConfig, program: &Program, limit: u64) -> (u64, u64, u64) {
+    assert_differential_with(cfg, program, limit, |_| {})
+}
+
+/// [`assert_differential`] with a setup hook applied to both simulators
+/// before running (fault schedules, watchdog thresholds, …).
+fn assert_differential_with(
+    cfg: &SimConfig,
+    program: &Program,
+    limit: u64,
+    setup: impl Fn(&mut Simulator),
+) -> (u64, u64, u64) {
     let mut ff = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
     ff.set_fast_forward(true);
     ff.enable_metrics();
+    setup(&mut ff);
     let mut naive = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
     naive.set_fast_forward(false);
     naive.enable_metrics();
+    setup(&mut naive);
 
     let ff_result = ff.run(limit);
     let naive_result = naive.run(limit);
@@ -33,6 +46,15 @@ fn assert_differential(cfg: &SimConfig, program: &Program, limit: u64) -> (u64, 
             let a_json = serde_json::to_string(a).expect("summary serializes");
             let b_json = serde_json::to_string(b).expect("summary serializes");
             assert_eq!(a_json, b_json, "RunSummary JSON must be byte-identical");
+        }
+        (Err(SimError::Livelock(a)), Err(SimError::Livelock(b))) => {
+            // The watchdog must fire at the identical cycle with the
+            // identical trigger and statistics on both loops.
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "livelock reports must be identical"
+            );
         }
         (Err(_), Err(_)) => {
             // Both hit the cycle limit; the partial stats must still agree.
@@ -266,6 +288,156 @@ fn post_halt_drain_is_skipped() {
         sim.ticks(),
         s.cycles
     );
+}
+
+// ---------------------------------------------------------------------
+// Active-bus drain walks: the bus stays occupied for thousands of cycles
+// and the walk must bulk-apply every transaction cycle-exactly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_sustained_uncached_store_stream() {
+    // 4 KB of back-to-back uncached stores: the buffer is full nearly the
+    // whole run and every jump crosses live bus occupancy.
+    for ratio in [1u64, 6, 12] {
+        let cfg = SimConfig::default().frequency_ratio(ratio);
+        let program =
+            workloads::store_bandwidth(4096, &cfg, workloads::StorePath::Uncached).unwrap();
+        let (cycles, ff_ticks, naive_ticks) = assert_differential(&cfg, &program, 50_000_000);
+        assert_eq!(naive_ticks, cycles, "naive loop ticks every cycle");
+        assert!(ff_ticks <= naive_ticks);
+    }
+}
+
+#[test]
+fn differential_csb_flush_storm() {
+    // Back-to-back full-line CSB bursts, inline and out-of-line retry
+    // layouts, single- and double-buffered: sustained store/flush/drain
+    // traffic with the CPU mostly waiting on CSB capacity.
+    for double in [false, true] {
+        let mut cfg = SimConfig::default().frequency_ratio(8);
+        if double {
+            cfg = cfg.csb_double_buffered();
+        }
+        for path in [workloads::StorePath::Csb, workloads::StorePath::CsbOutlined] {
+            let program = workloads::store_bandwidth(2048, &cfg, path).unwrap();
+            let (cycles, ff_ticks, naive_ticks) = assert_differential(&cfg, &program, 50_000_000);
+            assert_eq!(naive_ticks, cycles, "naive loop ticks every cycle");
+            assert!(ff_ticks <= naive_ticks, "({double}, {path:?})");
+        }
+    }
+}
+
+#[test]
+fn csb_active_phase_is_transaction_granular() {
+    // The throughput bench's CSB-active shape: the bus is busy nearly end
+    // to end, yet the walk must make real ticks scale with the CPU's own
+    // work (a handful per line), not with the simulated cycle count.
+    let spec = csb_core::experiments::throughput::csb_active_point();
+    let csb_core::experiments::runner::PointWork::Bandwidth {
+        transfer, scheme, ..
+    } = spec.work
+    else {
+        panic!("csb-active point is a bandwidth point");
+    };
+    assert_eq!(scheme, Scheme::CsbOutlined);
+    let program =
+        workloads::store_bandwidth(transfer, &spec.cfg, workloads::StorePath::CsbOutlined).unwrap();
+    let (cycles, ff_ticks, naive_ticks) = assert_differential(&spec.cfg, &program, 50_000_000);
+    assert_eq!(naive_ticks, cycles);
+    assert!(cycles >= 10_000, "point stays long ({cycles} cycles)");
+    assert!(
+        ff_ticks * 4 < cycles,
+        "active-bus walk must skip most cycles (ticked {ff_ticks} of {cycles})"
+    );
+}
+
+#[test]
+fn differential_nack_retry_storm_and_watchdog_parity() {
+    // A 100% device-NACK schedule turns the drain into an endless
+    // reissue loop: the slot-per-carry walk must reproduce it exactly,
+    // and the hard-stall watchdog must fire at the identical cycle on
+    // both loops.
+    let cfg = SimConfig::default();
+    let program = workloads::store_bandwidth(64, &cfg, workloads::StorePath::Uncached).unwrap();
+    let (_, ff_ticks, naive_ticks) = assert_differential_with(&cfg, &program, 5_000_000, |sim| {
+        sim.set_faults(Some(FaultConfig::new(7).device_nack_rate(1.0)));
+        sim.set_watchdog(WatchdogConfig {
+            stall_cycles: 2_000,
+            futile_flushes: 0,
+        });
+    });
+    assert!(
+        ff_ticks < naive_ticks,
+        "the NACK storm must be fast-forwarded ({ff_ticks} vs {naive_ticks} ticks)"
+    );
+}
+
+#[test]
+fn differential_multiproc_slicing_over_active_bus() {
+    // Slice boundaries clamp the walk mid-drain; the clamp must stay
+    // cycle-exact while bursts are being bulk-applied.
+    let cfg = SimConfig::default().frequency_ratio(8);
+    for policy in [SwitchPolicy::Fixed(40), SwitchPolicy::Fixed(137)] {
+        let programs = vec![
+            workloads::store_bandwidth(512, &cfg, workloads::StorePath::CsbOutlined).unwrap(),
+            workloads::store_bandwidth(512, &cfg, workloads::StorePath::Uncached).unwrap(),
+        ];
+        let mut ff = MultiSim::new(cfg.clone(), programs.clone(), policy).unwrap();
+        ff.set_fast_forward(true);
+        let mut naive = MultiSim::new(cfg.clone(), programs, policy).unwrap();
+        naive.set_fast_forward(false);
+        let a = ff.run(10_000_000).unwrap();
+        let b = naive.run(10_000_000).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "MultiSummary diverged under {policy:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized active-bus storms: bulk transfers through every store
+    /// path, under random bus shapes and nonzero fault rates, must match
+    /// the naive loop on every observable (fault counters included —
+    /// the walk replays the schedule ordinal-for-ordinal).
+    #[test]
+    fn differential_active_bus_under_faults(
+        seed in any::<u64>(),
+        kb in 1usize..=4,
+        ratio in 1u64..=12,
+        rate_pct in 0u32..40,
+        path_idx in 0usize..3,
+        split in any::<bool>(),
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let bus = if split {
+            BusConfig::split(8).max_burst(64).build().unwrap()
+        } else {
+            BusConfig::multiplexed(8).max_burst(64).build().unwrap()
+        };
+        let cfg = SimConfig::default().bus(bus).frequency_ratio(ratio);
+        let path = [
+            workloads::StorePath::Uncached,
+            workloads::StorePath::Csb,
+            workloads::StorePath::CsbOutlined,
+        ][path_idx];
+        let program = workloads::store_bandwidth(kb * 1024, &cfg, path).unwrap();
+        let (_, ff_ticks, naive_ticks) =
+            assert_differential_with(&cfg, &program, 50_000_000, |sim| {
+                sim.set_faults(Some(
+                    FaultConfig::new(seed)
+                        .bus_error_rate(rate * 0.5)
+                        .device_nack_rate(rate)
+                        .flush_disturb_rate(rate * 0.5)
+                        .max_consecutive(8),
+                ));
+            });
+        prop_assert!(ff_ticks <= naive_ticks);
+    }
 }
 
 // ---------------------------------------------------------------------
