@@ -3,27 +3,31 @@
 //! (§3.2), and the PIO/DMA break-even sweep (§5).
 //!
 //! Usage: `cargo run -p csb-bench --bin ablations [--jobs N] [--json out.json]
-//! [--no-fast-forward]`
+//! [--trace-out trace.json] [--metrics-out metrics.json]
+//! [--ledger ledger.jsonl] [--no-fast-forward]`
+//!
+//! The observability flags capture one artifact per ablation point across
+//! every sweep (the PIO/DMA break-even model is analytic per message size
+//! and contributes no runner points).
 
 use csb_core::dma::{DmaModel, PioMethod, MESSAGE_SIZES};
 use csb_core::experiments::{ablations, format_table};
 use csb_core::SimConfig;
 
-const USAGE: &str = "ablations [--jobs N] [--json out.json] [--no-fast-forward]";
+const USAGE: &str = "ablations [--jobs N] [--json out.json] [--trace-out trace.json] \
+[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward]";
 
 fn main() {
-    csb_bench::validate_args(
-        USAGE,
-        &["--jobs", "--json"],
-        csb_bench::STANDARD_BARE_FLAGS,
-        0,
-    );
+    csb_bench::validate_standard_args(USAGE);
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
+    let bo = csb_bench::obs_from_args();
+    let mut all_artifacts = Vec::new();
 
     // --- Superscalar width vs. lock overhead --------------------------
-    let (widths, mut report) =
-        ablations::superscalar_widths_jobs(4, jobs).expect("width ablation simulates");
+    let (widths, arts, mut report) = ablations::superscalar_widths_jobs_observed(4, jobs, bo.obs)
+        .expect("width ablation simulates");
+    all_artifacts.extend(arts);
     let headers = vec![
         "width".to_string(),
         "lock cycles".to_string(),
@@ -59,19 +63,23 @@ fn main() {
             })
             .collect()
     };
-    let (double, r) =
-        ablations::double_buffered_jobs(jobs).expect("double-buffer ablation simulates");
+    let (double, arts, r) = ablations::double_buffered_jobs_observed(jobs, bo.obs)
+        .expect("double-buffer ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     println!("Double-buffered CSB (second line buffer, §3.2)");
     println!("{}", format_table(&headers, &render(&double)));
-    let (variable, r) =
-        ablations::variable_burst_jobs(jobs).expect("variable-burst ablation simulates");
+    let (variable, arts, r) = ablations::variable_burst_jobs_observed(jobs, bo.obs)
+        .expect("variable-burst ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     println!("Variable-burst CSB (multiple burst sizes, §3.2)");
     println!("{}", format_table(&headers, &render(&variable)));
 
     // --- Related-work baselines under store-order pressure --------------
-    let (rows, r) = ablations::related_work_jobs(jobs).expect("related-work ablation simulates");
+    let (rows, arts, r) = ablations::related_work_jobs_observed(jobs, bo.obs)
+        .expect("related-work ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     let headers = vec![
         "bytes".to_string(),
@@ -94,7 +102,9 @@ fn main() {
     println!("{}", format_table(&headers, &table));
 
     // --- Buffer depth and uncached issue rate ---------------------------
-    let (rows, r) = ablations::buffer_capacity_jobs(jobs).expect("capacity ablation simulates");
+    let (rows, arts, r) = ablations::buffer_capacity_jobs_observed(jobs, bo.obs)
+        .expect("capacity ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     let headers = vec![
         "entries".to_string(),
@@ -114,8 +124,9 @@ fn main() {
     println!("Uncached buffer depth vs. bandwidth (1 KiB)");
     println!("{}", format_table(&headers, &table));
 
-    let (rows, r) =
-        ablations::uncached_issue_rate_jobs(jobs).expect("issue-rate ablation simulates");
+    let (rows, arts, r) = ablations::uncached_issue_rate_jobs_observed(jobs, bo.obs)
+        .expect("issue-rate ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     let headers = vec![
         "uncached/cycle".to_string(),
@@ -129,7 +140,9 @@ fn main() {
     println!("{}", format_table(&headers, &table));
 
     // --- Loaded bus: turnaround approximation vs. real contention -------
-    let (rows, r) = ablations::loaded_bus_jobs(jobs).expect("loaded-bus ablation simulates");
+    let (rows, arts, r) =
+        ablations::loaded_bus_jobs_observed(jobs, bo.obs).expect("loaded-bus ablation simulates");
+    all_artifacts.extend(arts);
     report.merge(&r);
     let headers = vec![
         "scheme".to_string(),
@@ -187,6 +200,7 @@ fn main() {
     }
 
     eprintln!("{}", report.render());
+    bo.emit("ablations", &all_artifacts);
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &(widths, double, variable));
     }

@@ -6,7 +6,7 @@
 //!     [--bus mux|split] [--width N] [--line N] [--ratio N] \
 //!     [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
 //!     [--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] \
-//!     [--no-fast-forward]
+//!     [--ledger ledger.jsonl] [--no-fast-forward]
 //! ```
 //!
 //! `--bytes` accepts a comma-separated list, turning the explorer into a
@@ -23,7 +23,10 @@
 use std::io::{BufWriter, Write};
 
 use csb_bus::BusConfig;
-use csb_core::experiments::runner::{run_points, PointSpec, PointWork};
+use csb_core::experiments::runner::{
+    run_values_observed, LabeledArtifacts, ObsConfig, PointArtifacts, PointSpec, PointValue,
+    PointWork,
+};
 use csb_core::experiments::{format_table, Scheme};
 use csb_core::workloads::StoreOrder;
 use csb_core::{trace, workloads, SimConfig, Simulator};
@@ -41,6 +44,7 @@ struct Args {
     jobs: usize,
     timeline: u64,
     asm: Option<String>,
+    ledger: Option<String>,
 }
 
 impl Default for Args {
@@ -57,13 +61,15 @@ impl Default for Args {
             jobs: 0,
             timeline: 40,
             asm: None,
+            ledger: None,
         }
     }
 }
 
 const USAGE: &str = "explore [--bus mux|split] [--width N] [--line N] [--ratio N] \
 [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
-[--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] [--no-fast-forward]";
+[--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] [--ledger FILE] \
+[--no-fast-forward]";
 
 fn parse_args() -> Args {
     let mut args = Args::default();
@@ -104,6 +110,7 @@ fn parse_args() -> Args {
             }
             "--timeline" => args.timeline = num("--timeline", val("--timeline")),
             "--asm" => args.asm = Some(val("--asm")),
+            "--ledger" => args.ledger = Some(val("--ledger")),
             "--no-fast-forward" => csb_core::set_default_fast_forward(false),
             other => csb_bench::usage_error(USAGE, format!("unknown flag {other}")),
         }
@@ -169,7 +176,14 @@ fn main() {
                 },
             })
             .collect();
-        let (results, report) = run_points(&specs, args.jobs);
+        // Ledger records need the flush histograms, so --ledger turns on
+        // metrics capture for the sweep.
+        let obs = ObsConfig {
+            trace: false,
+            metrics: args.ledger.is_some(),
+        };
+        let (_, labeled, report) =
+            run_values_observed(&specs, args.jobs, obs).unwrap_or_else(|e| csb_bench::die(e));
         // Lock stdout once and buffer the sweep output.
         let mut out = BufWriter::new(std::io::stdout().lock());
         writeln!(
@@ -199,20 +213,22 @@ fn main() {
         let rows: Vec<Vec<String>> = args
             .bytes
             .iter()
-            .zip(&results)
-            .map(|(&b, r)| {
-                let o = r.as_ref().expect("sweep point simulates");
+            .zip(&labeled)
+            .map(|(&b, la)| {
                 vec![
                     b.to_string(),
-                    format!("{:.2}", o.value.bandwidth().expect("bandwidth point")),
-                    o.sim_cycles.to_string(),
-                    format!("{:.1}", o.wall.as_secs_f64() * 1e3),
+                    format!("{:.2}", la.value.bandwidth().expect("bandwidth point")),
+                    la.sim_cycles.to_string(),
+                    format!("{:.1}", la.wall.as_secs_f64() * 1e3),
                 ]
             })
             .collect();
         writeln!(out, "{}", format_table(&headers, &rows)).unwrap();
         out.flush().expect("stdout flushes");
         eprintln!("{}", report.render());
+        if let Some(ledger) = &args.ledger {
+            csb_bench::append_ledger(std::path::Path::new(ledger), "explore", &labeled);
+        }
         return;
     }
     let bytes = args.bytes[0];
@@ -260,7 +276,12 @@ fn main() {
     };
     let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
     sim.enable_tracing();
+    if args.ledger.is_some() {
+        sim.enable_metrics();
+    }
+    let t0 = std::time::Instant::now();
     let s = sim.run(100_000_000).expect("run completes");
+    let wall = t0.elapsed();
 
     // Lock stdout once and buffer the report + timeline.
     let mut out = BufWriter::new(std::io::stdout().lock());
@@ -291,4 +312,23 @@ fn main() {
     let t = trace::timeline_from_events(&sim.trace_events(), 0, args.timeline, cfg.ratio);
     writeln!(out, "\n{}", t.render()).unwrap();
     out.flush().expect("stdout flushes");
+    if let Some(ledger) = &args.ledger {
+        let label = match &args.asm {
+            Some(f) => format!("explore/asm/{f}"),
+            None => format!("explore/{bytes}B/{}", args.scheme),
+        };
+        let la = LabeledArtifacts {
+            label,
+            value: PointValue::Bandwidth(s.bus.effective_bandwidth()),
+            sim_cycles: s.cycles,
+            wall,
+            seed: 0,
+            config_hash: csb_obs::hash_config(&format!("{cfg:?} {:?}", args.asm)),
+            artifacts: PointArtifacts {
+                trace_json: None,
+                metrics: Some(sim.metrics_report()),
+            },
+        };
+        csb_bench::append_ledger(std::path::Path::new(ledger), "explore", &[la]);
+    }
 }

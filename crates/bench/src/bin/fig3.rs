@@ -3,22 +3,22 @@
 //!
 //! Usage: `cargo run -p csb-bench --bin fig3 [--jobs N] [--json out.json]
 //! [--trace-out trace.json] [--metrics-out metrics.json]
-//! [--no-fast-forward]`
+//! [--ledger ledger.jsonl] [--no-fast-forward]`
 
 use std::io::{BufWriter, Write};
 
 use csb_core::experiments::fig3;
 
 const USAGE: &str = "fig3 [--jobs N] [--json out.json] [--trace-out trace.json] \
-[--metrics-out metrics.json] [--no-fast-forward]";
+[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward]";
 
 fn main() {
     csb_bench::validate_standard_args(USAGE);
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
-    let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
+    let bo = csb_bench::obs_from_args();
     let (panels, artifacts, report) =
-        fig3::run_jobs_observed(jobs, obs).expect("Figure 3 panels simulate");
+        fig3::run_jobs_observed(jobs, bo.obs).expect("Figure 3 panels simulate");
     // Lock stdout once and buffer: the tables are thousands of short
     // lines, and a per-line lock/flush dominates the print path.
     let mut out = BufWriter::new(std::io::stdout().lock());
@@ -27,7 +27,7 @@ fn main() {
     }
     out.flush().expect("stdout flushes");
     eprintln!("{}", report.render());
-    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
+    bo.emit("fig3", &artifacts);
     if let Some(path) = csb_bench::json_path_from_args() {
         csb_bench::dump_json(&path, &panels);
     }

@@ -1,0 +1,72 @@
+//! Diffs two perf ledgers and fails on regressions — the cross-run
+//! counterpart of the per-run `RunReport`.
+//!
+//! Usage: `cargo run -p csb-bench --bin ledger -- <baseline.jsonl>
+//! <current.jsonl> [--threshold 0.10] [--json out.json]`
+//!
+//! Both inputs are JSONL ledgers written by the bench binaries' `--ledger`
+//! flag. Every point in the baseline must reappear in the current ledger
+//! (matched on `bench::label#seed`, newest record wins within a file) with
+//! its simulated cycle count and flush-latency quantiles no more than
+//! `--threshold` (relative, default 0.10 = 10%) above the baseline.
+//! Missing coverage or any regressed gauge prints a report to stderr and
+//! exits 1 — the contract CI's ledger-diff step enforces against the
+//! checked-in baseline. `--json` additionally dumps the structured
+//! [`csb_obs::LedgerDiff`].
+
+use std::process::ExitCode;
+
+const USAGE: &str = "ledger <baseline.jsonl> <current.jsonl> [--threshold 0.10] [--json out.json]";
+
+fn main() -> ExitCode {
+    csb_bench::validate_args(USAGE, &["--threshold", "--json"], &[], 2);
+    let positional: Vec<String> = {
+        let mut args = std::env::args().skip(1);
+        let mut pos = Vec::new();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--threshold" | "--json" => {
+                    args.next();
+                }
+                _ if a.starts_with("--threshold=") || a.starts_with("--json=") => {}
+                _ => pos.push(a),
+            }
+        }
+        pos
+    };
+    let [baseline_path, current_path] = positional.as_slice() else {
+        csb_bench::usage_error(USAGE, "expected exactly two ledger paths");
+    };
+    let threshold = match csb_bench::flag_path_from_args("--threshold") {
+        None => 0.10,
+        Some(raw) => {
+            let raw = raw.to_string_lossy();
+            match raw.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => t,
+                _ => csb_bench::usage_error(
+                    USAGE,
+                    format!("--threshold requires a non-negative number, got {raw:?}"),
+                ),
+            }
+        }
+    };
+
+    let read_ledger = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| csb_bench::die(format!("cannot read {path}: {e}")));
+        csb_obs::parse_ledger(&text).unwrap_or_else(|e| csb_bench::die(format!("{path}: {e}")))
+    };
+    let baseline = read_ledger(baseline_path);
+    let current = read_ledger(current_path);
+
+    let diff = csb_obs::diff_ledgers(&baseline, &current, threshold);
+    eprint!("{}", diff.render());
+    if let Some(path) = csb_bench::json_path_from_args() {
+        csb_bench::dump_json(&path, &diff);
+    }
+    if diff.is_regression() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

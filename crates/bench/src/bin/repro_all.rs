@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p csb-bench --bin repro_all [--jobs N]
 //! [--trace-out trace.json] [--metrics-out metrics.json]
-//! [--no-fast-forward]`
+//! [--ledger ledger.jsonl] [--no-fast-forward]`
 //!
 //! `--jobs N` fans the simulation points of each figure out over `N`
 //! worker threads (default: all cores). The tables on stdout are
@@ -18,18 +18,18 @@ use std::io::{BufWriter, Write};
 use csb_core::experiments::{fig3, fig4, fig5};
 
 const USAGE: &str = "repro_all [--jobs N] [--trace-out trace.json] \
-[--metrics-out metrics.json] [--no-fast-forward]";
+[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward]";
 
 fn main() {
     csb_bench::validate_args(
         USAGE,
-        &["--jobs", "--trace-out", "--metrics-out"],
+        &["--jobs", "--trace-out", "--metrics-out", "--ledger"],
         csb_bench::STANDARD_BARE_FLAGS,
         0,
     );
     csb_bench::apply_fast_forward_flag();
     let jobs = csb_bench::jobs_from_args();
-    let (obs, trace_out, metrics_out) = csb_bench::obs_from_args();
+    let bo = csb_bench::obs_from_args();
     // One stdout lock + buffer for the whole reproduction; per-line
     // println! costs a lock and flush each.
     let mut out = BufWriter::new(std::io::stdout().lock());
@@ -50,11 +50,11 @@ fn main() {
     )
     .unwrap();
     let (panels, artifacts, mut report) =
-        fig3::run_jobs_observed(jobs, obs).expect("Figure 3 simulates");
+        fig3::run_jobs_observed(jobs, bo.obs).expect("Figure 3 simulates");
     for p in panels {
         writeln!(out, "{}", p.to_table()).unwrap();
     }
-    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
+    bo.emit("fig3", &artifacts);
 
     writeln!(
         out,
@@ -71,12 +71,13 @@ fn main() {
         "==================================================================\n"
     )
     .unwrap();
-    let (panels, artifacts, r4) = fig4::run_jobs_observed(jobs, obs).expect("Figure 4 simulates");
+    let (panels, artifacts, r4) =
+        fig4::run_jobs_observed(jobs, bo.obs).expect("Figure 4 simulates");
     report.merge(&r4);
     for p in panels {
         writeln!(out, "{}", p.to_table()).unwrap();
     }
-    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
+    bo.emit("fig4", &artifacts);
 
     writeln!(
         out,
@@ -93,12 +94,13 @@ fn main() {
         "==================================================================\n"
     )
     .unwrap();
-    let (panels, artifacts, r5) = fig5::run_jobs_observed(jobs, obs).expect("Figure 5 simulates");
+    let (panels, artifacts, r5) =
+        fig5::run_jobs_observed(jobs, bo.obs).expect("Figure 5 simulates");
     report.merge(&r5);
     for p in panels {
         writeln!(out, "{}", p.to_table()).unwrap();
     }
-    csb_bench::write_artifacts(&artifacts, trace_out.as_ref(), metrics_out.as_ref());
+    bo.emit("fig5", &artifacts);
     out.flush().expect("stdout flushes");
 
     eprintln!("{}", report.render());

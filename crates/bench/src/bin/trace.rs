@@ -2,7 +2,8 @@
 //! the quickest way from "that bar looks wrong" to a Perfetto timeline.
 //!
 //! Usage: `cargo run -p csb-bench --bin trace -- <point> [--trace-out
-//! trace.json] [--metrics-out metrics.json]`
+//! trace.json] [--metrics-out metrics.json] [--ledger ledger.jsonl]
+//! [--no-fast-forward]`
 //!
 //! `<point>` is a runner label like `3e/256B/CSB` (figure 3/4 bandwidth
 //! points) or `5a/4dw/CSB` (figure 5 latency points); run with `--list`
@@ -14,7 +15,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use csb_core::experiments::runner::{execute_point_observed, ObsConfig, PointSpec, PointValue};
+use csb_core::experiments::runner::{
+    execute_point_observed, LabeledArtifacts, ObsConfig, PointSpec, PointValue,
+};
 use csb_core::experiments::{fig3, fig4, fig5};
 
 /// Every point the figure harnesses enumerate, in figure order.
@@ -32,13 +35,13 @@ fn all_points() -> Vec<PointSpec> {
     specs
 }
 
-const USAGE: &str =
-    "trace <point> [--trace-out trace.json] [--metrics-out metrics.json] | trace --list";
+const USAGE: &str = "trace <point> [--trace-out trace.json] [--metrics-out metrics.json] \
+[--ledger ledger.jsonl] [--no-fast-forward] | trace --list";
 
 fn main() -> ExitCode {
     csb_bench::validate_args(
         USAGE,
-        &["--trace-out", "--metrics-out"],
+        &["--trace-out", "--metrics-out", "--ledger"],
         &["--no-fast-forward", "--list"],
         1,
     );
@@ -47,13 +50,15 @@ fn main() -> ExitCode {
         let mut pos = Vec::new();
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--trace-out" | "--metrics-out" => {
+                "--trace-out" | "--metrics-out" | "--ledger" => {
                     args.next();
                 }
-                // Accepted for uniformity with the other binaries; tracing
-                // already suppresses fast-forward, so this is a no-op here.
-                "--no-fast-forward" => {}
-                _ if a.starts_with("--trace-out=") || a.starts_with("--metrics-out=") => {}
+                // Tracing composes with fast-forward (the walk synthesizes
+                // the per-cycle events), so this genuinely switches loops.
+                "--no-fast-forward" => csb_core::set_default_fast_forward(false),
+                _ if a.starts_with("--trace-out=")
+                    || a.starts_with("--metrics-out=")
+                    || a.starts_with("--ledger=") => {}
                 "--list" => {
                     for spec in all_points() {
                         println!("{}", spec.label);
@@ -95,8 +100,8 @@ fn main() -> ExitCode {
     println!("{}", report.csb);
     if let Some(h) = report.metrics.histograms.get("csb_flush_retry_latency") {
         println!(
-            "flush retry latency: p50 {} p95 {} max {} cycles over {} flush(es)",
-            h.p50, h.p95, h.max, h.count
+            "flush retry latency: p50 {} p95 {} p99 {} max {} cycles over {} flush(es)",
+            h.p50, h.p95, h.p99, h.max, h.count
         );
     }
 
@@ -116,6 +121,18 @@ fn main() -> ExitCode {
     );
     if let Some(metrics_out) = csb_bench::flag_path_from_args("--metrics-out") {
         csb_bench::dump_json(&metrics_out, report);
+    }
+    if let Some(ledger) = csb_bench::flag_path_from_args("--ledger") {
+        let la = LabeledArtifacts {
+            label: spec.label.clone(),
+            value: outcome.value,
+            sim_cycles: outcome.sim_cycles,
+            wall: outcome.wall,
+            seed: 0,
+            config_hash: csb_obs::hash_config(&format!("{:?} {:?}", spec.cfg, spec.work)),
+            artifacts: outcome.artifacts.clone(),
+        };
+        csb_bench::append_ledger(&ledger, "trace", &[la]);
     }
     ExitCode::SUCCESS
 }

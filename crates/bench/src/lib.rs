@@ -17,14 +17,30 @@
 //! point — `trace.json` becomes `trace-3e_256B_CSB.json` — so a sweep
 //! leaves one artifact per point. The `trace` binary replays a single
 //! named figure point with both captures on.
+//!
+//! Ledger: `--ledger <file>` appends one [`LedgerRecord`] JSON line per
+//! executed point (config hash, seed, scheme, cycles, wall time, value,
+//! flush-latency quantiles) to the given JSONL file — the cross-run perf
+//! trajectory the `ledger` binary diffs for regressions. `--ledger`
+//! implies metrics capture (the records need the flush histograms), but
+//! writes no per-point metrics files unless `--metrics-out` is also
+//! given.
 
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use csb_core::experiments::runner::{LabeledArtifacts, ObsConfig};
+use csb_core::experiments::runner::{LabeledArtifacts, ObsConfig, PointValue};
+use csb_obs::LedgerRecord;
 
 /// The value-taking flags every figure binary accepts.
-pub const STANDARD_VALUE_FLAGS: &[&str] = &["--jobs", "--json", "--trace-out", "--metrics-out"];
+pub const STANDARD_VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--json",
+    "--trace-out",
+    "--metrics-out",
+    "--ledger",
+];
 
 /// The bare flags every figure binary accepts.
 pub const STANDARD_BARE_FLAGS: &[&str] = &["--no-fast-forward"];
@@ -83,7 +99,7 @@ pub fn validate_args(
 }
 
 /// [`validate_args`] with the standard figure-binary vocabulary
-/// (`--jobs`, `--json`, `--trace-out`, `--metrics-out`,
+/// (`--jobs`, `--json`, `--trace-out`, `--metrics-out`, `--ledger`,
 /// `--no-fast-forward`) and no positional arguments.
 pub fn validate_standard_args(usage: &str) {
     validate_args(usage, STANDARD_VALUE_FLAGS, STANDARD_BARE_FLAGS, 0);
@@ -116,21 +132,113 @@ pub fn flag_path_from_args(flag: &str) -> Option<PathBuf> {
     None
 }
 
-/// Parses the observability flags: `--trace-out <file>` and
-/// `--metrics-out <file>`. Returns the capture switches for the runner
-/// plus the base paths the per-point artifacts expand from.
+/// The observability and ledger flags a bench binary parsed from its
+/// command line, bundled with the capture switches they imply.
+#[derive(Debug, Clone, Default)]
+pub struct BenchObs {
+    /// Capture switches for the runner (`--ledger` forces metrics on:
+    /// ledger records need the flush-latency histograms).
+    pub obs: ObsConfig,
+    /// `--trace-out` base path for per-point Chrome traces.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out` base path for per-point metrics reports.
+    pub metrics_out: Option<PathBuf>,
+    /// `--ledger` JSONL path records are appended to.
+    pub ledger: Option<PathBuf>,
+}
+
+impl BenchObs {
+    /// Writes every requested artifact for one sweep: per-point trace and
+    /// metrics files, plus one appended ledger record per point under the
+    /// given bench name.
+    pub fn emit(&self, bench: &str, artifacts: &[LabeledArtifacts]) {
+        write_artifacts(
+            artifacts,
+            self.trace_out.as_ref(),
+            self.metrics_out.as_ref(),
+        );
+        if let Some(path) = &self.ledger {
+            append_ledger(path, bench, artifacts);
+        }
+    }
+}
+
+/// Parses the observability flags: `--trace-out <file>`,
+/// `--metrics-out <file>`, and `--ledger <file>`. Returns the capture
+/// switches for the runner plus the paths the artifacts go to.
 ///
 /// # Panics
 ///
-/// Panics if either flag is given without a path.
-pub fn obs_from_args() -> (ObsConfig, Option<PathBuf>, Option<PathBuf>) {
+/// Panics if a flag is given without a path.
+pub fn obs_from_args() -> BenchObs {
     let trace_out = flag_path_from_args("--trace-out");
     let metrics_out = flag_path_from_args("--metrics-out");
-    let obs = ObsConfig {
-        trace: trace_out.is_some(),
-        metrics: metrics_out.is_some(),
-    };
-    (obs, trace_out, metrics_out)
+    let ledger = flag_path_from_args("--ledger");
+    BenchObs {
+        obs: ObsConfig {
+            trace: trace_out.is_some(),
+            metrics: metrics_out.is_some() || ledger.is_some(),
+        },
+        trace_out,
+        metrics_out,
+        ledger,
+    }
+}
+
+/// Builds the ledger record for one executed point: identity from the
+/// label/seed/config hash, gauges from the point's value, cycle count,
+/// wall time, and (when metrics were captured) the flush-retry latency
+/// histogram.
+pub fn ledger_record(bench: &str, la: &LabeledArtifacts) -> LedgerRecord {
+    let metrics = la.artifacts.metrics.as_ref();
+    let flush = metrics.and_then(|m| m.metrics.histograms.get("csb_flush_retry_latency"));
+    LedgerRecord {
+        bench: bench.to_string(),
+        label: la.label.clone(),
+        scheme: la.label.rsplit('/').next().unwrap_or("").to_string(),
+        config_hash: la.config_hash,
+        seed: la.seed,
+        cycles: la.sim_cycles,
+        wall_us: u64::try_from(la.wall.as_micros()).unwrap_or(u64::MAX),
+        value: match la.value {
+            PointValue::Bandwidth(b) => b,
+            PointValue::Latency(c) => c as f64,
+        },
+        flush_successes: metrics.map_or(0, |m| m.csb.flush_successes),
+        bus_transactions: metrics.map_or(0, |m| m.bus.transactions),
+        flush_p50: flush.map_or(0, |h| h.p50),
+        flush_p95: flush.map_or(0, |h| h.p95),
+        flush_p99: flush.map_or(0, |h| h.p99),
+    }
+}
+
+/// Appends one [`LedgerRecord`] JSONL line per point to `path`, creating
+/// the file on first use. Appending (instead of rewriting) is what turns
+/// the ledger into a cross-run trajectory; [`csb_obs::diff_ledgers`]
+/// resolves duplicate keys newest-wins.
+///
+/// # Panics
+///
+/// Panics on I/O failure — a requested ledger that cannot be written
+/// should abort loudly.
+pub fn append_ledger(path: &Path, bench: &str, artifacts: &[LabeledArtifacts]) {
+    let mut lines = String::new();
+    for la in artifacts {
+        lines.push_str(&ledger_record(bench, la).to_jsonl_line());
+        lines.push('\n');
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+    file.write_all(lines.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot append to {}: {e}", path.display()));
+    eprintln!(
+        "appended {} ledger record(s) to {}",
+        artifacts.len(),
+        path.display()
+    );
 }
 
 /// Collapses a point label into a filename-safe token: every run of
@@ -279,6 +387,36 @@ mod tests {
         assert_eq!(super::sanitize_label("3e/256B/CSB"), "3e_256B_CSB");
         assert_eq!(super::sanitize_label("5a/4dw/comb-64"), "5a_4dw_comb_64");
         assert_eq!(super::sanitize_label("//x//"), "x");
+    }
+
+    #[test]
+    fn ledger_appends_one_parseable_record_per_point() {
+        use csb_core::experiments::runner::{LabeledArtifacts, PointArtifacts, PointValue};
+        let la = |label: &str, cycles: u64| LabeledArtifacts {
+            label: label.into(),
+            value: PointValue::Bandwidth(3.5),
+            sim_cycles: cycles,
+            wall: std::time::Duration::from_micros(250),
+            seed: 0,
+            config_hash: csb_obs::hash_config("cfg"),
+            artifacts: PointArtifacts::default(),
+        };
+        let rec = super::ledger_record("fig4", &la("4a/256B/CSB", 900));
+        assert_eq!(rec.scheme, "CSB");
+        assert_eq!(rec.key(), "fig4::4a/256B/CSB#0");
+        assert_eq!(rec.wall_us, 250);
+        assert_eq!(rec.value, 3.5);
+
+        let path = std::env::temp_dir().join("csb-bench-ledger-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        super::append_ledger(&path, "fig4", &[la("4a/256B/CSB", 900)]);
+        super::append_ledger(&path, "fig4", &[la("4a/256B/CSB", 905)]);
+        let records = csb_obs::parse_ledger(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(records.len(), 2, "appends accumulate, not overwrite");
+        assert_eq!(records[1].cycles, 905);
+        let diff = csb_obs::diff_ledgers(&records[..1], &records[1..], 0.10);
+        assert!(!diff.is_regression());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use csb_cpu::CpuConfig;
 use serde::{Deserialize, Serialize};
 
 use super::fig5::LockResidency;
-use super::runner::{self, PointSpec, PointValue, PointWork, RunReport};
+use super::runner::{
+    self, LabeledArtifacts, ObsConfig, PointSpec, PointValue, PointWork, RunReport,
+};
 use super::{ExpError, Scheme, TRANSFERS};
 use crate::config::SimConfig;
 use crate::workloads::StoreOrder;
@@ -93,6 +95,21 @@ pub fn superscalar_widths_jobs(
     dwords: usize,
     jobs: usize,
 ) -> Result<(Vec<WidthRow>, RunReport), ExpError> {
+    let (rows, _, report) = superscalar_widths_jobs_observed(dwords, jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`superscalar_widths_jobs`] with artifact capture: also returns one
+/// [`LabeledArtifacts`] per enumerated point, in enumeration order.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn superscalar_widths_jobs_observed(
+    dwords: usize,
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<WidthRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let widths = [2usize, 4, 8];
     let specs: Vec<PointSpec> = widths
         .iter()
@@ -109,7 +126,7 @@ pub fn superscalar_widths_jobs(
             ]
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = widths
         .iter()
         .zip(values.chunks(2))
@@ -119,7 +136,7 @@ pub fn superscalar_widths_jobs(
             csb_cycles: expect_lat(pair[1]),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 /// Bandwidth comparison between two CSB configurations over [`TRANSFERS`].
@@ -148,7 +165,25 @@ pub fn double_buffered() -> Result<Vec<CsbVariantRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn double_buffered_jobs(jobs: usize) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
-    csb_variant_jobs(SimConfig::default().csb_double_buffered(), "double", jobs)
+    let (rows, _, report) = double_buffered_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`double_buffered_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn double_buffered_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<CsbVariantRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
+    csb_variant_jobs(
+        SimConfig::default().csb_double_buffered(),
+        "double",
+        jobs,
+        obs,
+    )
 }
 
 /// Compares the baseline CSB against the variable-burst extension.
@@ -166,7 +201,25 @@ pub fn variable_burst() -> Result<Vec<CsbVariantRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn variable_burst_jobs(jobs: usize) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
-    csb_variant_jobs(SimConfig::default().csb_variable_burst(), "varburst", jobs)
+    let (rows, _, report) = variable_burst_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`variable_burst_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn variable_burst_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<CsbVariantRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
+    csb_variant_jobs(
+        SimConfig::default().csb_variable_burst(),
+        "varburst",
+        jobs,
+        obs,
+    )
 }
 
 /// Shared sweep for the CSB extensions: baseline vs. variant over
@@ -175,7 +228,8 @@ fn csb_variant_jobs(
     var_cfg: SimConfig,
     tag: &str,
     jobs: usize,
-) -> Result<(Vec<CsbVariantRow>, RunReport), ExpError> {
+    obs: ObsConfig,
+) -> Result<(Vec<CsbVariantRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let base_cfg = SimConfig::default();
     let specs: Vec<PointSpec> = TRANSFERS
         .iter()
@@ -186,7 +240,7 @@ fn csb_variant_jobs(
             ]
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = TRANSFERS
         .iter()
         .zip(values.chunks(2))
@@ -196,7 +250,7 @@ fn csb_variant_jobs(
             variant: expect_bw(pair[1]),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 /// One scheme's bandwidth under three bus-load models.
@@ -231,6 +285,19 @@ pub fn loaded_bus() -> Result<Vec<LoadedBusRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn loaded_bus_jobs(jobs: usize) -> Result<(Vec<LoadedBusRow>, RunReport), ExpError> {
+    let (rows, _, report) = loaded_bus_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`loaded_bus_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn loaded_bus_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<LoadedBusRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let idle_cfg = SimConfig::default();
     let approx_cfg = SimConfig::default().bus(
         csb_bus::BusConfig::multiplexed(8)
@@ -261,7 +328,7 @@ pub fn loaded_bus_jobs(jobs: usize) -> Result<(Vec<LoadedBusRow>, RunReport), Ex
             ]
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = schemes
         .iter()
         .zip(values.chunks(3))
@@ -272,7 +339,7 @@ pub fn loaded_bus_jobs(jobs: usize) -> Result<(Vec<LoadedBusRow>, RunReport), Ex
             contention: expect_bw(triple[2]),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 /// Bandwidth as a function of uncached-buffer capacity for one scheme.
@@ -304,6 +371,19 @@ pub fn buffer_capacity() -> Result<Vec<CapacityRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn buffer_capacity_jobs(jobs: usize) -> Result<(Vec<CapacityRow>, RunReport), ExpError> {
+    let (rows, _, report) = buffer_capacity_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`buffer_capacity_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn buffer_capacity_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<CapacityRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let capacities = [2usize, 4, 8, 16];
     let specs: Vec<PointSpec> = capacities
         .iter()
@@ -328,7 +408,7 @@ pub fn buffer_capacity_jobs(jobs: usize) -> Result<(Vec<CapacityRow>, RunReport)
             ]
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = capacities
         .iter()
         .zip(values.chunks(2))
@@ -338,7 +418,7 @@ pub fn buffer_capacity_jobs(jobs: usize) -> Result<(Vec<CapacityRow>, RunReport)
             full_line: expect_bw(pair[1]),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 /// CSB sequence latency as a function of the core's uncached issue rate.
@@ -368,6 +448,19 @@ pub fn uncached_issue_rate() -> Result<Vec<IssueRateRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn uncached_issue_rate_jobs(jobs: usize) -> Result<(Vec<IssueRateRow>, RunReport), ExpError> {
+    let (rows, _, report) = uncached_issue_rate_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`uncached_issue_rate_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn uncached_issue_rate_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<IssueRateRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let rates = [1usize, 2, 4];
     let specs: Vec<PointSpec> = rates
         .iter()
@@ -377,7 +470,7 @@ pub fn uncached_issue_rate_jobs(jobs: usize) -> Result<(Vec<IssueRateRow>, RunRe
             lat_spec(format!("issue/{per_cycle}/csb"), &cfg, 8, Scheme::Csb)
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = rates
         .iter()
         .zip(values)
@@ -386,7 +479,7 @@ pub fn uncached_issue_rate_jobs(jobs: usize) -> Result<(Vec<IssueRateRow>, RunRe
             csb_cycles: expect_lat(v),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 /// Store-order sensitivity of one scheme at one transfer size.
@@ -421,6 +514,19 @@ pub fn related_work() -> Result<Vec<OrderSensitivityRow>, ExpError> {
 ///
 /// Propagates simulation failures.
 pub fn related_work_jobs(jobs: usize) -> Result<(Vec<OrderSensitivityRow>, RunReport), ExpError> {
+    let (rows, _, report) = related_work_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((rows, report))
+}
+
+/// [`related_work_jobs`] with artifact capture.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn related_work_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(Vec<OrderSensitivityRow>, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let cfg = SimConfig::default();
     let schemes = [
         Scheme::Uncached { block: 8 },
@@ -454,7 +560,7 @@ pub fn related_work_jobs(jobs: usize) -> Result<(Vec<OrderSensitivityRow>, RunRe
             ]
         })
         .collect();
-    let (values, report) = runner::run_values(&specs, jobs)?;
+    let (values, artifacts, report) = runner::run_values_observed(&specs, jobs, obs)?;
     let rows = grid
         .iter()
         .zip(values.chunks(2))
@@ -465,7 +571,7 @@ pub fn related_work_jobs(jobs: usize) -> Result<(Vec<OrderSensitivityRow>, RunRe
             shuffled: expect_bw(pair[1]),
         })
         .collect();
-    Ok((rows, report))
+    Ok((rows, artifacts, report))
 }
 
 #[cfg(test)]

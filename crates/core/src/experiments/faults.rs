@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use super::runner::RunReport;
+use super::runner::{LabeledArtifacts, ObsConfig, PointArtifacts, PointValue, RunReport};
 use super::{format_table, ExpError, DWORD_BYTES};
 use crate::config::SimConfig;
 use crate::sim::{SimError, Simulator};
@@ -159,7 +159,7 @@ impl FaultSweep {
 }
 
 /// Raw outcome of a single seeded run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct PointResult {
     success: bool,
     livelock: bool,
@@ -167,6 +167,7 @@ struct PointResult {
     latency: u64,
     sim_cycles: u64,
     wall: std::time::Duration,
+    artifacts: PointArtifacts,
 }
 
 /// The backoff policy carries the point seed so jitter differs per seed.
@@ -193,6 +194,7 @@ fn run_point(
     policy: RetryPolicy,
     rate: f64,
     seed: u64,
+    obs: ObsConfig,
 ) -> Result<PointResult, ExpError> {
     let t0 = std::time::Instant::now();
     let cfg = SimConfig::default();
@@ -205,6 +207,12 @@ fn run_point(
                 .bus_error_rate(rate * 0.25)
                 .device_nack_rate(rate * 0.25),
         ));
+    }
+    if obs.trace {
+        sim.enable_tracing();
+    }
+    if obs.metrics {
+        sim.enable_metrics();
     }
     let (summary, livelock) = match sim.run(POINT_LIMIT) {
         Ok(summary) => (summary, false),
@@ -220,6 +228,10 @@ fn run_point(
         latency: latency.unwrap_or(0),
         sim_cycles: summary.cycles,
         wall: t0.elapsed(),
+        artifacts: PointArtifacts {
+            trace_json: obs.trace.then(|| sim.chrome_trace()),
+            metrics: obs.metrics.then(|| sim.metrics_report()),
+        },
     })
 }
 
@@ -241,6 +253,24 @@ pub fn run() -> Result<FaultSweep, ExpError> {
 ///
 /// As for [`run`]; the lowest-indexed failing point wins.
 pub fn run_jobs(jobs: usize) -> Result<(FaultSweep, RunReport), ExpError> {
+    let (sweep, _, report) = run_jobs_observed(jobs, ObsConfig::default())?;
+    Ok((sweep, report))
+}
+
+/// [`run_jobs`] with artifact capture: every seeded point runs with
+/// tracing and/or metrics enabled per `obs` and returns one
+/// [`LabeledArtifacts`] per point (label `faults/r<rate%>/<policy>`,
+/// distinguished per seed by [`LabeledArtifacts::seed`]), in
+/// sweep-enumeration order —
+/// the same per-point artifact contract as the figure harnesses.
+///
+/// # Errors
+///
+/// As for [`run_jobs`]; the lowest-indexed failing point wins.
+pub fn run_jobs_observed(
+    jobs: usize,
+    obs: ObsConfig,
+) -> Result<(FaultSweep, Vec<LabeledArtifacts>, RunReport), ExpError> {
     let policies = policies();
     let mut points = Vec::new();
     for (ri, &rate) in RATES.iter().enumerate() {
@@ -257,7 +287,7 @@ pub fn run_jobs(jobs: usize) -> Result<(FaultSweep, RunReport), ExpError> {
         &points,
         jobs,
         || None,
-        |slot, &(_, _, policy, rate, seed)| run_point(slot, policy, rate, seed),
+        |slot, &(_, _, policy, rate, seed)| run_point(slot, policy, rate, seed, obs),
     );
     let wall = t0.elapsed();
 
@@ -273,10 +303,33 @@ pub fn run_jobs(jobs: usize) -> Result<(FaultSweep, RunReport), ExpError> {
         capacity: wall * jobs.max(1) as u32,
         ..RunReport::default()
     };
-    for (&(ri, pi, ..), result) in points.iter().zip(results) {
+    let mut artifacts = Vec::with_capacity(points.len());
+    for (&(ri, pi, policy, rate, seed), result) in points.iter().zip(results) {
         let r = result?;
         report.busy += r.wall;
         report.sim_cycles += r.sim_cycles;
+        if let Some(point_metrics) = &r.artifacts.metrics {
+            report
+                .metrics
+                .get_or_insert_with(Default::default)
+                .merge(&point_metrics.metrics);
+        }
+        artifacts.push(LabeledArtifacts {
+            label: format!(
+                "faults/r{:02}/{}",
+                (rate * 100.0).round() as u32,
+                policy_label(policy)
+            ),
+            value: PointValue::Latency(r.latency),
+            sim_cycles: r.sim_cycles,
+            wall: r.wall,
+            seed,
+            config_hash: csb_obs::hash_config(&format!(
+                "{:?} {policy:?} rate {rate}",
+                SimConfig::default()
+            )),
+            artifacts: r.artifacts.clone(),
+        });
         cells[ri][pi].push(r);
     }
 
@@ -322,6 +375,7 @@ pub fn run_jobs(jobs: usize) -> Result<(FaultSweep, RunReport), ExpError> {
             policies: policies.iter().map(|&p| policy_label(p)).collect(),
             rows,
         },
+        artifacts,
         report,
     ))
 }
@@ -334,7 +388,7 @@ mod tests {
     fn zero_rate_always_succeeds() {
         let mut slot = None;
         for (i, &policy) in policies().iter().enumerate() {
-            let r = run_point(&mut slot, policy, 0.0, 7 + i as u64).unwrap();
+            let r = run_point(&mut slot, policy, 0.0, 7 + i as u64, ObsConfig::default()).unwrap();
             assert!(r.success, "{}: zero-fault run must succeed", i);
             assert!(!r.livelock);
             assert_eq!(r.attempts, 1, "no retries without faults");
@@ -344,7 +398,14 @@ mod tests {
     #[test]
     fn bounded_policy_gives_up_under_total_disturbance() {
         let mut slot = None;
-        let r = run_point(&mut slot, RetryPolicy::Bounded { attempts: 4 }, 0.9, 3).unwrap();
+        let r = run_point(
+            &mut slot,
+            RetryPolicy::Bounded { attempts: 4 },
+            0.9,
+            3,
+            ObsConfig::default(),
+        )
+        .unwrap();
         // Seed 3 at rate 0.9: not guaranteed to fault 4 times in a row,
         // so assert only the structural invariant — a failed bounded run
         // halts cleanly instead of livelocking.
@@ -365,7 +426,7 @@ mod tests {
             for &rate in &[0.0, 0.5, 0.9] {
                 let mut successes = 0;
                 for seed in 0..8 {
-                    if run_point(&mut slot, policy, rate, 100 + seed)
+                    if run_point(&mut slot, policy, rate, 100 + seed, ObsConfig::default())
                         .unwrap()
                         .success
                     {

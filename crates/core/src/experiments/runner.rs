@@ -81,11 +81,23 @@ impl PointArtifacts {
 }
 
 /// One point's artifacts tagged with the spec label that produced them —
-/// what the bench binaries key artifact filenames on.
+/// what the bench binaries key artifact filenames on. Also carries the
+/// point's measured value, simulated cycle count, and wall time so ledger
+/// records can be assembled from this struct alone.
 #[derive(Debug, Clone)]
 pub struct LabeledArtifacts {
     /// The spec's display label, e.g. `"3e/256B/CSB"`.
     pub label: String,
+    /// The point's measured value.
+    pub value: PointValue,
+    /// CPU cycles the point's simulation ran for.
+    pub sim_cycles: u64,
+    /// Wall-clock time the point took on its worker.
+    pub wall: Duration,
+    /// Fault-schedule seed (0 for deterministic points).
+    pub seed: u64,
+    /// FNV-1a hash of the point's machine-configuration rendering.
+    pub config_hash: u64,
     /// The captured artifacts.
     pub artifacts: PointArtifacts,
 }
@@ -420,8 +432,8 @@ impl RunReport {
         if let Some(metrics) = &self.metrics {
             if let Some(h) = metrics.histograms.get("csb_flush_retry_latency") {
                 out.push_str(&format!(
-                    "\nrunner: flush retry latency p50 {} p95 {} max {} cycles over {} flush(es)",
-                    h.p50, h.p95, h.max, h.count
+                    "\nrunner: flush retry latency p50 {} p95 {} p99 {} max {} cycles over {} flush(es)",
+                    h.p50, h.p95, h.p99, h.max, h.count
                 ));
             }
         }
@@ -526,6 +538,11 @@ pub fn run_values_observed(
         values.push(outcome.value);
         artifacts.push(LabeledArtifacts {
             label: spec.label.clone(),
+            value: outcome.value,
+            sim_cycles: outcome.sim_cycles,
+            wall: outcome.wall,
+            seed: 0,
+            config_hash: csb_obs::hash_config(&format!("{:?} {:?}", spec.cfg, spec.work)),
             artifacts: outcome.artifacts,
         });
     }
@@ -1004,7 +1021,9 @@ mod tests {
         // The report's aggregate is the sum of the per-point snapshots.
         let agg = report.metrics.as_ref().expect("aggregate metrics");
         assert_eq!(agg.histograms["csb_flush_retry_latency"].count, flushes);
-        assert!(report.render().contains("flush retry latency"));
+        let rendered = report.render();
+        assert!(rendered.contains("flush retry latency"));
+        assert!(rendered.contains(" p99 "), "{rendered}");
     }
 
     #[test]

@@ -9,7 +9,9 @@ use csb_cpu::{Cpu, CpuHorizon, CpuStats, MemPort, Pid, StallCause};
 use csb_faults::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use csb_isa::{Addr, AddressMap, AddressSpace, Program};
 use csb_mem::{AccessKind, FlatMemory, HitLevel, MemoryHierarchy, MemoryStats};
-use csb_obs::{EventKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink, Track};
+use csb_obs::{
+    EventKind, MetricsRegistry, MetricsSnapshot, TimelineEvent, TraceEvent, TraceSink, Track,
+};
 use csb_uncached::{
     ConditionalStoreBuffer, CsbError, CsbStats, PayloadBuf, PushOutcome, StoreOutcome,
     UncachedBuffer, UncachedStats,
@@ -335,6 +337,7 @@ impl Machine {
                 .expect("uncached buffer emits only legal transactions")
             else {
                 self.metrics.inc("fault_bus_errors");
+                self.metrics.timeline_mark(cpu_cycle, TimelineEvent::Fault);
                 return IssueOutcome::Faulted;
             };
             if matches!(pt.txn.kind, TxnKind::Write) && self.faults.inject(FaultKind::DeviceNack) {
@@ -342,7 +345,13 @@ impl Machine {
                 // spent carrying it, but the transaction stays queued
                 // and reissues (each carry counts in the bus stats).
                 self.metrics.inc("fault_device_nacks");
-                self.obs.emit(
+                self.metrics.timeline_mark(cpu_cycle, TimelineEvent::Fault);
+                // Stamped at the explicit grant cycle so the naive loop
+                // (where it equals the shared clock) and the fast-forward
+                // walk (where the shared clock is frozen) emit
+                // byte-identical events.
+                self.obs.emit_at(
+                    cpu_cycle,
                     Track::Bus,
                     EventKind::DeviceNack {
                         addr: pt.txn.addr.raw(),
@@ -356,6 +365,13 @@ impl Machine {
             self.progress_at = cpu_cycle + 1;
             self.metrics
                 .observe("uncached_txn_bytes", pt.txn.payload as u64);
+            self.metrics.timeline_mark(
+                cpu_cycle,
+                TimelineEvent::BusTxn {
+                    busy_cycles: (issued.completes_at - issued.addr_cycle) * self.ratio,
+                    payload: pt.txn.payload as u64,
+                },
+            );
             self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
             IssueOutcome::Accepted {
                 from_csb: false,
@@ -368,11 +384,14 @@ impl Machine {
                 .expect("CSB emits only legal transactions")
             else {
                 self.metrics.inc("fault_bus_errors");
+                self.metrics.timeline_mark(cpu_cycle, TimelineEvent::Fault);
                 return IssueOutcome::Faulted;
             };
             if matches!(pt.txn.kind, TxnKind::Write) && self.faults.inject(FaultKind::DeviceNack) {
                 self.metrics.inc("fault_device_nacks");
-                self.obs.emit(
+                self.metrics.timeline_mark(cpu_cycle, TimelineEvent::Fault);
+                self.obs.emit_at(
+                    cpu_cycle,
                     Track::Bus,
                     EventKind::DeviceNack {
                         addr: pt.txn.addr.raw(),
@@ -385,6 +404,13 @@ impl Machine {
             self.progress_at = cpu_cycle + 1;
             self.metrics
                 .observe("csb_burst_bytes", pt.txn.payload as u64);
+            self.metrics.timeline_mark(
+                cpu_cycle,
+                TimelineEvent::BusTxn {
+                    busy_cycles: (issued.completes_at - issued.addr_cycle) * self.ratio,
+                    payload: pt.txn.payload as u64,
+                },
+            );
             self.deliver(pt.txn, pt.data, issued.addr_cycle, issued.completes_at);
             IssueOutcome::Accepted {
                 from_csb: true,
@@ -461,8 +487,38 @@ impl Machine {
     /// The walk terminates: every issue spends a bus slot, which pushes
     /// `earliest_start` forward by at least one bus cycle.
     ///
+    /// # Event synthesis under tracing
+    ///
+    /// When structured tracing is enabled the walk must leave behind the
+    /// byte-identical event stream the naive loop would have: inside the
+    /// jump, the only per-cycle emissions are the stalled head op's
+    /// refusal events (`uncached.full` / `csb.busy`, one per re-attempted
+    /// cycle — `refusal` carries the prebuilt event, `None` for causes
+    /// that bump counters without emitting). Everything else is already
+    /// stamped correctly: bus spans carry explicit timestamps inside
+    /// `try_issue`, and device NACKs are stamped at the grant cycle by
+    /// [`issue_step`]. The walk therefore emits the refusal for every
+    /// skipped cycle — in nondecreasing cycle order, after any bus events
+    /// of the same cycle, matching the naive `bus_tick`-before-CPU-tick
+    /// order within each cycle — and emits nothing at a cycle the walk
+    /// stops *at*, because that cycle is ticked for real.
+    ///
     /// [`issue_step`]: Machine::issue_step
-    fn fast_forward(&mut self, target: u64, wake: DrainWake) -> u64 {
+    fn fast_forward(
+        &mut self,
+        target: u64,
+        wake: DrainWake,
+        refusal: Option<&(Track, EventKind)>,
+    ) -> u64 {
+        // First cycle whose refusal event has not been emitted yet.
+        let mut cursor = self.now;
+        let emit_refusals = |obs: &TraceSink, from: u64, to: u64| {
+            if let Some((track, kind)) = refusal {
+                for c in from..to {
+                    obs.emit_at(c, *track, kind.clone());
+                }
+            }
+        };
         let mut t = self.now;
         loop {
             let mut ready: Option<u64> = None;
@@ -480,7 +536,10 @@ impl Machine {
             let issue = (!self.ubuf.is_empty() || !self.csb.is_drained())
                 .then(|| self.bus.earliest_start(t.div_ceil(self.ratio)) * self.ratio);
             let (at, is_issue) = match (ready, issue) {
-                (None, None) => return target,
+                (None, None) => {
+                    emit_refusals(&self.obs, cursor, target);
+                    return target;
+                }
                 // Ties go to the ready event: stopping early is safe, and
                 // the real tick's own `bus_tick` performs the issue.
                 (Some(r), Some(i)) if r <= i => (r, false),
@@ -488,11 +547,18 @@ impl Machine {
                 (_, Some(i)) => (i, true),
             };
             if at >= target {
+                emit_refusals(&self.obs, cursor, target);
                 return target;
             }
             if !is_issue {
+                emit_refusals(&self.obs, cursor, at);
                 return at;
             }
+            // Refusals strictly before the grant cycle go first; the grant
+            // cycle's own refusal is emitted only if the walk continues
+            // past it (a stop at `at` means that cycle is ticked for real).
+            emit_refusals(&self.obs, cursor, at);
+            cursor = cursor.max(at);
             t = at;
             match self.issue_step(at / self.ratio, at) {
                 IssueOutcome::Accepted {
@@ -527,14 +593,22 @@ impl Machine {
                 IssueOutcome::Faulted | IssueOutcome::Nacked => {}
                 IssueOutcome::NoWork => {
                     // `peek_transaction` popped leading barriers; a
-                    // barrier-only uncached buffer just drained here.
+                    // barrier-only uncached buffer just drained here. No
+                    // bus event was produced and the loop may revisit this
+                    // cycle, so leave the cursor for the range emissions.
                     match wake {
                         DrainWake::Drained if self.io_drained() => return at + 1,
                         DrainWake::UncachedDrained if self.ubuf.is_drained() => return at,
                         _ => {}
                     }
+                    continue;
                 }
             }
+            // The walk continues past the grant cycle: the naive loop's
+            // CPU tick at `at` would still have been refused, after the
+            // grant's bus events.
+            emit_refusals(&self.obs, cursor, at + 1);
+            cursor = at + 1;
         }
     }
 }
@@ -645,11 +719,21 @@ impl MemPort for Machine {
         let outcome = self.csb.conditional_flush(pid, addr, expected);
         if self.csb.fault_disturbs() != disturbs_before {
             self.metrics.inc("fault_flush_disturbs");
+            self.metrics.timeline_mark(self.now, TimelineEvent::Fault);
         }
         match outcome {
             csb_uncached::FlushOutcome::Success => self.futile_flushes = 0,
             csb_uncached::FlushOutcome::Fail => self.futile_flushes += 1,
         }
+        // Flushes only happen in real CPU ticks (never mid-jump), so
+        // `self.now` stamps the same window on both simulation loops.
+        self.metrics.timeline_mark(
+            self.now,
+            match outcome {
+                csb_uncached::FlushOutcome::Success => TimelineEvent::FlushSuccess,
+                csb_uncached::FlushOutcome::Fail => TimelineEvent::FlushFailure,
+            },
+        );
         if self.metrics.is_enabled() {
             match outcome {
                 csb_uncached::FlushOutcome::Success => {
@@ -1021,9 +1105,10 @@ impl Simulator {
     /// pipeline is stalled or drained and no bus slot or uncached
     /// completion falls in the gap — bulk-updating cycle counters and
     /// stall statistics so every observable result (summary, stats,
-    /// metrics) is identical to ticking cycle by cycle. Fast-forward is
-    /// automatically suppressed while structured tracing is enabled:
-    /// per-stall-cycle trace events cannot be bulk-replayed.
+    /// metrics) is identical to ticking cycle by cycle. Structured
+    /// tracing composes with fast-forward: the walk synthesizes the
+    /// per-cycle refusal events a naive loop would have emitted inside
+    /// each jump, so the exported trace is byte-identical either way.
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
     }
@@ -1051,7 +1136,7 @@ impl Simulator {
     /// that is safe — the real tick's `bus_tick` re-entry is a no-op for
     /// a spent slot, and no stall cycles are skipped.
     fn try_fast_forward(&mut self, cap: u64) -> bool {
-        if !self.fast_forward || self.machine.obs.is_enabled() {
+        if !self.fast_forward {
             return false;
         }
         let now = self.cpu.now();
@@ -1087,7 +1172,33 @@ impl Simulator {
                 None => DrainWake::None,
             }
         };
-        let resume = self.machine.fast_forward(target, drain_wake);
+        // The per-cycle event the naive loop's refused head-op re-attempt
+        // would emit during each skipped cycle, prebuilt so the walk can
+        // synthesize the identical stream (`CsbFlushWait` and `Membar`
+        // stalls bump counters without emitting; a halted CPU attempts
+        // nothing).
+        let refusal = if self.machine.obs.is_enabled() && !self.cpu.halted() {
+            match stall {
+                Some(StallCause::UncachedStoreFull | StallCause::UncachedLoadFull) => {
+                    self.cpu.head_addr().map(|addr| {
+                        (
+                            Track::Uncached,
+                            EventKind::UncachedFull { addr: addr.raw() },
+                        )
+                    })
+                }
+                Some(StallCause::CsbStoreBusy) => self
+                    .cpu
+                    .head_addr()
+                    .map(|addr| (Track::Csb, EventKind::CsbBusy { addr: addr.raw() })),
+                Some(StallCause::CsbFlushWait | StallCause::Membar) | None => None,
+            }
+        } else {
+            None
+        };
+        let resume = self
+            .machine
+            .fast_forward(target, drain_wake, refusal.as_ref());
         if resume <= now {
             return false;
         }

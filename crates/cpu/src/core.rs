@@ -21,7 +21,7 @@ use std::ops::{Index, IndexMut};
 
 use csb_isa::{Addr, AddressSpace, Cond, Inst, InstKind, Operand, Program, RegRef};
 use csb_mem::AccessKind;
-use csb_obs::{EventKind, MetricsRegistry, TraceSink, Track};
+use csb_obs::{EventKind, MetricsRegistry, TimelineEvent, TraceSink, Track};
 
 use crate::config::CpuConfig;
 use crate::context::CpuContext;
@@ -1283,6 +1283,7 @@ impl Cpu {
 
         // Bookkeeping.
         self.stats.retired += 1;
+        self.metrics.timeline_mark(now, TimelineEvent::Retired);
         match e.inst.kind() {
             InstKind::Load => {
                 self.stats.loads += 1;
@@ -1587,6 +1588,14 @@ impl Cpu {
     /// replay committed work.
     pub fn pipeline_empty(&self) -> bool {
         self.rob.is_empty() && self.fetch_q.is_empty()
+    }
+
+    /// The resolved address of the ROB head's memory op, if any — the
+    /// address the naive loop's per-cycle refusal events
+    /// (`uncached.full` / `csb.busy`) carry, which the fast-forward walk
+    /// needs to synthesize those events inside a jump.
+    pub fn head_addr(&self) -> Option<Addr> {
+        self.rob.front().and_then(|e| e.addr)
     }
 
     /// `true` when retirement is currently stalled on a membar waiting for

@@ -16,6 +16,13 @@
 //!   trace-event JSON, loadable directly in `ui.perfetto.dev`, with one
 //!   track per agent (CPU pipeline, CSB, uncached buffer, bus master,
 //!   foreign traffic).
+//! * [`Timeline`] — a fixed-capacity ring of per-window activity counters
+//!   (bus occupancy, flush outcomes, faults, retirement), fed identically
+//!   by the naive loop and the fast-forward walk and exported as the
+//!   `timeline` section of [`MetricsSnapshot`].
+//! * [`LedgerRecord`] / [`diff_ledgers`] — the append-only JSONL perf
+//!   ledger bench binaries write one record per point into, and the diff
+//!   that flags cycle-count or flush-latency regressions between runs.
 //!
 //! Time is always the **CPU cycle** clock (one trace microsecond per CPU
 //! cycle in the export). Components clocked in bus cycles attach through
@@ -49,10 +56,19 @@
 
 mod chrome;
 mod event;
+mod ledger;
 mod metrics;
 mod sink;
+mod timeline;
 
 pub use chrome::chrome_trace_json;
 pub use event::{EventKind, TraceEvent, Track};
+pub use ledger::{
+    diff_ledgers, hash_config, parse_ledger, parse_record, LedgerDiff, LedgerRecord,
+    LedgerRegression,
+};
 pub use metrics::{BucketCount, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use sink::TraceSink;
+pub use timeline::{
+    Timeline, TimelineEvent, TimelineSnapshot, WindowStats, TIMELINE_BASE_WINDOW, TIMELINE_WINDOWS,
+};

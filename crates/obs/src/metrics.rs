@@ -6,6 +6,8 @@ use std::rc::Rc;
 
 use serde::Serialize;
 
+use crate::timeline::{Timeline, TimelineEvent, TimelineSnapshot};
+
 /// Number of histogram buckets: one for zero plus one per power of two.
 const BUCKETS: usize = 65;
 
@@ -113,7 +115,8 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
-    /// A serializable summary (p50/p95 are bucket upper-bound estimates).
+    /// A serializable summary (p50/p95/p99 are bucket upper-bound
+    /// estimates).
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -122,6 +125,7 @@ impl Histogram {
             max: self.max,
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             buckets: self
                 .buckets
                 .iter()
@@ -161,6 +165,8 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// 95th percentile, as a bucket upper-bound estimate clamped to `max`.
     pub p95: u64,
+    /// 99th percentile, as a bucket upper-bound estimate clamped to `max`.
+    pub p99: u64,
     /// The non-empty buckets, in ascending `le` order.
     pub buckets: Vec<BucketCount>,
 }
@@ -175,29 +181,84 @@ impl HistogramSummary {
         }
     }
 
-    /// Folds another summary into this one, re-deriving the quantile
-    /// estimates from the merged buckets.
+    /// Folds another summary into this one. The raw bucket counts are
+    /// merged key-by-key on their exact `le` bounds — never re-bucketed
+    /// through [`Histogram::bucket_index`], which would reinterpret the
+    /// upper-bound *estimates* as observations — and the quantile
+    /// estimates are re-derived from the merged counts, so
+    /// `merge(a, b)` equals the summary of the union histogram exactly.
     pub fn merge(&mut self, other: &HistogramSummary) {
-        let mut h = Histogram::default();
-        for b in self.buckets.iter().chain(other.buckets.iter()) {
-            h.buckets[Histogram::bucket_index(b.le)] += b.n;
+        let mut merged: Vec<BucketCount> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let next = match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(a), Some(b)) if a.le == b.le => {
+                    i += 1;
+                    j += 1;
+                    BucketCount {
+                        le: a.le,
+                        n: a.n + b.n,
+                    }
+                }
+                (Some(a), Some(b)) if a.le < b.le => {
+                    i += 1;
+                    *a
+                }
+                (Some(_), Some(b)) => {
+                    j += 1;
+                    *b
+                }
+                (Some(a), None) => {
+                    i += 1;
+                    *a
+                }
+                (None, Some(b)) => {
+                    j += 1;
+                    *b
+                }
+                (None, None) => unreachable!("loop condition guarantees a bucket remains"),
+            };
+            merged.push(next);
         }
-        h.count = self.count + other.count;
-        h.sum = self.sum.saturating_add(other.sum);
-        h.max = self.max.max(other.max);
-        h.min = match (self.count, other.count) {
+        self.min = match (self.count, other.count) {
             (0, _) => other.min,
             (_, 0) => self.min,
             _ => self.min.min(other.min),
         };
-        *self = h.summary();
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.p50 = bucket_quantile(&merged, self.count, self.max, 0.50);
+        self.p95 = bucket_quantile(&merged, self.count, self.max, 0.95);
+        self.p99 = bucket_quantile(&merged, self.count, self.max, 0.99);
+        self.buckets = merged;
     }
+}
+
+/// The `q`-quantile upper-bound estimate over an ascending bucket list —
+/// the same ranked walk as [`Histogram::quantile`], applied to merged
+/// [`BucketCount`]s.
+fn bucket_quantile(buckets: &[BucketCount], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for b in buckets {
+        seen += b.n;
+        if seen >= rank {
+            return b.le.min(max);
+        }
+    }
+    max
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    timeline: Timeline,
 }
 
 /// A cloneable handle into one shared set of named counters and
@@ -253,6 +314,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Accumulates `event` into the registry's windowed timeline at
+    /// `cycle` (CPU cycles). Both simulation loops call this from the
+    /// same component sites, so fast-forward and naive runs build
+    /// identical timelines by construction.
+    #[inline]
+    pub fn timeline_mark(&self, cycle: u64, event: TimelineEvent) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().timeline.record(cycle, event);
+        }
+    }
+
     /// The named counter's current value (0 if absent or disabled).
     pub fn counter(&self, name: &str) -> u64 {
         self.inner
@@ -284,6 +356,7 @@ impl MetricsRegistry {
                         .iter()
                         .map(|(&k, h)| (k.to_string(), h.summary()))
                         .collect(),
+                    timeline: inner.timeline.snapshot(),
                 }
             }
         }
@@ -298,16 +371,20 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Windowed over-time activity profile.
+    pub timeline: TimelineSnapshot,
 }
 
 impl MetricsSnapshot {
-    /// `true` if the snapshot holds no counters and no histograms.
+    /// `true` if the snapshot holds no counters, no histograms, and no
+    /// timeline activity.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.timeline.is_empty()
     }
 
     /// Folds another snapshot into this one: counters add, histograms
-    /// merge bucket-wise with re-derived quantile estimates.
+    /// merge bucket-wise with re-derived quantile estimates, and the
+    /// timelines fold at the wider window width.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -320,6 +397,7 @@ impl MetricsSnapshot {
                 }
             }
         }
+        self.timeline.merge(&other.timeline);
     }
 }
 
@@ -421,13 +499,43 @@ mod tests {
         }
         let mut s = sa.summary();
         s.merge(&sb.summary());
-        let expect = both.summary();
-        assert_eq!(s.count, expect.count);
-        assert_eq!(s.sum, expect.sum);
-        assert_eq!(s.min, expect.min);
-        assert_eq!(s.max, expect.max);
-        assert_eq!(s.p50, expect.p50);
-        assert_eq!(s.buckets, expect.buckets);
+        assert_eq!(s, both.summary());
+    }
+
+    #[test]
+    fn summary_merge_equals_histogram_of_union() {
+        // Pin merge(a, b) == summary of the union histogram on every
+        // derived field — p50/p95/p99 included — across skewed splits,
+        // zero-heavy sets, an empty side, and cross-bucket spreads.
+        let cases: [(&[u64], &[u64]); 5] = [
+            (&[1, 5, 9], &[0, 100, 3]),
+            (&[0, 0, 0, 0], &[1]),
+            (&[], &[7, 7, 7, 1 << 40]),
+            (&[2; 99], &[1 << 20]),
+            (&[1, 2, 4, 8, 16, 32, 64, 128], &[3, 5, 1000, u64::MAX]),
+        ];
+        for (xs, ys) in cases {
+            let (mut a, mut b, mut union) = (
+                Histogram::default(),
+                Histogram::default(),
+                Histogram::default(),
+            );
+            for &v in xs {
+                a.observe(v);
+                union.observe(v);
+            }
+            for &v in ys {
+                b.observe(v);
+                union.observe(v);
+            }
+            let mut s = a.summary();
+            s.merge(&b.summary());
+            assert_eq!(s, union.summary(), "union of {xs:?} and {ys:?}");
+            // And the symmetric merge.
+            let mut s = b.summary();
+            s.merge(&a.summary());
+            assert_eq!(s, union.summary(), "union of {ys:?} and {xs:?}");
+        }
     }
 
     #[test]

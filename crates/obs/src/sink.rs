@@ -118,6 +118,22 @@ impl TraceSink {
         }
     }
 
+    /// Records an instant event at an explicit CPU cycle, bypassing the
+    /// shared clock. The fast-forward walk uses this to synthesize the
+    /// per-cycle events the naive loop would have emitted inside a jump
+    /// without repeatedly resetting the shared clock.
+    #[inline]
+    pub fn emit_at(&self, cycle: u64, track: Track, kind: EventKind) {
+        if let Some(s) = &self.shared {
+            s.events.borrow_mut().push(TraceEvent {
+                cycle,
+                dur: 0,
+                track,
+                kind,
+            });
+        }
+    }
+
     /// Records a span of `dur` caller cycles starting at caller cycle
     /// `cycle`; both are rescaled onto the CPU-cycle timeline.
     #[inline]
@@ -196,6 +212,19 @@ mod tests {
         assert_eq!((ev[1].cycle, ev[1].dur), (3, 0));
         // Scales compose; a zero scale is clamped to 1.
         assert_eq!(bus.scaled(2).scaled(0).scale, 12);
+    }
+
+    #[test]
+    fn emit_at_stamps_explicit_unscaled_cycles() {
+        let sink = TraceSink::enabled();
+        sink.set_now(3);
+        // The explicit cycle wins over the shared clock, and a scaled
+        // handle does not rescale it (it is already in CPU cycles).
+        sink.scaled(6)
+            .emit_at(17, Track::Csb, EventKind::CsbBusy { addr: 0x40 });
+        let ev = sink.snapshot();
+        assert_eq!((ev[0].cycle, ev[0].dur), (17, 0));
+        TraceSink::disabled().emit_at(17, Track::Csb, EventKind::CsbBusy { addr: 0x40 });
     }
 
     #[test]

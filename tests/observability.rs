@@ -12,8 +12,9 @@ use csb_core::experiments::fig5::{self, LockResidency};
 use csb_core::experiments::runner::{
     execute_point_observed, run_values_observed, ObsConfig, PointSpec, PointWork,
 };
-use csb_core::experiments::Scheme;
-use csb_core::SimConfig;
+use csb_core::experiments::{throughput, Scheme};
+use csb_core::{workloads, FaultConfig, SimConfig, Simulator};
+use csb_isa::Program;
 use csb_obs::Track;
 use serde_json::Value;
 
@@ -196,6 +197,124 @@ fn disabled_observability_keeps_tables_identical() {
         serde_json::to_string(&observed).unwrap()
     );
     assert!(artifacts.iter().all(|la| la.artifacts.is_empty()));
+}
+
+/// Runs `program` traced + metered through both loops and asserts the
+/// exported Chrome trace and the metrics snapshot are byte-identical.
+/// Returns (fast-forward simulator, cycles simulated, ticks it took).
+fn assert_traced_identical(
+    cfg: &SimConfig,
+    program: &Program,
+    faults: Option<FaultConfig>,
+) -> (Simulator, u64, u64) {
+    let mut ff = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    ff.set_fast_forward(true);
+    let mut naive = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    naive.set_fast_forward(false);
+    for sim in [&mut ff, &mut naive] {
+        sim.enable_tracing();
+        sim.enable_metrics();
+        sim.set_faults(faults);
+    }
+    let a = ff.run(50_000_000).expect("ff run completes");
+    let b = naive.run(50_000_000).expect("naive run completes");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "run summaries must match"
+    );
+    assert_eq!(
+        ff.chrome_trace(),
+        naive.chrome_trace(),
+        "traces must be byte-identical"
+    );
+    assert_eq!(
+        serde_json::to_string(&ff.metrics_snapshot()).unwrap(),
+        serde_json::to_string(&naive.metrics_snapshot()).unwrap(),
+        "metrics snapshots (timeline included) must be byte-identical"
+    );
+    let ticks = ff.ticks();
+    (ff, a.cycles, ticks)
+}
+
+#[test]
+fn fast_forward_trace_byte_identical_on_csb_active_point() {
+    // The throughput bench's CSB-active shape (4along/16KB/CSB): the bus
+    // is occupied nearly end to end, so almost every traced cycle inside
+    // the run is bridged by the walk — the events must be synthesized,
+    // not ticked.
+    let spec = throughput::csb_active_point();
+    assert_eq!(spec.label, "4along/16KB/CSB");
+    let csb_core::experiments::runner::PointWork::Bandwidth { transfer, .. } = spec.work else {
+        panic!("csb-active point is a bandwidth point");
+    };
+    let program =
+        workloads::store_bandwidth(transfer, &spec.cfg, workloads::StorePath::CsbOutlined)
+            .expect("workload builds");
+    let (_, cycles, ticks) = assert_traced_identical(&spec.cfg, &program, None);
+    assert!(
+        ticks * 4 < cycles,
+        "traced walk must still skip most cycles (ticked {ticks} of {cycles})"
+    );
+}
+
+#[test]
+fn fast_forward_trace_byte_identical_under_seeded_faults() {
+    // Device NACK reissues, bus errors, and flush disturbs all emit (or
+    // count) inside jumps; the synthesized stream must replay the
+    // schedule event-for-event.
+    let cfg = SimConfig::default().frequency_ratio(8);
+    let faults = FaultConfig::new(0x5eed)
+        .bus_error_rate(0.15)
+        .device_nack_rate(0.30)
+        .flush_disturb_rate(0.15)
+        .max_consecutive(8);
+    for path in [workloads::StorePath::Uncached, workloads::StorePath::Csb] {
+        let program = workloads::store_bandwidth(1024, &cfg, path).expect("workload builds");
+        let (ff, cycles, ticks) = assert_traced_identical(&cfg, &program, Some(faults));
+        assert!(ticks < cycles, "faulted run must still fast-forward");
+        let snap = ff.metrics_snapshot();
+        let injected: u64 = [
+            "fault_bus_errors",
+            "fault_device_nacks",
+            "fault_flush_disturbs",
+        ]
+        .iter()
+        .map(|k| snap.counters.get(*k).copied().unwrap_or(0))
+        .sum();
+        assert!(injected > 0, "fault schedule must actually fire ({path:?})");
+    }
+}
+
+#[test]
+fn timeline_window_sums_match_run_totals() {
+    // The timeline's defining invariant: at any window resolution, the
+    // per-window stats sum exactly to the run totals — on both loops.
+    let spec = throughput::csb_active_point();
+    let csb_core::experiments::runner::PointWork::Bandwidth { transfer, .. } = spec.work else {
+        panic!("csb-active point is a bandwidth point");
+    };
+    let program =
+        workloads::store_bandwidth(transfer, &spec.cfg, workloads::StorePath::CsbOutlined)
+            .expect("workload builds");
+    for fast_forward in [true, false] {
+        let mut sim = Simulator::new(spec.cfg.clone(), program.clone()).expect("config valid");
+        sim.set_fast_forward(fast_forward);
+        sim.enable_metrics();
+        let summary = sim.run(50_000_000).expect("run completes");
+        let timeline = sim.metrics_snapshot().timeline;
+        assert!(
+            timeline.windows.len() > 1,
+            "a >10k-cycle run spans multiple windows"
+        );
+        let totals = timeline.totals();
+        assert_eq!(totals.bus_txns, summary.bus.transactions);
+        assert_eq!(totals.flush_successes, summary.csb.flush_successes);
+        assert_eq!(totals.flush_failures, summary.csb.flush_failures);
+        assert_eq!(totals.retired, summary.cpu.retired);
+        assert_eq!(totals.faults, 0, "fault-free run");
+        assert!(totals.bus_busy_cycles > 0 && totals.bus_payload_bytes > 0);
+    }
 }
 
 #[test]
