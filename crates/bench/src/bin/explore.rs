@@ -69,7 +69,7 @@ impl Default for Args {
 const USAGE: &str = "explore [--bus mux|split] [--width N] [--line N] [--ratio N] \
 [--turnaround N] [--delay N] [--scheme none|16|32|64|128|r10k|ppc620|csb] \
 [--bytes N[,N...]] [--jobs N] [--timeline N] [--asm FILE] [--ledger FILE] \
-[--no-fast-forward]";
+[--no-fast-forward] [--cache-dir DIR] [--no-cache] [--snapshot-every N]";
 
 fn parse_args() -> Args {
     let mut args = Args::default();
@@ -112,6 +112,12 @@ fn parse_args() -> Args {
             "--asm" => args.asm = Some(val("--asm")),
             "--ledger" => args.ledger = Some(val("--ledger")),
             "--no-fast-forward" => csb_core::set_default_fast_forward(false),
+            // Consumed by apply_cache_flags (which re-reads the raw
+            // command line); only the values must be skipped here.
+            "--cache-dir" | "--snapshot-every" => {
+                val(&flag);
+            }
+            "--no-cache" => {}
             other => csb_bench::usage_error(USAGE, format!("unknown flag {other}")),
         }
     }
@@ -138,6 +144,7 @@ fn scheme_from_flag(flag: &str, line: usize) -> Scheme {
 
 fn main() {
     let args = parse_args();
+    csb_bench::apply_cache_flags();
     let bus = match args.bus.as_str() {
         "mux" => BusConfig::multiplexed(args.width),
         "split" => BusConfig::split(args.width),

@@ -10,11 +10,13 @@ use std::io::{BufWriter, Write};
 use csb_core::experiments::fig4;
 
 const USAGE: &str = "fig4 [--jobs N] [--json out.json] [--trace-out trace.json] \
-[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward]";
+[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward] \
+[--cache-dir DIR] [--no-cache] [--snapshot-every N]";
 
 fn main() {
     csb_bench::validate_standard_args(USAGE);
     csb_bench::apply_fast_forward_flag();
+    csb_bench::apply_cache_flags();
     let jobs = csb_bench::jobs_from_args();
     let bo = csb_bench::obs_from_args();
     let (panels, artifacts, report) =

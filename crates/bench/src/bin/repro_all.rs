@@ -18,16 +18,25 @@ use std::io::{BufWriter, Write};
 use csb_core::experiments::{fig3, fig4, fig5};
 
 const USAGE: &str = "repro_all [--jobs N] [--trace-out trace.json] \
-[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward]";
+[--metrics-out metrics.json] [--ledger ledger.jsonl] [--no-fast-forward] \
+[--cache-dir DIR] [--no-cache] [--snapshot-every N]";
 
 fn main() {
     csb_bench::validate_args(
         USAGE,
-        &["--jobs", "--trace-out", "--metrics-out", "--ledger"],
+        &[
+            "--jobs",
+            "--trace-out",
+            "--metrics-out",
+            "--ledger",
+            "--cache-dir",
+            "--snapshot-every",
+        ],
         csb_bench::STANDARD_BARE_FLAGS,
         0,
     );
     csb_bench::apply_fast_forward_flag();
+    csb_bench::apply_cache_flags();
     let jobs = csb_bench::jobs_from_args();
     let bo = csb_bench::obs_from_args();
     // One stdout lock + buffer for the whole reproduction; per-line

@@ -36,29 +36,44 @@ fn all_points() -> Vec<PointSpec> {
 }
 
 const USAGE: &str = "trace <point> [--trace-out trace.json] [--metrics-out metrics.json] \
-[--ledger ledger.jsonl] [--no-fast-forward] | trace --list";
+[--ledger ledger.jsonl] [--no-fast-forward] [--cache-dir DIR] [--no-cache] \
+[--snapshot-every N] | trace --list";
 
 fn main() -> ExitCode {
     csb_bench::validate_args(
         USAGE,
-        &["--trace-out", "--metrics-out", "--ledger"],
-        &["--no-fast-forward", "--list"],
+        &[
+            "--trace-out",
+            "--metrics-out",
+            "--ledger",
+            "--cache-dir",
+            "--snapshot-every",
+        ],
+        &["--no-fast-forward", "--list", "--no-cache"],
         1,
     );
+    // Trace replays always capture artifacts, so the point itself is
+    // never served from cache — but --snapshot-every still dumps
+    // restorable mid-run snapshots under <cache-dir>/autosnap/.
+    csb_bench::apply_cache_flags();
     let positional: Vec<String> = {
         let mut args = std::env::args().skip(1);
         let mut pos = Vec::new();
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--trace-out" | "--metrics-out" | "--ledger" => {
+                "--trace-out" | "--metrics-out" | "--ledger" | "--cache-dir"
+                | "--snapshot-every" => {
                     args.next();
                 }
+                "--no-cache" => {}
                 // Tracing composes with fast-forward (the walk synthesizes
                 // the per-cycle events), so this genuinely switches loops.
                 "--no-fast-forward" => csb_core::set_default_fast_forward(false),
                 _ if a.starts_with("--trace-out=")
                     || a.starts_with("--metrics-out=")
-                    || a.starts_with("--ledger=") => {}
+                    || a.starts_with("--ledger=")
+                    || a.starts_with("--cache-dir=")
+                    || a.starts_with("--snapshot-every=") => {}
                 "--list" => {
                     for spec in all_points() {
                         println!("{}", spec.label);

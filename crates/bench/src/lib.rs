@@ -25,6 +25,15 @@
 //! implies metrics capture (the records need the flush histograms), but
 //! writes no per-point metrics files unless `--metrics-out` is also
 //! given.
+//!
+//! Caching: `--cache-dir <dir>` makes every sweep incremental — each
+//! completed point is stored content-addressed by (configuration,
+//! workload, seed, snapshot-format version), and a later run serves
+//! unchanged points from the store instead of simulating them (the
+//! `RunReport` on stderr counts hits/misses/invalidations). `--no-cache`
+//! disables the store even when a script passes `--cache-dir`, and
+//! `--snapshot-every N` additionally dumps a restorable machine snapshot
+//! every N CPU cycles of every point into `<dir>/autosnap/`.
 
 use std::fs;
 use std::io::Write;
@@ -40,10 +49,12 @@ pub const STANDARD_VALUE_FLAGS: &[&str] = &[
     "--trace-out",
     "--metrics-out",
     "--ledger",
+    "--cache-dir",
+    "--snapshot-every",
 ];
 
 /// The bare flags every figure binary accepts.
-pub const STANDARD_BARE_FLAGS: &[&str] = &["--no-fast-forward"];
+pub const STANDARD_BARE_FLAGS: &[&str] = &["--no-fast-forward", "--no-cache"];
 
 /// Prints a one-line error and exits with status 2 (bad invocation).
 /// These binaries are user-facing harnesses: a mistyped flag or an
@@ -291,6 +302,53 @@ pub fn write_artifacts(
             let path = artifact_path(base, &la.label);
             dump_json(&path, metrics);
         }
+    }
+}
+
+/// Applies the caching and snapshot flags:
+///
+/// * `--cache-dir <dir>` opens (creating if needed) the content-addressed
+///   point cache at `dir` and installs it process-wide — subsequent
+///   sweeps serve unchanged points from the cache instead of simulating
+///   them, so a warm re-run is pure replay and an edited configuration
+///   re-runs only its own points. `--no-cache` wins over `--cache-dir`
+///   (useful for scripts that pass a standard flag set).
+/// * `--snapshot-every <cycles>` additionally dumps a restorable
+///   full-machine snapshot every N CPU cycles of every simulated point
+///   into `<dir>/autosnap/`, for post-mortem dissection of long or
+///   misbehaving points. It requires `--cache-dir` (the snapshots need a
+///   store to land in).
+///
+/// Exits with status 2 on an unusable directory or count.
+pub fn apply_cache_flags() {
+    let no_cache = std::env::args().skip(1).any(|a| a == "--no-cache");
+    let cache_dir = flag_path_from_args("--cache-dir");
+    let every = flag_path_from_args("--snapshot-every");
+    if no_cache {
+        return;
+    }
+    let Some(dir) = cache_dir else {
+        if every.is_some() {
+            die("--snapshot-every requires --cache-dir (snapshots are written under it)");
+        }
+        return;
+    };
+    let cache = csb_core::cache::PointCache::open(&dir)
+        .unwrap_or_else(|e| die(format!("cannot open cache dir {}: {e}", dir.display())));
+    csb_core::cache::set_active(Some(std::sync::Arc::new(cache)));
+    if let Some(every) = every {
+        let every: u64 = every
+            .to_str()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| die("--snapshot-every requires a positive cycle count"));
+        let snap_dir = dir.join("autosnap");
+        fs::create_dir_all(&snap_dir)
+            .unwrap_or_else(|e| die(format!("cannot create {}: {e}", snap_dir.display())));
+        csb_core::snapshot::set_autosnap(Some(csb_core::snapshot::AutosnapConfig {
+            every,
+            dir: snap_dir,
+        }));
     }
 }
 

@@ -149,6 +149,46 @@ impl BusStats {
         self.foreign_cycles += cycles;
     }
 
+    /// Serializes every counter.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("bus_stats");
+        w.put_u64(self.transactions);
+        w.put_u64(self.bytes_on_bus);
+        w.put_u64(self.payload_bytes);
+        w.put_u64(self.busy_cycles);
+        w.put_opt_u64(self.first_addr_cycle);
+        w.put_opt_u64(self.last_data_cycle);
+        for c in &self.size_histogram.counts {
+            w.put_u64(*c);
+        }
+        w.put_u64(self.foreign_transactions);
+        w.put_u64(self.foreign_cycles);
+    }
+
+    /// Restores counters written by [`BusStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("bus_stats")?;
+        self.transactions = r.take_u64()?;
+        self.bytes_on_bus = r.take_u64()?;
+        self.payload_bytes = r.take_u64()?;
+        self.busy_cycles = r.take_u64()?;
+        self.first_addr_cycle = r.take_opt_u64()?;
+        self.last_data_cycle = r.take_opt_u64()?;
+        for c in &mut self.size_histogram.counts {
+            *c = r.take_u64()?;
+        }
+        self.foreign_transactions = r.take_u64()?;
+        self.foreign_cycles = r.take_u64()?;
+        Ok(())
+    }
+
     /// Bus cycles from the first address cycle through the last data cycle,
     /// inclusive. Zero if no transaction was issued.
     pub fn window_cycles(&self) -> u64 {

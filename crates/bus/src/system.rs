@@ -366,6 +366,90 @@ impl SystemBus {
             log.clear();
         }
     }
+
+    /// Serializes the bus timing state, statistics, fault counter, and
+    /// (when enabled) the transaction log. The trace sink and fault hook
+    /// are wiring, not state — the restoring side re-installs them.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("bus");
+        w.put_u64(self.next_free);
+        w.put_opt_u64(self.last_addr);
+        w.put_opt_u64(self.last_completes);
+        w.put_f64(self.foreign_debt);
+        self.stats.save_state(w);
+        w.put_u64(self.fault_errors);
+        match &self.log {
+            None => w.put_bool(false),
+            Some(log) => {
+                w.put_bool(true);
+                w.put_usize(log.len());
+                for e in log {
+                    w.put_u64(e.addr_cycle);
+                    w.put_u64(e.completes_at);
+                    w.put_usize(e.size);
+                    w.put_u8(match e.kind {
+                        crate::transaction::TxnKind::Write => 0,
+                        crate::transaction::TxnKind::Read => 1,
+                    });
+                    w.put_bool(e.foreign);
+                    w.put_u64(e.tag);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`SystemBus::save_state`] into a bus
+    /// with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        self.reset();
+        r.take_tag("bus")?;
+        self.next_free = r.take_u64()?;
+        self.last_addr = r.take_opt_u64()?;
+        self.last_completes = r.take_opt_u64()?;
+        self.foreign_debt = r.take_f64()?;
+        self.stats.restore_state(r)?;
+        self.fault_errors = r.take_u64()?;
+        if r.take_bool()? {
+            let n = r.take_usize()?;
+            let log = self.log.get_or_insert_with(Vec::new);
+            log.clear();
+            log.reserve(n);
+            for _ in 0..n {
+                let addr_cycle = r.take_u64()?;
+                let completes_at = r.take_u64()?;
+                let size = r.take_usize()?;
+                let kind = match r.take_u8()? {
+                    0 => crate::transaction::TxnKind::Write,
+                    1 => crate::transaction::TxnKind::Read,
+                    b => {
+                        return Err(csb_snap::SnapshotError::Corrupt(format!(
+                            "bus log kind byte {b}"
+                        )))
+                    }
+                };
+                let foreign = r.take_bool()?;
+                let tag = r.take_u64()?;
+                log.push(BusLogEntry {
+                    addr_cycle,
+                    completes_at,
+                    size,
+                    kind,
+                    foreign,
+                    tag,
+                });
+            }
+        } else {
+            self.log = None;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,49 @@ impl IoDevice {
         });
     }
 
+    /// Serializes the delivery log.
+    pub(crate) fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("dev");
+        w.put_usize(self.writes.len());
+        for d in &self.writes {
+            w.put_u64(d.addr.raw());
+            w.put_bytes(&d.data);
+            w.put_usize(d.payload);
+            w.put_u64(d.bus_cycle);
+        }
+    }
+
+    /// Restores a log written by [`IoDevice::save_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("dev")?;
+        self.writes.clear();
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let addr = Addr::new(r.take_u64()?);
+            let bytes = r.take_bytes()?;
+            if bytes.len() > csb_uncached::MAX_BLOCK {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "device delivery of {} bytes exceeds {}",
+                    bytes.len(),
+                    csb_uncached::MAX_BLOCK
+                )));
+            }
+            let data = PayloadBuf::from_slice(bytes);
+            let payload = r.take_usize()?;
+            let bus_cycle = r.take_u64()?;
+            self.writes.push(DeliveredWrite {
+                addr,
+                data,
+                payload,
+                bus_cycle,
+            });
+        }
+        Ok(())
+    }
+
     /// All deliveries, in bus order.
     pub fn writes(&self) -> &[DeliveredWrite] {
         &self.writes

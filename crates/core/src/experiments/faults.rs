@@ -189,6 +189,50 @@ fn policy_for_seed(policy: RetryPolicy, seed: u64) -> RetryPolicy {
 }
 
 /// Runs one (policy, rate, seed) point through a reusable simulator slot.
+/// Content-address of one seeded fault point: machine configuration,
+/// workload parameters (dwords + per-seed policy), fault rate, and seed.
+fn fault_point_key(policy: RetryPolicy, rate: f64, seed: u64) -> u64 {
+    let cfg = format!("{:?}", SimConfig::default());
+    let work = format!(
+        "faults {DWORDS}dw {:?} rate {:016x}",
+        policy_for_seed(policy, seed),
+        rate.to_bits()
+    );
+    crate::cache::PointCache::key(&[cfg.as_bytes(), work.as_bytes(), &seed.to_le_bytes()])
+}
+
+fn encode_fault_payload(r: &PointResult) -> Vec<u8> {
+    let mut w = csb_snap::SnapshotWriter::new();
+    w.put_tag("fpt");
+    w.put_bool(r.success);
+    w.put_bool(r.livelock);
+    w.put_u64(r.attempts);
+    w.put_u64(r.latency);
+    w.put_u64(r.sim_cycles);
+    w.finish()
+}
+
+fn decode_fault_payload(bytes: &[u8]) -> Option<PointResult> {
+    let mut r = csb_snap::SnapshotReader::new(bytes);
+    r.take_tag("fpt").ok()?;
+    let success = r.take_bool().ok()?;
+    let livelock = r.take_bool().ok()?;
+    let attempts = r.take_u64().ok()?;
+    let latency = r.take_u64().ok()?;
+    let sim_cycles = r.take_u64().ok()?;
+    let _checksum = r.take_u64().ok()?;
+    r.expect_end("cached fault point payload").ok()?;
+    Some(PointResult {
+        success,
+        livelock,
+        attempts,
+        latency,
+        sim_cycles,
+        wall: std::time::Duration::ZERO,
+        artifacts: PointArtifacts::default(),
+    })
+}
+
 fn run_point(
     slot: &mut Option<Simulator>,
     policy: RetryPolicy,
@@ -197,6 +241,23 @@ fn run_point(
     obs: ObsConfig,
 ) -> Result<PointResult, ExpError> {
     let t0 = std::time::Instant::now();
+    // Artifact-capturing points bypass the cache (see the runner module).
+    let cache = if obs.any() {
+        None
+    } else {
+        crate::cache::active()
+    };
+    let key = fault_point_key(policy, rate, seed);
+    if let Some(cache) = &cache {
+        if let Some(payload) = cache.load(key) {
+            if let Some(mut cached) = decode_fault_payload(&payload) {
+                cache.note_hit();
+                cached.wall = t0.elapsed();
+                return Ok(cached);
+            }
+            cache.invalidate(key);
+        }
+    }
     let cfg = SimConfig::default();
     let program = workloads::csb_sequence_with_policy(DWORDS, policy_for_seed(policy, seed), &cfg)?;
     let sim = super::install_sim(slot, cfg, program)?;
@@ -221,7 +282,7 @@ fn run_point(
     };
     let delivered = sim.device().payload_bytes() == (DWORDS * DWORD_BYTES) as u64;
     let latency = summary.cpu.mark_interval(MARK_START, MARK_END);
-    Ok(PointResult {
+    let result = PointResult {
         success: !livelock && delivered && latency.is_some(),
         livelock,
         attempts: summary.csb.flush_successes + summary.csb.flush_failures,
@@ -232,7 +293,12 @@ fn run_point(
             trace_json: obs.trace.then(|| sim.chrome_trace()),
             metrics: obs.metrics.then(|| sim.metrics_report()),
         },
-    })
+    };
+    if let Some(cache) = &cache {
+        cache.note_miss();
+        cache.store(key, &encode_fault_payload(&result));
+    }
+    Ok(result)
 }
 
 /// Runs the full sweep serially.
@@ -282,6 +348,7 @@ pub fn run_jobs_observed(
             }
         }
     }
+    let cache_before = crate::cache::active_stats();
     let t0 = std::time::Instant::now();
     let results = super::runner::parallel_map_with(
         &points,
@@ -331,6 +398,15 @@ pub fn run_jobs_observed(
             artifacts: r.artifacts.clone(),
         });
         cells[ri][pi].push(r);
+    }
+    if let (Some(before), Some(after)) = (cache_before, crate::cache::active_stats()) {
+        let delta = after.delta(&before);
+        if delta.any() {
+            report.cache = Some(delta);
+            let m = report.metrics.get_or_insert_with(Default::default);
+            m.counters.insert("cache.hit".to_string(), delta.hits);
+            m.counters.insert("cache.miss".to_string(), delta.misses);
+        }
     }
 
     let rows = RATES

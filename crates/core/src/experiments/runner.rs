@@ -214,7 +214,31 @@ pub(crate) fn execute_point_reusing(
     spec: &PointSpec,
     obs: ObsConfig,
 ) -> Result<PointOutcome, ExpError> {
+    // Points that capture artifacts never touch the cache: traces and
+    // metrics are not stored, so a cached result could not carry them.
+    let cache = if obs.any() {
+        None
+    } else {
+        crate::cache::active()
+    };
     let t0 = Instant::now();
+    let key = point_cache_key(spec, 0);
+    if let Some(cache) = &cache {
+        if let Some(payload) = cache.load(key) {
+            let decoded =
+                decode_point_payload(&payload).filter(|&(value, _)| kind_matches(spec, value));
+            if let Some((value, sim_cycles)) = decoded {
+                cache.note_hit();
+                return Ok(PointOutcome {
+                    value,
+                    sim_cycles,
+                    wall: t0.elapsed(),
+                    artifacts: PointArtifacts::default(),
+                });
+            }
+            cache.invalidate(key);
+        }
+    }
     let (value, sim_cycles, artifacts) = match spec.work {
         PointWork::Bandwidth {
             transfer,
@@ -235,12 +259,70 @@ pub(crate) fn execute_point_reusing(
             (PointValue::Latency(lat), cycles, artifacts)
         }
     };
+    if let Some(cache) = &cache {
+        cache.note_miss();
+        cache.store(key, &encode_point_payload(value, sim_cycles));
+    }
     Ok(PointOutcome {
         value,
         sim_cycles,
         wall: t0.elapsed(),
         artifacts,
     })
+}
+
+/// Content-address of one sweep point: snapshot format version (inside
+/// [`PointCache::key_debug`]) + machine configuration + workload + fault
+/// seed.
+/// The display label is deliberately excluded — the same point reached
+/// from different sweeps shares one entry.
+///
+/// [`PointCache`]: crate::cache::PointCache
+fn point_cache_key(spec: &PointSpec, seed: u64) -> u64 {
+    crate::cache::PointCache::key_debug(&[&spec.cfg, &spec.work], seed)
+}
+
+/// Whether a cached value's kind matches what the spec would measure (a
+/// key collision guard; mismatches invalidate and re-simulate).
+fn kind_matches(spec: &PointSpec, value: PointValue) -> bool {
+    matches!(
+        (&spec.work, value),
+        (PointWork::Bandwidth { .. }, PointValue::Bandwidth(_))
+            | (PointWork::Latency { .. }, PointValue::Latency(_))
+    )
+}
+
+fn encode_point_payload(value: PointValue, sim_cycles: u64) -> Vec<u8> {
+    let mut w = csb_snap::SnapshotWriter::new();
+    w.put_tag("pt");
+    match value {
+        PointValue::Bandwidth(b) => {
+            w.put_u8(0);
+            w.put_f64(b);
+        }
+        PointValue::Latency(c) => {
+            w.put_u8(1);
+            w.put_u64(c);
+        }
+    }
+    w.put_u64(sim_cycles);
+    w.finish()
+}
+
+fn decode_point_payload(bytes: &[u8]) -> Option<(PointValue, u64)> {
+    let mut r = csb_snap::SnapshotReader::new(bytes);
+    r.take_tag("pt").ok()?;
+    let value = match r.take_u8().ok()? {
+        0 => PointValue::Bandwidth(r.take_f64().ok()?),
+        1 => PointValue::Latency(r.take_u64().ok()?),
+        _ => return None,
+    };
+    let sim_cycles = r.take_u64().ok()?;
+    // `SnapshotWriter::finish` appends a checksum; the framed cache entry
+    // already verified integrity, so just consume it.
+    let _checksum = r.take_u64().ok()?;
+    r.expect_end("cached point payload").ok()?;
+    Some((value, sim_cycles))
 }
 
 /// The number of workers `jobs = 0` ("all cores") resolves to.
@@ -337,6 +419,9 @@ pub struct RunReport {
     /// Aggregate metrics across every observed point (present only when a
     /// sweep ran with [`ObsConfig::metrics`]).
     pub metrics: Option<MetricsSnapshot>,
+    /// Point-cache effectiveness over this sweep (present only when a
+    /// cache was active — see [`crate::cache::set_active`]).
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 impl RunReport {
@@ -389,6 +474,14 @@ impl RunReport {
             (Some(m), None) => Some(m),
             (None, o) => o.clone(),
         };
+        self.cache = match (self.cache.take(), &other.cache) {
+            (Some(mut c), Some(o)) => {
+                c.add(o);
+                Some(c)
+            }
+            (Some(c), None) => Some(c),
+            (None, o) => *o,
+        };
     }
 
     /// Renders the report as the multi-line block the bench binaries print
@@ -429,6 +522,16 @@ impl RunReport {
                 d.as_secs_f64() * 1e3
             ));
         }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "\nrunner: cache {} hit(s), {} miss(es), {} invalidation(s), {:.1} KiB read, {:.1} KiB written",
+                c.hits,
+                c.misses,
+                c.invalidations,
+                c.bytes_read as f64 / 1024.0,
+                c.bytes_written as f64 / 1024.0
+            ));
+        }
         if let Some(metrics) = &self.metrics {
             if let Some(h) = metrics.histograms.get("csb_flush_retry_latency") {
                 out.push_str(&format!(
@@ -460,6 +563,7 @@ pub fn run_points_observed(
     obs: ObsConfig,
 ) -> (Vec<Result<PointOutcome, ExpError>>, RunReport) {
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let cache_before = crate::cache::active_stats();
     let t0 = Instant::now();
     // Each worker threads one simulator slot through its whole queue, so
     // every point after a worker's first runs on a warm-reset simulator.
@@ -498,6 +602,19 @@ pub fn run_points_observed(
                 }
             }
             Err(_) => report.errors += 1,
+        }
+    }
+    if let (Some(before), Some(after)) = (cache_before, crate::cache::active_stats()) {
+        // A cache was installed but no point consulted it (e.g. every
+        // point captured artifacts): nothing to report.
+        let delta = after.delta(&before);
+        if delta.any() {
+            report.cache = Some(delta);
+            // Surface the pair in the metrics aggregate too, so a metrics
+            // consumer sees cache effectiveness alongside the counters.
+            let m = report.metrics.get_or_insert_with(MetricsSnapshot::default);
+            m.counters.insert("cache.hit".to_string(), delta.hits);
+            m.counters.insert("cache.miss".to_string(), delta.misses);
         }
     }
     (results, report)

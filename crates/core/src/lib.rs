@@ -56,9 +56,11 @@ mod config;
 mod device;
 mod sim;
 
+pub mod cache;
 pub mod dma;
 pub mod experiments;
 pub mod multiproc;
+pub mod snapshot;
 pub mod trace;
 pub mod workloads;
 
@@ -69,3 +71,4 @@ pub use sim::{
     default_fast_forward, set_default_fast_forward, ActorState, LivelockReport, LivelockTrigger,
     MetricsReport, RunSummary, SimError, Simulator, WatchdogConfig,
 };
+pub use snapshot::{RestoreError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};

@@ -97,6 +97,14 @@ pub struct MultiSim {
     current: usize,
     switches: u64,
     completions: Vec<Option<u64>>,
+    /// CPU cycle the running process's slice started. Lives on the struct
+    /// (not as a `run` local) so a snapshot taken mid-run resumes
+    /// mid-slice.
+    slice_start: u64,
+    /// Flush-failure count at the slice boundary (backoff bookkeeping).
+    failures_at_slice_start: u64,
+    /// Flush-success count at the slice boundary (backoff bookkeeping).
+    successes_at_slice_start: u64,
 }
 
 impl MultiSim {
@@ -142,6 +150,9 @@ impl MultiSim {
             current: 0,
             switches: 0,
             completions: vec![None; n],
+            slice_start: 0,
+            failures_at_slice_start: 0,
+            successes_at_slice_start: 0,
         })
     }
 
@@ -198,9 +209,6 @@ impl MultiSim {
     /// [`ActorState`] per process in the report, or
     /// [`SimError::CycleLimit`] if the run merely ran out of cycles.
     pub fn run(&mut self, limit: u64) -> Result<MultiSummary, SimError> {
-        let mut slice_start = 0u64;
-        let mut failures_at_slice_start = 0u64;
-        let mut successes_at_slice_start = 0u64;
         loop {
             if self.procs.iter().all(|p| p.done) {
                 // Drain remaining bus traffic.
@@ -224,7 +232,7 @@ impl MultiSim {
             // invariant while the pipeline is inert, so if it is false now
             // it stays false until a real tick) or the cycle limit.
             let cap = if self.sim.cpu().switch_safe() {
-                limit.min(slice_start.saturating_add(self.slices[self.current]))
+                limit.min(self.slice_start.saturating_add(self.slices[self.current]))
             } else {
                 limit
             };
@@ -239,7 +247,7 @@ impl MultiSim {
             }
 
             let cur_done = self.procs[self.current].done;
-            let slice_over = now.saturating_sub(slice_start) >= self.slices[self.current]
+            let slice_over = now.saturating_sub(self.slice_start) >= self.slices[self.current]
                 // A precise interrupt waits for an in-flight side-effecting
                 // head instruction (e.g. a conditional flush that already
                 // reached the CSB) to retire; switching under it would
@@ -254,9 +262,9 @@ impl MultiSim {
                 if let SwitchPolicy::Backoff { base, max } = self.policy {
                     let stats = self.sim.csb_stats();
                     let idx = self.current;
-                    if !cur_done && stats.flush_failures > failures_at_slice_start {
+                    if !cur_done && stats.flush_failures > self.failures_at_slice_start {
                         self.slices[idx] = (self.slices[idx] * 2).min(max.max(base));
-                    } else if stats.flush_successes > successes_at_slice_start {
+                    } else if stats.flush_successes > self.successes_at_slice_start {
                         self.slices[idx] = base.max(1);
                     }
                 }
@@ -264,10 +272,10 @@ impl MultiSim {
                     if next != self.current {
                         self.switch_to(next);
                     }
-                    slice_start = now;
+                    self.slice_start = now;
                     let stats = self.sim.csb_stats();
-                    failures_at_slice_start = stats.flush_failures;
-                    successes_at_slice_start = stats.flush_successes;
+                    self.failures_at_slice_start = stats.flush_failures;
+                    self.successes_at_slice_start = stats.flush_successes;
                 }
             }
         }
@@ -279,6 +287,132 @@ impl MultiSim {
             flush_successes: summary.csb.flush_successes,
             completions: self.completions.iter().map(|c| c.unwrap_or(0)).collect(),
         })
+    }
+
+    /// Serializes the whole multi-process state — scheduler (per-process
+    /// contexts, slices, backoff bookkeeping) plus the underlying machine
+    /// — into a versioned frame. Valid at any point, including after a
+    /// [`SimError::CycleLimit`] return from [`MultiSim::run`]: a restored
+    /// scheduler resumes mid-slice and finishes byte-identically to one
+    /// that never stopped. [`MultiSim::restore`] needs the same
+    /// `(cfg, programs, policy)` triple again.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = csb_snap::SnapshotWriter::framed(
+            crate::snapshot::SNAPSHOT_MAGIC,
+            crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+        );
+        w.put_u64(crate::snapshot::config_fingerprint(self.sim.config()));
+        w.put_u64(csb_snap::fnv1a(format!("{:?}", self.policy).as_bytes()));
+        w.put_usize(self.procs.len());
+        for p in &self.procs {
+            w.put_u64(crate::snapshot::program_fingerprint(&p.program));
+        }
+        w.put_tag("multi");
+        w.put_usize(self.current);
+        for p in &self.procs {
+            match &p.ctx {
+                Some(ctx) => {
+                    w.put_bool(true);
+                    ctx.save_state(&mut w);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_bool(p.done);
+        }
+        for s in &self.slices {
+            w.put_u64(*s);
+        }
+        w.put_u64(self.switches);
+        for c in &self.completions {
+            w.put_opt_u64(*c);
+        }
+        w.put_u64(self.slice_start);
+        w.put_u64(self.failures_at_slice_start);
+        w.put_u64(self.successes_at_slice_start);
+        self.sim.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Rebuilds a multi-process run from a [`MultiSim::snapshot`] frame
+    /// taken under the same `(cfg, programs, policy)` triple.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RestoreError`] when the triple fails validation, the
+    /// frame is malformed, or the fingerprints reveal a different
+    /// configuration, policy, or program list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty (as [`MultiSim::new`]).
+    pub fn restore(
+        cfg: SimConfig,
+        programs: Vec<Program>,
+        policy: SwitchPolicy,
+        bytes: &[u8],
+    ) -> Result<Self, crate::RestoreError> {
+        use crate::RestoreError;
+        let mut ms = MultiSim::new(cfg, programs, policy)?;
+        let mut r = csb_snap::SnapshotReader::framed(
+            bytes,
+            crate::snapshot::SNAPSHOT_MAGIC,
+            crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+        )?;
+        if r.take_u64()? != crate::snapshot::config_fingerprint(ms.sim.config()) {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        if r.take_u64()? != csb_snap::fnv1a(format!("{:?}", ms.policy).as_bytes()) {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        if r.take_usize()? != ms.procs.len() {
+            return Err(RestoreError::ProgramMismatch);
+        }
+        for p in &ms.procs {
+            if r.take_u64()? != crate::snapshot::program_fingerprint(&p.program) {
+                return Err(RestoreError::ProgramMismatch);
+            }
+        }
+        r.take_tag("multi")?;
+        let current = r.take_usize()?;
+        if current >= ms.procs.len() {
+            return Err(RestoreError::Snapshot(csb_snap::SnapshotError::Corrupt(
+                format!("running process {current} of {}", ms.procs.len()),
+            )));
+        }
+        for p in &mut ms.procs {
+            if r.take_bool()? {
+                let mut ctx = CpuContext::new(0);
+                ctx.restore_state(&mut r)?;
+                p.ctx = Some(ctx);
+            } else {
+                p.ctx = None;
+            }
+            p.done = r.take_bool()?;
+        }
+        for s in &mut ms.slices {
+            *s = r.take_u64()?;
+        }
+        ms.switches = r.take_u64()?;
+        for c in &mut ms.completions {
+            *c = r.take_opt_u64()?;
+        }
+        ms.slice_start = r.take_u64()?;
+        ms.failures_at_slice_start = r.take_u64()?;
+        ms.successes_at_slice_start = r.take_u64()?;
+        // Install the running process's program before restoring the
+        // machine: the CPU re-derives its in-flight instructions from the
+        // program it holds.
+        if current != 0 {
+            let program = ms.procs[current].program.clone();
+            let _ = ms
+                .sim
+                .cpu_mut()
+                .switch_context(CpuContext::new(current as u32), Some(program));
+        }
+        ms.current = current;
+        ms.sim.restore_state(&mut r)?;
+        r.expect_end("multi-process snapshot")?;
+        Ok(ms)
     }
 
     /// The underlying simulator (device and statistics inspection).

@@ -839,6 +839,36 @@ pub struct RunSummary {
     pub mem: MemoryStats,
 }
 
+/// Serializes a pending-completion map (`tag -> (ready cycle, value)`)
+/// sorted by tag so the byte stream is deterministic.
+fn save_pending(w: &mut csb_snap::SnapshotWriter, map: &HashMap<u64, (u64, u64)>) {
+    let mut tags: Vec<u64> = map.keys().copied().collect();
+    tags.sort_unstable();
+    w.put_usize(tags.len());
+    for t in tags {
+        let (ready, value) = map[&t];
+        w.put_u64(t);
+        w.put_u64(ready);
+        w.put_u64(value);
+    }
+}
+
+/// Restores a map written by [`save_pending`].
+fn restore_pending(
+    r: &mut csb_snap::SnapshotReader<'_>,
+    map: &mut HashMap<u64, (u64, u64)>,
+) -> Result<(), csb_snap::SnapshotError> {
+    map.clear();
+    let n = r.take_usize()?;
+    for _ in 0..n {
+        let t = r.take_u64()?;
+        let ready = r.take_u64()?;
+        let value = r.take_u64()?;
+        map.insert(t, (ready, value));
+    }
+    Ok(())
+}
+
 /// The complete simulated machine: one out-of-order core, caches, the
 /// uncached buffer, the CSB, and a system bus feeding an [`IoDevice`].
 ///
@@ -1084,6 +1114,163 @@ impl Simulator {
         self.watchdog
     }
 
+    /// Serializes every stateful component (the same inventory
+    /// [`Simulator::reset_with`] reassigns) into `w`. The public framed
+    /// entry point is [`Simulator::snapshot`].
+    pub(crate) fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("sim");
+        self.cpu.save_state(w);
+        let m = &self.machine;
+        m.flat.save_state(w);
+        m.hier.save_state(w);
+        m.ubuf.save_state(w);
+        m.csb.save_state(w);
+        m.bus.save_state(w);
+        w.put_u64(m.now);
+        m.device.save_state(w);
+        save_pending(w, &m.pending_reads);
+        save_pending(w, &m.pending_swaps);
+        let mut tags: Vec<u64> = m.swap_writes.keys().copied().collect();
+        tags.sort_unstable();
+        w.put_usize(tags.len());
+        for t in tags {
+            let (width, val) = m.swap_writes[&t];
+            w.put_u64(t);
+            w.put_usize(width);
+            w.put_u64(val);
+        }
+        w.put_opt_u64(m.csb_line_start);
+        w.put_opt_u64(m.csb_retry_since);
+        match m.faults.config() {
+            Some(fc) => {
+                w.put_bool(true);
+                w.put_u64(fc.seed);
+                w.put_f64(fc.bus_error_rate);
+                w.put_f64(fc.device_nack_rate);
+                w.put_f64(fc.flush_disturb_rate);
+                w.put_u32(fc.max_consecutive);
+                match fc.window {
+                    Some(win) => {
+                        w.put_bool(true);
+                        w.put_u64(win.start);
+                        w.put_u64(win.len);
+                    }
+                    None => w.put_bool(false),
+                }
+                let stats = m.faults.stats();
+                for v in stats.checks.iter().chain(stats.injected.iter()) {
+                    w.put_u64(*v);
+                }
+                for v in m.faults.consecutive_runs() {
+                    w.put_u32(v);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(m.progress);
+        w.put_u64(m.progress_at);
+        w.put_u64(m.futile_flushes);
+        w.put_bool(m.obs.is_enabled());
+        w.put_bool(m.metrics.is_enabled());
+        w.put_bool(self.fast_forward);
+        w.put_u64(self.bus_countdown);
+        w.put_u64(self.ticks);
+        w.put_u64(self.watchdog.stall_cycles);
+        w.put_u64(self.watchdog.futile_flushes);
+        w.put_u64(self.wd_last_progress);
+        w.put_u64(self.wd_seen_retired);
+        w.put_u64(self.wd_seen_progress);
+    }
+
+    /// Restores state written by [`Simulator::save_state`]. The caller
+    /// (see [`Simulator::restore`]) must have warm-reset `self` with the
+    /// same `(cfg, program)` the snapshot was taken under.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("sim")?;
+        self.cpu.restore_state(r)?;
+        let m = &mut self.machine;
+        m.flat.restore_state(r)?;
+        m.hier.restore_state(r)?;
+        m.ubuf.restore_state(r)?;
+        m.csb.restore_state(r)?;
+        m.bus.restore_state(r)?;
+        m.now = r.take_u64()?;
+        m.device.restore_state(r)?;
+        restore_pending(r, &mut m.pending_reads)?;
+        restore_pending(r, &mut m.pending_swaps)?;
+        m.swap_writes.clear();
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let t = r.take_u64()?;
+            let width = r.take_usize()?;
+            let val = r.take_u64()?;
+            m.swap_writes.insert(t, (width, val));
+        }
+        m.csb_line_start = r.take_opt_u64()?;
+        m.csb_retry_since = r.take_opt_u64()?;
+        if r.take_bool()? {
+            let seed = r.take_u64()?;
+            let bus_error_rate = r.take_f64()?;
+            let device_nack_rate = r.take_f64()?;
+            let flush_disturb_rate = r.take_f64()?;
+            let max_consecutive = r.take_u32()?;
+            let window = if r.take_bool()? {
+                Some(csb_faults::FaultWindow {
+                    start: r.take_u64()?,
+                    len: r.take_u64()?,
+                })
+            } else {
+                None
+            };
+            let mut stats = FaultStats::default();
+            for v in stats.checks.iter_mut().chain(stats.injected.iter_mut()) {
+                *v = r.take_u64()?;
+            }
+            let mut consecutive = [0u32; 3];
+            for v in &mut consecutive {
+                *v = r.take_u32()?;
+            }
+            self.set_faults(Some(FaultConfig {
+                seed,
+                bus_error_rate,
+                device_nack_rate,
+                flush_disturb_rate,
+                max_consecutive,
+                window,
+            }));
+            self.machine.faults.restore_counters(stats, consecutive);
+        } else {
+            self.set_faults(None);
+        }
+        let m = &mut self.machine;
+        m.progress = r.take_u64()?;
+        m.progress_at = r.take_u64()?;
+        m.futile_flushes = r.take_u64()?;
+        let obs_enabled = r.take_bool()?;
+        let metrics_enabled = r.take_bool()?;
+        self.fast_forward = r.take_bool()?;
+        self.bus_countdown = r.take_u64()?;
+        self.ticks = r.take_u64()?;
+        self.watchdog.stall_cycles = r.take_u64()?;
+        self.watchdog.futile_flushes = r.take_u64()?;
+        self.wd_last_progress = r.take_u64()?;
+        self.wd_seen_retired = r.take_u64()?;
+        self.wd_seen_progress = r.take_u64()?;
+        // Sinks are wiring, not state: a restored machine records the
+        // *continuation* of the run, which tests concatenate with the
+        // pre-snapshot stream.
+        if obs_enabled {
+            self.enable_tracing();
+        }
+        if metrics_enabled {
+            self.enable_metrics();
+        }
+        Ok(())
+    }
+
     /// Advances the machine by one CPU cycle (bus included on its ticks).
     pub fn tick(&mut self) {
         self.machine.obs.set_now(self.cpu.now());
@@ -1318,6 +1505,9 @@ impl Simulator {
     /// NACKing every delivery, or conditional-flush retries that can
     /// never succeed).
     pub fn run(&mut self, limit: u64) -> Result<RunSummary, SimError> {
+        if let Some(auto) = crate::snapshot::autosnap() {
+            return self.run_autosnap(limit, &auto);
+        }
         while !self.complete() {
             if self.cpu.now() >= limit {
                 return Err(SimError::CycleLimit { limit });

@@ -1,0 +1,250 @@
+//! Deterministic snapshot/resume for the full machine.
+//!
+//! A snapshot captures **every** stateful component [`Simulator::reset_with`]
+//! enumerates — pipeline, caches, functional memory, uncached buffer, CSB,
+//! bus, device log, pending completions, fault-schedule counters, watchdog
+//! bookkeeping — in a versioned binary frame, so that a restored simulator
+//! continues **byte-identically** to one that never stopped: same
+//! [`RunSummary`](crate::RunSummary), same statistics, same device bytes,
+//! same fault schedule, under both the naive and fast-forward loops.
+//!
+//! The frame is `magic | version | cfg fingerprint | program fingerprint |
+//! payload | FNV-1a checksum` (see `csb-snap`). The configuration and
+//! program are *not* stored — a snapshot is a delta against the `(cfg,
+//! program)` pair the caller supplies to [`Simulator::restore`], and the
+//! fingerprints reject a mismatched pair up front instead of producing a
+//! silently wrong machine.
+//!
+//! **Version bump rule:** any change to the byte layout written by a
+//! `save_state` method anywhere in the workspace — a new field, a
+//! reordering, a widened integer — must bump [`SNAPSHOT_FORMAT_VERSION`].
+//! Old snapshots (and cached sweep points, which embed the version in
+//! their keys) are then rejected/invalidated rather than misread.
+//!
+//! # Examples
+//!
+//! ```
+//! use csb_core::{SimConfig, Simulator, workloads};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SimConfig::default();
+//! let program = workloads::store_bandwidth(256, &cfg, workloads::StorePath::Csb)?;
+//!
+//! // Uninterrupted run.
+//! let mut whole = Simulator::new(cfg.clone(), program.clone())?;
+//! let expected = whole.run(1_000_000)?;
+//!
+//! // Run to an arbitrary mid-run cycle, snapshot, restore, continue.
+//! let mut first = Simulator::new(cfg.clone(), program.clone())?;
+//! first.run_to(150)?;
+//! let bytes = first.snapshot();
+//! let mut resumed = Simulator::restore(cfg, program, &bytes)?;
+//! let got = resumed.run(1_000_000)?;
+//! assert_eq!(
+//!     serde_json::to_string(&got)?,
+//!     serde_json::to_string(&expected)?
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use csb_isa::Program;
+use csb_snap::{fnv1a, SnapshotError, SnapshotReader, SnapshotWriter};
+
+use crate::config::SimConfig;
+use crate::sim::{SimError, Simulator};
+
+/// Leading magic of every simulator snapshot frame.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CSBSNAP\0";
+
+/// Version of the snapshot byte layout. Bump on **any** layout change in
+/// any component's `save_state` (see the module docs); the sweep cache
+/// keys on it, so stale cached points self-invalidate.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a fingerprint of a machine configuration, as embedded in
+/// snapshot frames and sweep-cache keys.
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+/// FNV-1a fingerprint of a program, as embedded in snapshot frames.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    fnv1a(format!("{program:?}").as_bytes())
+}
+
+/// Why [`Simulator::restore`] refused a snapshot.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The `(cfg, program)` pair failed machine validation.
+    Sim(SimError),
+    /// The frame is malformed: bad magic, wrong format version, failed
+    /// checksum, or a structurally impossible payload.
+    Snapshot(SnapshotError),
+    /// The frame was taken under a different machine configuration.
+    ConfigMismatch,
+    /// The frame was taken under a different program.
+    ProgramMismatch,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Sim(e) => write!(f, "restore rejected: {e}"),
+            RestoreError::Snapshot(e) => write!(f, "malformed snapshot: {e}"),
+            RestoreError::ConfigMismatch => {
+                f.write_str("snapshot was taken under a different machine configuration")
+            }
+            RestoreError::ProgramMismatch => {
+                f.write_str("snapshot was taken under a different program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<SimError> for RestoreError {
+    fn from(e: SimError) -> Self {
+        RestoreError::Sim(e)
+    }
+}
+
+impl From<SnapshotError> for RestoreError {
+    fn from(e: SnapshotError) -> Self {
+        RestoreError::Snapshot(e)
+    }
+}
+
+impl Simulator {
+    /// Serializes the complete machine state into a versioned,
+    /// checksummed frame. Valid at **any** CPU cycle — mid-flush,
+    /// mid-bus-transaction, under an active fault schedule.
+    ///
+    /// The configuration and program are fingerprinted, not stored;
+    /// [`Simulator::restore`] needs the same pair again.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::framed(SNAPSHOT_MAGIC, SNAPSHOT_FORMAT_VERSION);
+        w.put_u64(config_fingerprint(self.config()));
+        w.put_u64(program_fingerprint(self.cpu().program()));
+        self.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Builds a simulator that continues byte-identically from `bytes`
+    /// (a frame produced by [`Simulator::snapshot`] under the same
+    /// `(cfg, program)` pair).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] when the pair fails validation, the frame is
+    /// malformed (truncated, bad checksum, wrong version), or the
+    /// fingerprints reveal a different configuration or program.
+    pub fn restore(cfg: SimConfig, program: Program, bytes: &[u8]) -> Result<Self, RestoreError> {
+        let mut sim = Simulator::new(cfg, program)?;
+        sim.restore_from(bytes)?;
+        Ok(sim)
+    }
+
+    /// Restores `self` in place from `bytes`, reusing this simulator's
+    /// allocations (the warm path for worker threads). The snapshot must
+    /// have been taken under this simulator's current configuration and
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::restore`]. On error `self` may be partially
+    /// restored — warm-reset it before running anything.
+    pub fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let mut r = SnapshotReader::framed(bytes, SNAPSHOT_MAGIC, SNAPSHOT_FORMAT_VERSION)?;
+        if r.take_u64()? != config_fingerprint(self.config()) {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        if r.take_u64()? != program_fingerprint(self.cpu().program()) {
+            return Err(RestoreError::ProgramMismatch);
+        }
+        self.restore_state(&mut r)?;
+        r.expect_end("simulator snapshot")?;
+        Ok(())
+    }
+
+    /// Advances until the CPU clock reaches `cycle` (or the run
+    /// completes first), respecting fast-forward: an idle gap is jumped
+    /// but never past `cycle`, so a snapshot taken afterwards is
+    /// cycle-exact.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Livelock`] if the progress watchdog fires first.
+    pub fn run_to(&mut self, cycle: u64) -> Result<(), SimError> {
+        while !self.complete() && self.cpu().now() < cycle {
+            self.advance_checked(cycle)?;
+        }
+        Ok(())
+    }
+
+    /// The [`Simulator::run`] loop with periodic snapshot dumps, used
+    /// when an [`AutosnapConfig`] is installed: every `every` CPU cycles
+    /// the full machine state is written to
+    /// `dir/snap-<cfg fp><program fp>-<cycle>.bin`. Write failures are
+    /// swallowed — autosnap is a forensic aid, never a correctness
+    /// dependency — and results are byte-identical to a plain run.
+    pub(crate) fn run_autosnap(
+        &mut self,
+        limit: u64,
+        auto: &AutosnapConfig,
+    ) -> Result<crate::RunSummary, SimError> {
+        let cfg_fp = config_fingerprint(self.config());
+        let prog_fp = program_fingerprint(self.cpu().program());
+        let every = auto.every.max(1);
+        while !self.complete() {
+            if self.cpu().now() >= limit {
+                return Err(SimError::CycleLimit { limit });
+            }
+            let next = self.cpu().now().saturating_add(every).min(limit);
+            while !self.complete() && self.cpu().now() < next {
+                self.advance_checked(limit)?;
+            }
+            if !self.complete() {
+                let path = auto.dir.join(format!(
+                    "snap-{cfg_fp:016x}{prog_fp:016x}-{:012}.bin",
+                    self.cpu().now()
+                ));
+                let _ = std::fs::write(path, self.snapshot());
+            }
+        }
+        Ok(self.summary())
+    }
+}
+
+/// Periodic snapshot dumping for every [`Simulator::run`] in the
+/// process (see [`set_autosnap`]).
+#[derive(Debug, Clone)]
+pub struct AutosnapConfig {
+    /// CPU cycles between dumps.
+    pub every: u64,
+    /// Directory the `snap-*.bin` files go to.
+    pub dir: PathBuf,
+}
+
+static AUTOSNAP: Mutex<Option<AutosnapConfig>> = Mutex::new(None);
+
+/// Installs (or with `None` removes) process-wide periodic snapshotting:
+/// every subsequent [`Simulator::run`] dumps a restorable snapshot every
+/// `every` CPU cycles into `dir`, named by the machine's configuration
+/// and program fingerprints plus the cycle. The bench binaries wire this
+/// to `--snapshot-every` so a long or misbehaving point can be resumed
+/// and dissected from the nearest dump instead of re-simulated from
+/// cycle zero.
+pub fn set_autosnap(cfg: Option<AutosnapConfig>) {
+    *AUTOSNAP.lock().expect("autosnap registry poisoned") = cfg;
+}
+
+/// The installed autosnap configuration, if any.
+pub fn autosnap() -> Option<AutosnapConfig> {
+    AUTOSNAP.lock().expect("autosnap registry poisoned").clone()
+}

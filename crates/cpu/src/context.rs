@@ -84,6 +84,42 @@ impl CpuContext {
     pub fn set_cc(&mut self, flags: u64) {
         self.cc = flags;
     }
+
+    /// Serializes the full architectural state.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("ctx");
+        w.put_usize(self.pc);
+        for v in &self.int {
+            w.put_u64(*v);
+        }
+        for v in &self.fp {
+            w.put_u64(*v);
+        }
+        w.put_u64(self.cc);
+        w.put_u32(self.pid);
+    }
+
+    /// Restores state written by [`CpuContext::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("ctx")?;
+        self.pc = r.take_usize()?;
+        for v in &mut self.int {
+            *v = r.take_u64()?;
+        }
+        for v in &mut self.fp {
+            *v = r.take_u64()?;
+        }
+        self.cc = r.take_u64()?;
+        self.pid = r.take_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

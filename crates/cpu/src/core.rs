@@ -386,6 +386,95 @@ struct Fetched {
     t_fetch: u64,
 }
 
+fn save_st(w: &mut csb_snap::SnapshotWriter, st: St) {
+    match st {
+        St::Waiting => w.put_u8(0),
+        St::Agen { done_at } => {
+            w.put_u8(1);
+            w.put_u64(done_at);
+        }
+        St::AddrReady => w.put_u8(2),
+        St::MemAccess { done_at } => {
+            w.put_u8(3);
+            w.put_u64(done_at);
+        }
+        St::UncachedWait => w.put_u8(4),
+        St::Exec { done_at } => {
+            w.put_u8(5);
+            w.put_u64(done_at);
+        }
+        St::Done => w.put_u8(6),
+    }
+}
+
+fn take_st(r: &mut csb_snap::SnapshotReader<'_>) -> Result<St, csb_snap::SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => St::Waiting,
+        1 => St::Agen {
+            done_at: r.take_u64()?,
+        },
+        2 => St::AddrReady,
+        3 => St::MemAccess {
+            done_at: r.take_u64()?,
+        },
+        4 => St::UncachedWait,
+        5 => St::Exec {
+            done_at: r.take_u64()?,
+        },
+        6 => St::Done,
+        k => {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "unknown ROB entry state {k}"
+            )))
+        }
+    })
+}
+
+fn save_reg_ref(w: &mut csb_snap::SnapshotWriter, reg: RegRef) {
+    match reg {
+        RegRef::Int(r) => {
+            w.put_u8(0);
+            w.put_u8(r.index() as u8);
+        }
+        RegRef::Fp(f) => {
+            w.put_u8(1);
+            w.put_u8(f.index() as u8);
+        }
+        RegRef::Cc => {
+            w.put_u8(2);
+            w.put_u8(0);
+        }
+    }
+}
+
+fn take_reg_ref(r: &mut csb_snap::SnapshotReader<'_>) -> Result<RegRef, csb_snap::SnapshotError> {
+    let kind = r.take_u8()?;
+    let idx = r.take_u8()?;
+    let bad = |what: &str| {
+        csb_snap::SnapshotError::Corrupt(format!("register index {idx} out of range for {what}"))
+    };
+    Ok(match kind {
+        0 => {
+            if (idx as usize) >= csb_isa::reg::NUM_INT_REGS {
+                return Err(bad("int"));
+            }
+            RegRef::Int(csb_isa::Reg::new(idx))
+        }
+        1 => {
+            if (idx as usize) >= csb_isa::reg::NUM_FP_REGS {
+                return Err(bad("fp"));
+            }
+            RegRef::Fp(csb_isa::FReg::new(idx))
+        }
+        2 => RegRef::Cc,
+        k => {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "unknown register kind {k}"
+            )))
+        }
+    })
+}
+
 fn mem_width(inst: &Inst) -> usize {
     match inst {
         Inst::Load { width, .. } | Inst::Store { width, .. } => width.bytes(),
@@ -494,6 +583,240 @@ impl Cpu {
         self.uncached_stall_start = None;
         self.membar_stall_start = None;
         self.worked = false;
+    }
+
+    /// Serializes the core's complete microarchitectural state: committed
+    /// context, fetch queue, ROB (with in-flight operand and timing
+    /// state), rename table, counters, and stall-run bookkeeping.
+    /// Instructions are not stored — each entry's `pc` re-derives its
+    /// `Inst` from the program the restoring side supplies. The trace
+    /// sink and metrics registry are wiring the restoring side re-installs.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("cpu");
+        self.ctx.save_state(w);
+        w.put_usize(self.fetch_pc);
+        w.put_bool(self.fetch_stopped);
+        w.put_usize(self.fetch_q.len());
+        for f in &self.fetch_q {
+            w.put_usize(f.pc);
+            w.put_usize(f.predicted_next);
+            w.put_u64(f.t_fetch);
+        }
+        w.put_usize(self.rob.len());
+        for e in self.rob.iter() {
+            w.put_u64(e.seq);
+            w.put_usize(e.pc);
+            save_st(w, e.st);
+            w.put_u8(e.ops.len);
+            for op in e.ops.iter() {
+                save_reg_ref(w, op.reg);
+                match op.src {
+                    Src::Ready(v) => {
+                        w.put_u8(0);
+                        w.put_u64(v);
+                    }
+                    Src::Wait(seq) => {
+                        w.put_u8(1);
+                        w.put_u64(seq);
+                    }
+                }
+            }
+            w.put_u64(e.value);
+            w.put_opt_u64(e.addr.map(Addr::raw));
+            w.put_u8(match e.space {
+                None => 0,
+                Some(AddressSpace::Cached) => 1,
+                Some(AddressSpace::Uncached) => 2,
+                Some(AddressSpace::UncachedCombining) => 3,
+            });
+            w.put_usize(e.predicted_next);
+            w.put_bool(e.mem_started);
+            w.put_u64(e.t_fetch);
+            w.put_u64(e.t_dispatch);
+            w.put_opt_u64(e.t_issue);
+            w.put_opt_u64(e.t_complete);
+        }
+        w.put_u64(self.front_seq);
+        w.put_u64(self.next_seq);
+        for slot in &self.rename.slots {
+            w.put_opt_u64(*slot);
+        }
+        w.put_bool(self.halted);
+        w.put_u64(self.now);
+        w.put_u64(self.stats.cycles);
+        w.put_u64(self.stats.retired);
+        w.put_u64(self.stats.squashed);
+        w.put_u64(self.stats.mispredicts);
+        w.put_u64(self.stats.loads);
+        w.put_u64(self.stats.stores);
+        w.put_u64(self.stats.uncached_ops);
+        w.put_u64(self.stats.combining_stores);
+        w.put_u64(self.stats.flush_successes);
+        w.put_u64(self.stats.flush_failures);
+        w.put_u64(self.stats.uncached_stall_cycles);
+        w.put_u64(self.stats.membar_stall_cycles);
+        let mut mark_ids: Vec<u32> = self.stats.marks.keys().copied().collect();
+        mark_ids.sort_unstable();
+        w.put_usize(mark_ids.len());
+        for id in mark_ids {
+            w.put_u32(id);
+            let cycles = &self.stats.marks[&id];
+            w.put_usize(cycles.len());
+            for c in cycles {
+                w.put_u64(*c);
+            }
+        }
+        w.put_bool(self.trace.is_some());
+        w.put_opt_u64(self.uncached_stall_start);
+        w.put_opt_u64(self.membar_stall_start);
+        w.put_bool(self.worked);
+    }
+
+    /// Restores state written by [`Cpu::save_state`] into a core already
+    /// holding the same configuration and program. Pipeline-trace
+    /// recording resumes empty if it was enabled at save time (records
+    /// retired before the snapshot are not carried over).
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream or an entry `pc`
+    /// the current program cannot fetch.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("cpu")?;
+        self.ctx.restore_state(r)?;
+        self.fetch_pc = r.take_usize()?;
+        self.fetch_stopped = r.take_bool()?;
+        self.fetch_q.clear();
+        let nq = r.take_usize()?;
+        if nq > self.cfg.fetch_queue.max(1) {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "{nq} fetched instructions exceed queue depth {}",
+                self.cfg.fetch_queue
+            )));
+        }
+        for _ in 0..nq {
+            let pc = r.take_usize()?;
+            let inst = self.fetch_inst(pc)?;
+            self.fetch_q.push_back(Fetched {
+                pc,
+                inst,
+                predicted_next: r.take_usize()?,
+                t_fetch: r.take_u64()?,
+            });
+        }
+        let nrob = r.take_usize()?;
+        if nrob > self.cfg.rob_size {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "{nrob} ROB entries exceed capacity {}",
+                self.cfg.rob_size
+            )));
+        }
+        self.rob.clear();
+        self.rob.head = 0;
+        for _ in 0..nrob {
+            let seq = r.take_u64()?;
+            let pc = r.take_usize()?;
+            let inst = self.fetch_inst(pc)?;
+            let st = take_st(r)?;
+            let mut ops = Ops::EMPTY;
+            let nops = r.take_u8()?;
+            if nops > 3 {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "{nops} operand slots exceed 3"
+                )));
+            }
+            for _ in 0..nops {
+                let reg = take_reg_ref(r)?;
+                let src = match r.take_u8()? {
+                    0 => Src::Ready(r.take_u64()?),
+                    1 => Src::Wait(r.take_u64()?),
+                    k => {
+                        return Err(csb_snap::SnapshotError::Corrupt(format!(
+                            "unknown operand source {k}"
+                        )))
+                    }
+                };
+                ops.push(OperandSlot { reg, src });
+            }
+            let value = r.take_u64()?;
+            let addr = r.take_opt_u64()?.map(Addr::new);
+            let space = match r.take_u8()? {
+                0 => None,
+                1 => Some(AddressSpace::Cached),
+                2 => Some(AddressSpace::Uncached),
+                3 => Some(AddressSpace::UncachedCombining),
+                k => {
+                    return Err(csb_snap::SnapshotError::Corrupt(format!(
+                        "unknown address space {k}"
+                    )))
+                }
+            };
+            self.rob.push_back(RobEntry {
+                seq,
+                pc,
+                inst,
+                st,
+                ops,
+                value,
+                addr,
+                space,
+                predicted_next: r.take_usize()?,
+                mem_started: r.take_bool()?,
+                t_fetch: r.take_u64()?,
+                t_dispatch: r.take_u64()?,
+                t_issue: r.take_opt_u64()?,
+                t_complete: r.take_opt_u64()?,
+            });
+        }
+        self.front_seq = r.take_u64()?;
+        self.next_seq = r.take_u64()?;
+        for slot in 0..RENAME_SLOTS {
+            self.rename.slots[slot] = r.take_opt_u64()?;
+        }
+        self.halted = r.take_bool()?;
+        self.now = r.take_u64()?;
+        self.stats.cycles = r.take_u64()?;
+        self.stats.retired = r.take_u64()?;
+        self.stats.squashed = r.take_u64()?;
+        self.stats.mispredicts = r.take_u64()?;
+        self.stats.loads = r.take_u64()?;
+        self.stats.stores = r.take_u64()?;
+        self.stats.uncached_ops = r.take_u64()?;
+        self.stats.combining_stores = r.take_u64()?;
+        self.stats.flush_successes = r.take_u64()?;
+        self.stats.flush_failures = r.take_u64()?;
+        self.stats.uncached_stall_cycles = r.take_u64()?;
+        self.stats.membar_stall_cycles = r.take_u64()?;
+        self.stats.marks.clear();
+        let nmarks = r.take_usize()?;
+        for _ in 0..nmarks {
+            let id = r.take_u32()?;
+            let len = r.take_usize()?;
+            let mut cycles = Vec::with_capacity(len);
+            for _ in 0..len {
+                cycles.push(r.take_u64()?);
+            }
+            self.stats.marks.insert(id, cycles);
+        }
+        self.trace = if r.take_bool()? {
+            Some(Vec::new())
+        } else {
+            None
+        };
+        self.uncached_stall_start = r.take_opt_u64()?;
+        self.membar_stall_start = r.take_opt_u64()?;
+        self.worked = r.take_bool()?;
+        Ok(())
+    }
+
+    /// Re-derives the `Inst` at `pc` for snapshot restore.
+    fn fetch_inst(&self, pc: usize) -> Result<Inst, csb_snap::SnapshotError> {
+        self.program.fetch(pc).ok_or_else(|| {
+            csb_snap::SnapshotError::Corrupt(format!("pc {pc} is outside the restored program"))
+        })
     }
 
     /// Installs a structured trace sink: retires and squashes emit instants

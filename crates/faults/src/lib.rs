@@ -323,6 +323,27 @@ impl FaultInjector {
         self.shared.as_ref().map(|s| s.borrow().cfg)
     }
 
+    /// Current run lengths of consecutive injected faults per kind
+    /// (snapshot support; all zero when disabled).
+    pub fn consecutive_runs(&self) -> [u32; 3] {
+        self.shared
+            .as_ref()
+            .map_or([0; 3], |s| s.borrow().consecutive)
+    }
+
+    /// Overwrites the ordinal counters, injection counts, and consecutive
+    /// run lengths on an enabled handle (snapshot restore: the schedule is
+    /// a pure function of `(seed, kind, ordinal)`, so repositioning the
+    /// counters replays the stream from exactly where a saved run stood).
+    /// No-op when disabled.
+    pub fn restore_counters(&self, stats: FaultStats, consecutive: [u32; 3]) {
+        if let Some(s) = &self.shared {
+            let mut s = s.borrow_mut();
+            s.stats = stats;
+            s.consecutive = consecutive;
+        }
+    }
+
     /// Rewinds the schedule to ordinal zero and clears the statistics
     /// (the simulator's warm-reset path). The seed and rates are kept, so
     /// a reset schedule replays the same decisions.

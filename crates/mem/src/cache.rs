@@ -271,6 +271,81 @@ impl Cache {
         wb
     }
 
+    /// Serializes the resident lines, LRU clock, and statistics. Only
+    /// lines valid in the current epoch are written (as explicit
+    /// `(set, way)` coordinates), so the byte stream is independent of
+    /// how many stale lines past epochs left behind — two caches with
+    /// identical observable state snapshot identically.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("cache");
+        w.put_u64(self.tick);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.writebacks);
+        let valid = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|l| l.epoch == self.epoch)
+            .count();
+        w.put_usize(valid);
+        for (si, set) in self.sets.iter().enumerate() {
+            for (wi, line) in set.iter().enumerate() {
+                if line.epoch == self.epoch {
+                    w.put_u32(si as u32);
+                    w.put_u32(wi as u32);
+                    w.put_u64(line.tag);
+                    w.put_bool(line.dirty);
+                    w.put_u64(line.lru);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`Cache::save_state`] into this cache
+    /// (same geometry). Valid lines are reinstalled at their exact way
+    /// indices; everything else is invalid, exactly as in the snapshotted
+    /// cache (invalid ways tie-break victim selection by position, so
+    /// their stale contents are behaviorally invisible).
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream or line
+    /// coordinates outside this cache's geometry.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        self.clear();
+        r.take_tag("cache")?;
+        self.tick = r.take_u64()?;
+        self.stats = CacheStats {
+            hits: r.take_u64()?,
+            misses: r.take_u64()?,
+            writebacks: r.take_u64()?,
+        };
+        let valid = r.take_usize()?;
+        for _ in 0..valid {
+            let set = r.take_u32()? as usize;
+            let way = r.take_u32()? as usize;
+            let tag = r.take_u64()?;
+            let dirty = r.take_bool()?;
+            let lru = r.take_u64()?;
+            if set >= self.sets.len() || way >= self.cfg.assoc {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "cache line at set {set} way {way} outside geometry"
+                )));
+            }
+            self.sets[set][way] = Line {
+                tag,
+                epoch: self.epoch,
+                dirty,
+                lru,
+            };
+        }
+        Ok(())
+    }
+
     /// Returns `true` if the line containing `addr` is present (no LRU or
     /// stats side effects).
     pub fn probe(&self, addr: Addr) -> bool {

@@ -94,6 +94,53 @@ impl FlatMemory {
         self.chunks.len()
     }
 
+    /// Serializes the memory contents: every chunk holding at least one
+    /// nonzero byte, sorted by base address. All-zero chunks are skipped,
+    /// so the byte stream depends only on the memory's observable
+    /// contents — not on which chunks a warm-reused instance happens to
+    /// have allocated.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("flat");
+        let mut bases: Vec<u64> = self
+            .chunks
+            .iter()
+            .filter(|(_, c)| c.iter().any(|&b| b != 0))
+            .map(|(&base, _)| base)
+            .collect();
+        bases.sort_unstable();
+        w.put_usize(bases.len());
+        for base in bases {
+            w.put_u64(base);
+            w.put_raw(&self.chunks[&base]);
+        }
+    }
+
+    /// Restores contents written by [`FlatMemory::save_state`]: zeroes
+    /// the memory in place, then rewrites the saved chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        self.reset();
+        r.take_tag("flat")?;
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let base = r.take_u64()?;
+            let bytes = r.take_raw(CHUNK as usize)?;
+            if base % CHUNK != 0 {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "unaligned memory chunk base {base:#x}"
+                )));
+            }
+            self.chunk_mut(base).copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
     /// Zeroes every allocated chunk in place, keeping the storage. The
     /// memory reads all-zero afterwards — indistinguishable from a fresh
     /// instance — without returning anything to the allocator, which is

@@ -332,6 +332,121 @@ impl UncachedBuffer {
         grants
     }
 
+    /// Serializes the buffer's architectural state: counters, queued
+    /// entries, and the drain decomposition of a locked head. The
+    /// configuration and trace sink are wiring the restoring side supplies.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("ubuf");
+        w.put_u64(self.stats.stores);
+        w.put_u64(self.stats.coalesced);
+        w.put_u64(self.stats.entries);
+        w.put_u64(self.stats.loads);
+        w.put_u64(self.stats.full_stalls);
+        w.put_u64(self.stats.transactions);
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                Entry::Store(se) => {
+                    w.put_u8(0);
+                    w.put_u64(se.base.raw());
+                    w.put_u64(se.mask.bits() as u64);
+                    w.put_u64((se.mask.bits() >> 64) as u64);
+                    w.put_raw(&se.data);
+                    w.put_bool(se.locked);
+                    w.put_bool(se.closed);
+                    w.put_u64(se.expected_next);
+                    w.put_usize(se.beat);
+                    w.put_usize(se.stores);
+                }
+                Entry::Load { addr, width, tag } => {
+                    w.put_u8(1);
+                    w.put_u64(addr.raw());
+                    w.put_usize(*width);
+                    w.put_u64(*tag);
+                }
+                Entry::Barrier => w.put_u8(2),
+            }
+        }
+        w.put_usize(self.drain.len());
+        for c in &self.drain {
+            w.put_usize(c.offset);
+            w.put_usize(c.size);
+        }
+    }
+
+    /// Restores state written by [`UncachedBuffer::save_state`] into a
+    /// buffer already configured with the same [`UncachedConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("ubuf")?;
+        self.entries.clear();
+        self.drain.clear();
+        self.stats.stores = r.take_u64()?;
+        self.stats.coalesced = r.take_u64()?;
+        self.stats.entries = r.take_u64()?;
+        self.stats.loads = r.take_u64()?;
+        self.stats.full_stalls = r.take_u64()?;
+        self.stats.transactions = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n > self.cfg.capacity {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "{n} uncached entries exceed capacity {}",
+                self.cfg.capacity
+            )));
+        }
+        for _ in 0..n {
+            let entry = match r.take_u8()? {
+                0 => {
+                    let base = Addr::new(r.take_u64()?);
+                    let lo = r.take_u64()? as u128;
+                    let hi = r.take_u64()? as u128;
+                    let mut data = [0u8; MAX_BLOCK];
+                    data.copy_from_slice(r.take_raw(MAX_BLOCK)?);
+                    Entry::Store(StoreEntry {
+                        base,
+                        mask: ByteMask::from_bits(hi << 64 | lo),
+                        data,
+                        locked: r.take_bool()?,
+                        closed: r.take_bool()?,
+                        expected_next: r.take_u64()?,
+                        beat: r.take_usize()?,
+                        stores: r.take_usize()?,
+                    })
+                }
+                1 => Entry::Load {
+                    addr: Addr::new(r.take_u64()?),
+                    width: r.take_usize()?,
+                    tag: r.take_u64()?,
+                },
+                2 => Entry::Barrier,
+                k => {
+                    return Err(csb_snap::SnapshotError::Corrupt(format!(
+                        "unknown uncached entry kind {k}"
+                    )))
+                }
+            };
+            self.entries.push_back(entry);
+        }
+        let chunks = r.take_usize()?;
+        for _ in 0..chunks {
+            let offset = r.take_usize()?;
+            let size = r.take_usize()?;
+            if offset + size > MAX_BLOCK {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "drain chunk {offset}+{size} exceeds {MAX_BLOCK}"
+                )));
+            }
+            self.drain.push_back(Chunk { offset, size });
+        }
+        Ok(())
+    }
+
     /// Offers an uncached store of `data.len()` bytes at `addr`.
     ///
     /// # Panics

@@ -332,6 +332,110 @@ impl ConditionalStoreBuffer {
         self.stats.busy_stalls += n;
     }
 
+    /// Serializes the CSB's architectural state: the line buffer, queued
+    /// bursts, counters, and the fault-disturb count. The configuration,
+    /// trace sink, and fault hook are wiring the restoring side supplies.
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("csb");
+        w.put_u64(self.stats.stores);
+        w.put_u64(self.stats.resets);
+        w.put_u64(self.stats.flush_successes);
+        w.put_u64(self.stats.flush_failures);
+        w.put_u64(self.stats.bursts);
+        w.put_u64(self.stats.payload_bytes);
+        w.put_u64(self.stats.busy_stalls);
+        w.put_u64(self.fault_disturbs);
+        w.put_bool(self.current.is_some());
+        if let Some(line) = &self.current {
+            w.put_u64(line.base.raw());
+            w.put_u32(line.pid);
+            w.put_u64(line.mask.bits() as u64);
+            w.put_u64((line.mask.bits() >> 64) as u64);
+            w.put_raw(&line.data);
+            w.put_u64(line.count);
+        }
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_u64(p.txn.addr.raw());
+            w.put_usize(p.txn.size);
+            w.put_u8(match p.txn.kind {
+                csb_bus::TxnKind::Write => 0,
+                csb_bus::TxnKind::Read => 1,
+            });
+            w.put_usize(p.txn.payload);
+            w.put_u64(p.txn.tag);
+            w.put_bytes(&p.data);
+        }
+    }
+
+    /// Restores state written by
+    /// [`ConditionalStoreBuffer::save_state`] into a CSB already
+    /// configured with the same [`CsbConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`csb_snap::SnapshotError`] on a malformed stream.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("csb")?;
+        self.current = None;
+        self.pending.clear();
+        self.stats.stores = r.take_u64()?;
+        self.stats.resets = r.take_u64()?;
+        self.stats.flush_successes = r.take_u64()?;
+        self.stats.flush_failures = r.take_u64()?;
+        self.stats.bursts = r.take_u64()?;
+        self.stats.payload_bytes = r.take_u64()?;
+        self.stats.busy_stalls = r.take_u64()?;
+        self.fault_disturbs = r.take_u64()?;
+        if r.take_bool()? {
+            let base = Addr::new(r.take_u64()?);
+            let pid = r.take_u32()?;
+            let lo = r.take_u64()? as u128;
+            let hi = r.take_u64()? as u128;
+            let mut data = [0u8; MAX_BLOCK];
+            data.copy_from_slice(r.take_raw(MAX_BLOCK)?);
+            self.current = Some(LineBuf {
+                base,
+                pid,
+                mask: ByteMask::from_bits(hi << 64 | lo),
+                data,
+                count: r.take_u64()?,
+            });
+        }
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let addr = Addr::new(r.take_u64()?);
+            let size = r.take_usize()?;
+            let kind = r.take_u8()?;
+            let payload = r.take_usize()?;
+            let tag = r.take_u64()?;
+            let bytes = r.take_bytes()?;
+            if bytes.len() > MAX_BLOCK {
+                return Err(csb_snap::SnapshotError::Corrupt(format!(
+                    "CSB burst payload of {} bytes exceeds {MAX_BLOCK}",
+                    bytes.len()
+                )));
+            }
+            let txn = match kind {
+                0 => Transaction::write(addr, size),
+                1 => Transaction::read(addr, size),
+                k => {
+                    return Err(csb_snap::SnapshotError::Corrupt(format!(
+                        "unknown transaction kind {k}"
+                    )))
+                }
+            };
+            self.pending.push_back(PreparedTxn {
+                txn: txn.payload(payload).tag(tag),
+                data: PayloadBuf::from_slice(bytes),
+            });
+        }
+        Ok(())
+    }
+
     /// Performs a combining store of `data.len()` bytes at `addr` on behalf
     /// of process `pid`.
     ///

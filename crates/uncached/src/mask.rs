@@ -120,6 +120,11 @@ impl ByteMask {
     pub const fn bits(&self) -> u128 {
         self.0
     }
+
+    /// Rebuilds a mask from [`ByteMask::bits`] (snapshot restore).
+    pub const fn from_bits(bits: u128) -> Self {
+        ByteMask(bits)
+    }
 }
 
 impl std::ops::BitOr for ByteMask {

@@ -1,0 +1,457 @@
+//! Differential tests for snapshot/resume and the sweep-point cache.
+//!
+//! A snapshot taken at an arbitrary cycle — mid-flush, mid-bus-
+//! transaction, under an active fault schedule, mid-slice in a
+//! multi-process run — must restore to a machine that continues
+//! **byte-identically** to one that never stopped, on both the naive and
+//! fast-forward loops. The cache tests check the content-addressing
+//! contract: a warm sweep is all hits with identical values, a corrupted
+//! entry is detected and transparently re-simulated, and changing one
+//! point's configuration invalidates exactly that point.
+
+use std::sync::{Arc, Mutex};
+
+use csb_core::experiments::runner::{run_values, PointSpec, PointWork};
+use csb_core::experiments::Scheme;
+use csb_core::multiproc::{MultiSim, SwitchPolicy};
+use csb_core::workloads::{self, RetryPolicy, StoreOrder};
+use csb_core::{cache, FaultConfig, RestoreError, SimConfig, SimError, Simulator, WatchdogConfig};
+use csb_isa::Program;
+use proptest::prelude::*;
+
+const LIMIT: u64 = 2_000_000;
+
+/// Runs `(cfg, program)` uninterrupted, and again with a snapshot/restore
+/// boundary at cycle `snap_at`; asserts the resumed machine's summary,
+/// CSB stats, device log, and fault counters are byte-identical, and that
+/// the donor simulator (the one snapshotted) also finishes identically.
+fn assert_snapshot_differential(
+    cfg: &SimConfig,
+    program: &Program,
+    snap_at: u64,
+    fast_forward: bool,
+    faults: Option<FaultConfig>,
+) {
+    let mut whole = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    whole.set_fast_forward(fast_forward);
+    whole.set_faults(faults);
+    let expected = whole.run(LIMIT).expect("uninterrupted run completes");
+
+    let mut donor = Simulator::new(cfg.clone(), program.clone()).expect("config valid");
+    donor.set_fast_forward(fast_forward);
+    donor.set_faults(faults);
+    donor.run_to(snap_at).expect("run to snapshot cycle");
+    let bytes = donor.snapshot();
+
+    let mut resumed =
+        Simulator::restore(cfg.clone(), program.clone(), &bytes).expect("snapshot restores");
+    let got = resumed.run(LIMIT).expect("resumed run completes");
+
+    let ctx = format!("snap_at={snap_at} ff={fast_forward}");
+    assert_eq!(
+        serde_json::to_string(&got).unwrap(),
+        serde_json::to_string(&expected).unwrap(),
+        "{ctx}: resumed summary must be byte-identical"
+    );
+    assert_eq!(
+        resumed.csb_stats(),
+        whole.csb_stats(),
+        "{ctx}: CSB stats must match"
+    );
+    assert_eq!(
+        serde_json::to_string(resumed.device()).unwrap(),
+        serde_json::to_string(whole.device()).unwrap(),
+        "{ctx}: device log must be byte-identical"
+    );
+    assert_eq!(
+        format!("{:?}", resumed.fault_stats()),
+        format!("{:?}", whole.fault_stats()),
+        "{ctx}: fault counters must match"
+    );
+
+    // Snapshotting is non-destructive: the donor finishes identically too.
+    let donor_summary = donor.run(LIMIT).expect("donor continues");
+    assert_eq!(
+        serde_json::to_string(&donor_summary).unwrap(),
+        serde_json::to_string(&expected).unwrap(),
+        "{ctx}: donor must be unaffected by taking a snapshot"
+    );
+}
+
+#[test]
+fn snapshot_restore_on_figure_workloads() {
+    let cfg = SimConfig::default();
+    let csb = workloads::store_bandwidth(256, &cfg, workloads::StorePath::Csb).unwrap();
+    let uncached = workloads::store_bandwidth(128, &cfg, workloads::StorePath::Uncached).unwrap();
+    // Snapshot cycles chosen to land mid-run: combining stores in flight,
+    // bursts mid-drain on the bus, flushes pending.
+    for &snap_at in &[1, 17, 100, 250, 1_000] {
+        for ff in [false, true] {
+            assert_snapshot_differential(&cfg, &csb, snap_at, ff, None);
+            assert_snapshot_differential(&cfg, &uncached, snap_at, ff, None);
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_under_active_fault_schedule() {
+    let cfg = SimConfig::default();
+    let program = workloads::csb_sequence_with_policy(
+        8,
+        RetryPolicy::Backoff {
+            attempts: 12,
+            base: 32,
+            max: 1024,
+            seed: 11,
+        },
+        &cfg,
+    )
+    .unwrap();
+    let faults = FaultConfig::new(0x5eed)
+        .flush_disturb_rate(0.5)
+        .bus_error_rate(0.125)
+        .device_nack_rate(0.125);
+    // Mid-retry snapshots: the fault ordinal streams must reposition
+    // exactly, or the schedule replays differently after restore.
+    for &snap_at in &[1, 40, 150, 700] {
+        for ff in [false, true] {
+            assert_snapshot_differential(&cfg, &program, snap_at, ff, Some(faults));
+        }
+    }
+}
+
+#[test]
+fn snapshot_preserves_trace_stream_as_concatenation() {
+    let cfg = SimConfig::default();
+    let program = workloads::store_bandwidth(256, &cfg, workloads::StorePath::Csb).unwrap();
+
+    let mut whole = Simulator::new(cfg.clone(), program.clone()).unwrap();
+    whole.enable_tracing();
+    whole.run(LIMIT).unwrap();
+    let uninterrupted = whole.trace_events();
+
+    let mut donor = Simulator::new(cfg.clone(), program.clone()).unwrap();
+    donor.enable_tracing();
+    donor.run_to(120).unwrap();
+    let pre = donor.trace_events();
+    let bytes = donor.snapshot();
+    let mut resumed = Simulator::restore(cfg, program, &bytes).unwrap();
+    resumed.run(LIMIT).unwrap();
+    let post = resumed.trace_events();
+
+    let mut concat = pre;
+    concat.extend(post);
+    assert_eq!(
+        concat, uninterrupted,
+        "pre-snapshot + post-restore events must equal the uninterrupted stream"
+    );
+}
+
+#[test]
+fn snapshot_restore_mid_slice_in_multisim() {
+    let cfg = SimConfig::default();
+    let programs = vec![
+        workloads::csb_worker(4, 8, 0, &cfg).unwrap(),
+        workloads::csb_worker(4, 8, 1, &cfg).unwrap(),
+    ];
+    for policy in [
+        SwitchPolicy::Fixed(60),
+        SwitchPolicy::Backoff { base: 6, max: 4096 },
+    ] {
+        let mut whole = MultiSim::new(cfg.clone(), programs.clone(), policy).unwrap();
+        let expected = whole.run(10_000_000).unwrap();
+
+        // Drive the donor into the middle of the run (CycleLimit is the
+        // documented bounded-run return), snapshot mid-slice, restore.
+        let mut donor = MultiSim::new(cfg.clone(), programs.clone(), policy).unwrap();
+        match donor.run(150) {
+            Err(SimError::CycleLimit { .. }) => {}
+            other => panic!("expected mid-run CycleLimit, got {other:?}"),
+        }
+        let bytes = donor.snapshot();
+        let mut resumed = MultiSim::restore(cfg.clone(), programs.clone(), policy, &bytes).unwrap();
+        let got = resumed.run(10_000_000).unwrap();
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&expected).unwrap(),
+            "{policy:?}: resumed multi-process run must be byte-identical"
+        );
+        assert_eq!(
+            serde_json::to_string(resumed.simulator().device()).unwrap(),
+            serde_json::to_string(whole.simulator().device()).unwrap(),
+            "{policy:?}: device log must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_mismatch_and_corruption() {
+    let cfg = SimConfig::default();
+    let program = workloads::store_bandwidth(64, &cfg, workloads::StorePath::Csb).unwrap();
+    let mut sim = Simulator::new(cfg.clone(), program.clone()).unwrap();
+    sim.run_to(50).unwrap();
+    let bytes = sim.snapshot();
+
+    // Different program.
+    let other = workloads::store_bandwidth(128, &cfg, workloads::StorePath::Csb).unwrap();
+    assert!(matches!(
+        Simulator::restore(cfg.clone(), other, &bytes),
+        Err(RestoreError::ProgramMismatch)
+    ));
+
+    // Different configuration.
+    let other_cfg = SimConfig::default().line_size(32);
+    assert!(matches!(
+        Simulator::restore(other_cfg, program.clone(), &bytes),
+        Err(RestoreError::ConfigMismatch)
+    ));
+
+    // Flipped byte fails the checksum.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(matches!(
+        Simulator::restore(cfg.clone(), program.clone(), &corrupt),
+        Err(RestoreError::Snapshot(_))
+    ));
+
+    // Truncation fails too.
+    assert!(matches!(
+        Simulator::restore(cfg, program, &bytes[..bytes.len() / 2]),
+        Err(RestoreError::Snapshot(_))
+    ));
+}
+
+#[test]
+fn snapshot_respects_watchdog_state() {
+    // A snapshot taken shortly before a livelock fires must, after
+    // restore, still fire at the identical cycle with the identical
+    // report.
+    let cfg = SimConfig::default();
+    let program = workloads::csb_sequence_with_policy(8, RetryPolicy::NaiveSpin, &cfg).unwrap();
+    let faults = FaultConfig::new(3).flush_disturb_rate(1.0);
+
+    let run_whole = |ff: bool| {
+        let mut s = Simulator::new(cfg.clone(), program.clone()).unwrap();
+        s.set_fast_forward(ff);
+        s.set_faults(Some(faults));
+        s.set_watchdog(WatchdogConfig::default());
+        match s.run(LIMIT) {
+            Err(SimError::Livelock(r)) => format!("{r:?}"),
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    };
+    for ff in [false, true] {
+        let expected = run_whole(ff);
+        let mut donor = Simulator::new(cfg.clone(), program.clone()).unwrap();
+        donor.set_fast_forward(ff);
+        donor.set_faults(Some(faults));
+        donor.set_watchdog(WatchdogConfig::default());
+        donor.run_to(200).unwrap();
+        let bytes = donor.snapshot();
+        let mut resumed = Simulator::restore(cfg.clone(), program.clone(), &bytes).unwrap();
+        let got = match resumed.run(LIMIT) {
+            Err(SimError::Livelock(r)) => format!("{r:?}"),
+            other => panic!("expected livelock after restore, got {other:?}"),
+        };
+        assert_eq!(got, expected, "ff={ff}: livelock report must be identical");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random snapshot cycles on random workload shapes, both loops:
+    /// including cycles that land mid-flush and mid-bus-transaction.
+    #[test]
+    fn snapshot_round_trips_at_random_cycles(
+        snap_at in 1u64..2_500,
+        transfer_idx in 0usize..3,
+        csb_path in proptest::bool::ANY,
+        ff in proptest::bool::ANY,
+        shuffled in proptest::bool::ANY,
+    ) {
+        let cfg = SimConfig::default();
+        let transfer = [64usize, 256, 512][transfer_idx];
+        let path = if csb_path {
+            workloads::StorePath::Csb
+        } else {
+            workloads::StorePath::Uncached
+        };
+        let order = if shuffled { StoreOrder::Shuffled } else { StoreOrder::Ascending };
+        let program = workloads::store_bandwidth_ordered(transfer, &cfg, path, order).unwrap();
+        assert_snapshot_differential(&cfg, &program, snap_at, ff, None);
+    }
+
+    /// Random snapshot cycles under a seeded fault schedule.
+    #[test]
+    fn snapshot_round_trips_under_faults(
+        snap_at in 1u64..1_500,
+        seed in 0u64..64,
+        ff in proptest::bool::ANY,
+    ) {
+        let cfg = SimConfig::default();
+        let program = workloads::csb_sequence_with_policy(
+            8,
+            RetryPolicy::Bounded { attempts: 8 },
+            &cfg,
+        ).unwrap();
+        let faults = FaultConfig::new(seed)
+            .flush_disturb_rate(0.4)
+            .bus_error_rate(0.1)
+            .device_nack_rate(0.1);
+        let mut whole = Simulator::new(cfg.clone(), program.clone()).unwrap();
+        whole.set_fast_forward(ff);
+        whole.set_faults(Some(faults));
+        let expected = match whole.run(LIMIT) {
+            Ok(s) => serde_json::to_string(&s).unwrap(),
+            Err(e) => format!("{e:?}"),
+        };
+        let mut donor = Simulator::new(cfg.clone(), program.clone()).unwrap();
+        donor.set_fast_forward(ff);
+        donor.set_faults(Some(faults));
+        donor.run_to(snap_at).unwrap();
+        let bytes = donor.snapshot();
+        let mut resumed = Simulator::restore(cfg.clone(), program.clone(), &bytes).unwrap();
+        let got = match resumed.run(LIMIT) {
+            Ok(s) => serde_json::to_string(&s).unwrap(),
+            Err(e) => format!("{e:?}"),
+        };
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point-cache contract. The cache is process-global, so these tests
+// serialize on one lock and install/remove their own stores.
+// ---------------------------------------------------------------------------
+
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_cache<T>(name: &str, f: impl FnOnce(&cache::PointCache) -> T) -> T {
+    let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("csb-snapshot-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(cache::PointCache::open(&dir).expect("cache dir"));
+    cache::set_active(Some(store.clone()));
+    let out = f(&store);
+    cache::set_active(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn small_specs() -> Vec<PointSpec> {
+    let cfg = SimConfig::default();
+    [64usize, 128, 256]
+        .iter()
+        .map(|&transfer| PointSpec {
+            label: format!("cache-test/{transfer}B"),
+            cfg: cfg.clone(),
+            work: PointWork::Bandwidth {
+                transfer,
+                scheme: Scheme::Csb,
+                order: StoreOrder::Ascending,
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn warm_sweep_is_all_hits_with_identical_values() {
+    with_cache("warm", |store| {
+        let specs = small_specs();
+        let (cold_values, cold_report) = run_values(&specs, 1).unwrap();
+        let cold = cold_report.cache.expect("cache stats recorded");
+        assert_eq!(cold.misses, specs.len() as u64);
+        assert_eq!(cold.hits, 0);
+        assert!(cold.bytes_written > 0);
+
+        let (warm_values, warm_report) = run_values(&specs, 2).unwrap();
+        let warm = warm_report.cache.expect("cache stats recorded");
+        assert_eq!(
+            warm.hits,
+            specs.len() as u64,
+            "second sweep must be all hits"
+        );
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.invalidations, 0);
+        assert_eq!(warm_values, cold_values, "cached values must be identical");
+        assert_eq!(store.stats().hits, specs.len() as u64);
+
+        // The report surfaces the pair as metrics counters too.
+        assert!(warm_report.render().contains("cache"));
+        let m = warm_report.metrics.expect("cache counters in metrics");
+        assert_eq!(m.counters["cache.hit"], specs.len() as u64);
+        assert_eq!(m.counters["cache.miss"], 0);
+    });
+}
+
+#[test]
+fn corrupted_entry_is_detected_and_resimulated() {
+    with_cache("corrupt", |store| {
+        let specs = small_specs();
+        let (cold_values, _) = run_values(&specs, 1).unwrap();
+
+        // Flip one byte in one entry.
+        let entry = std::fs::read_dir(store.dir())
+            .unwrap()
+            .next()
+            .expect("at least one entry")
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        let (warm_values, report) = run_values(&specs, 1).unwrap();
+        let stats = report.cache.expect("cache stats recorded");
+        assert_eq!(stats.invalidations, 1, "corruption must be detected");
+        assert_eq!(stats.misses, 1, "the corrupted point re-simulates");
+        assert_eq!(stats.hits, specs.len() as u64 - 1);
+        assert_eq!(warm_values, cold_values, "values must survive corruption");
+
+        // The re-simulated entry was rewritten: a third sweep is all hits.
+        let (_, report) = run_values(&specs, 1).unwrap();
+        assert_eq!(report.cache.unwrap().hits, specs.len() as u64);
+    });
+}
+
+#[test]
+fn config_change_invalidates_only_that_point() {
+    with_cache("invalidate", |_| {
+        let mut specs = small_specs();
+        let (_, cold_report) = run_values(&specs, 1).unwrap();
+        assert_eq!(cold_report.cache.unwrap().misses, specs.len() as u64);
+
+        // Change ONE point's machine configuration.
+        specs[1].cfg = SimConfig::default().line_size(32);
+        let (_, report) = run_values(&specs, 1).unwrap();
+        let stats = report.cache.expect("cache stats recorded");
+        assert_eq!(
+            stats.hits,
+            specs.len() as u64 - 1,
+            "unchanged points must stay warm"
+        );
+        assert_eq!(stats.misses, 1, "exactly the edited point re-simulates");
+    });
+}
+
+#[test]
+fn observed_points_bypass_the_cache() {
+    with_cache("observed", |store| {
+        use csb_core::experiments::runner::{run_values_observed, ObsConfig};
+        let specs = small_specs();
+        let obs = ObsConfig {
+            trace: false,
+            metrics: true,
+        };
+        let (_, artifacts, report) = run_values_observed(&specs, 1, obs).unwrap();
+        assert!(
+            report.cache.is_none(),
+            "artifact-capturing sweeps must not touch the cache"
+        );
+        assert_eq!(store.stats(), cache::CacheStats::default());
+        assert!(artifacts.iter().all(|a| a.artifacts.metrics.is_some()));
+    });
+}
