@@ -115,8 +115,8 @@ fn main() -> ExitCode {
     println!("{}", report.csb);
     if let Some(h) = report.metrics.histograms.get("csb_flush_retry_latency") {
         println!(
-            "flush retry latency: p50 {} p95 {} p99 {} max {} cycles over {} flush(es)",
-            h.p50, h.p95, h.p99, h.max, h.count
+            "flush retry latency: p50 {} p95 {} p99 {} p99.9 {} max {} cycles over {} flush(es)",
+            h.p50, h.p95, h.p99, h.p999, h.max, h.count
         );
     }
 

@@ -220,6 +220,7 @@ pub fn ledger_record(bench: &str, la: &LabeledArtifacts) -> LedgerRecord {
         flush_p50: flush.map_or(0, |h| h.p50),
         flush_p95: flush.map_or(0, |h| h.p95),
         flush_p99: flush.map_or(0, |h| h.p99),
+        flush_p999: flush.map_or(0, |h| h.p999),
     }
 }
 
@@ -365,7 +366,10 @@ pub fn apply_fast_forward_flag() {
 
 /// Parses an optional `--jobs <N>` (or `--jobs=N`) argument: the worker
 /// count for the parallel experiment runner. Returns `0` ("all cores",
-/// which the runner resolves via `available_parallelism`) when absent.
+/// which the runner resolves via `available_parallelism`) when absent. A
+/// request beyond the host's available parallelism is capped to it, with
+/// a warning on stderr — oversubscribed simulator workers only fight each
+/// other for cycles and skew per-point wall-clock numbers.
 ///
 /// Exits with status 2 if `--jobs` is given without a positive integer.
 pub fn jobs_from_args() -> usize {
@@ -381,12 +385,46 @@ pub fn jobs_from_args() -> usize {
         };
         if let Some(v) = value {
             match v.parse::<usize>() {
-                Ok(n) if n > 0 => return n,
+                Ok(n) if n > 0 => {
+                    let avail = host_parallelism();
+                    if n > avail {
+                        eprintln!(
+                            "warning: --jobs {n} exceeds the {avail} available host \
+                             core(s); capping at {avail}"
+                        );
+                        return avail;
+                    }
+                    return n;
+                }
                 _ => die(format!("--jobs requires a positive integer, got {v:?}")),
             }
         }
     }
     0
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Warns (stderr) when `jobs` workers × `simulated_cores` time-sliced
+/// processes per worker outstrips the host: each worker single-threads its
+/// whole MultiSim, so the product is memory pressure, not parallelism —
+/// worth a note before a 64-process sweep fans out. `jobs == 0` means
+/// "all cores" (the runner's convention) and is resolved before the check.
+pub fn warn_if_oversubscribed(jobs: usize, simulated_cores: usize) {
+    let avail = host_parallelism();
+    let jobs = if jobs == 0 { avail } else { jobs };
+    if jobs.saturating_mul(simulated_cores) > avail {
+        eprintln!(
+            "note: {jobs} worker(s) x {simulated_cores} simulated processor(s) \
+             share {avail} host core(s); each worker time-slices its processes \
+             on one thread"
+        );
+    }
 }
 
 /// Parses an optional `<flag> <N>` (or `<flag>=N`) argument holding a

@@ -8,7 +8,10 @@
 //! * [`throughput`] — simulated-cycles-per-second of the engine itself,
 //!   naive loop vs. idle-cycle fast-forward,
 //! * [`faults`] — success rate and latency degradation of software retry
-//!   policies under a seeded fault schedule (robustness study).
+//!   policies under a seeded fault schedule (robustness study),
+//! * [`contend`] — many-core contention: throughput and flush-latency
+//!   tails at 16/32/64 processors, lock vs. per-process CSB lines vs. the
+//!   double-buffered CSB (server-class scenario, not a paper figure).
 //!
 //! Each harness returns serializable panel structures with a plain-text
 //! table renderer, so the `csb-bench` binaries can print the same rows and
@@ -17,6 +20,7 @@
 //! Figure 5.
 
 pub mod ablations;
+pub mod contend;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;

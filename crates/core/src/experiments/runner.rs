@@ -535,8 +535,8 @@ impl RunReport {
         if let Some(metrics) = &self.metrics {
             if let Some(h) = metrics.histograms.get("csb_flush_retry_latency") {
                 out.push_str(&format!(
-                    "\nrunner: flush retry latency p50 {} p95 {} p99 {} max {} cycles over {} flush(es)",
-                    h.p50, h.p95, h.p99, h.max, h.count
+                    "\nrunner: flush retry latency p50 {} p95 {} p99 {} p99.9 {} max {} cycles over {} flush(es)",
+                    h.p50, h.p95, h.p99, h.p999, h.max, h.count
                 ));
             }
         }
@@ -1141,6 +1141,7 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("flush retry latency"));
         assert!(rendered.contains(" p99 "), "{rendered}");
+        assert!(rendered.contains(" p99.9 "), "{rendered}");
     }
 
     #[test]

@@ -18,10 +18,11 @@ use std::time::Instant;
 use serde::Serialize;
 
 use super::runner::{PointSpec, PointValue, PointWork};
-use super::{fig4, fig5, ExpError, Scheme, POINT_LIMIT};
+use super::{contend, fig4, fig5, ExpError, Scheme, POINT_LIMIT};
 use crate::config::SimConfig;
+use crate::multiproc::{MultiSim, SchedulerMode, SwitchPolicy};
 use crate::sim::{RunSummary, Simulator};
-use crate::workloads::{StoreOrder, MARK_END, MARK_START};
+use crate::workloads::{self, StoreOrder, MARK_END, MARK_START};
 
 /// Before/after throughput for one figure point.
 #[derive(Debug, Clone, Serialize)]
@@ -297,16 +298,139 @@ pub fn measure_point(
     })
 }
 
-/// Measures every [`default_points`] spec.
+/// Label of the many-core scheduler point appended by [`measure`].
+pub const SCHED_POINT_LABEL: &str = "c64multi/sched";
+
+/// Processors in the scheduler point.
+const SCHED_CORES: usize = 64;
+
+/// Arrival span of the scheduler point: I/O bursts trickle in over twenty
+/// million cycles, so the machine is parked for ~99.9% of the run.
+const SCHED_SPAN: u64 = 20_000_000;
+
+/// Scheduler slice of the scheduler point. Deliberately short: the legacy
+/// round-robin traversal polls the parked processors once per slice
+/// quantum while crossing an idle gap, so the quantum sets how much
+/// per-slice overhead the horizon heap's single jump saves.
+const SCHED_SLICE: u64 = 60;
+
+/// The scheduler point's per-processor programs: each processor owes one
+/// short CSB burst pair on its own line. Assembled once per sample, not
+/// per rep — program assembly is identical on both legs and not what the
+/// point measures.
+fn sched_programs() -> Result<Vec<csb_isa::Program>, ExpError> {
+    let cfg = SimConfig::default();
+    Ok((0..SCHED_CORES)
+        .map(|i| workloads::csb_worker(2, 8, i, &cfg))
+        .collect::<Result<Vec<_>, _>>()?)
+}
+
+/// Builds the scheduler point's [`MultiSim`]: 64 processors arriving
+/// open-loop across [`SCHED_SPAN`] cycles — the server-class mostly-idle
+/// shape where per-slice polling of parked processors is pure overhead.
+fn sched_multisim(
+    programs: &[csb_isa::Program],
+    mode: SchedulerMode,
+) -> Result<MultiSim, ExpError> {
+    let mut ms = MultiSim::new(
+        SimConfig::default(),
+        programs.to_vec(),
+        SwitchPolicy::Fixed(SCHED_SLICE),
+    )?;
+    ms.set_arrivals(&contend::arrival_schedule(SCHED_CORES, SCHED_SPAN, 0xc0de));
+    ms.set_scheduler(mode);
+    ms.set_fast_forward(true);
+    Ok(ms)
+}
+
+/// One timed sample of the scheduler point: `reps` cold-constructed runs
+/// (MultiSim has no warm-reset path; construction is identical on both
+/// legs, so it only dilutes the measured gap). Returns (wall seconds per
+/// execution, cycles per second, result digest, cycles per execution).
+fn sched_sample(
+    programs: &[csb_isa::Program],
+    mode: SchedulerMode,
+    reps: usize,
+) -> Result<(f64, f64, String, u64), ExpError> {
+    let reps = reps.max(1);
+    let mut cycles = 0u64;
+    let mut digest = String::new();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut ms = sched_multisim(programs, mode)?;
+        let summary = ms.run(POINT_LIMIT)?;
+        cycles = summary.cycles;
+        digest = format!("{summary:?}");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    Ok((
+        wall / reps as f64,
+        (cycles * reps as u64) as f64 / wall,
+        digest,
+        cycles,
+    ))
+}
+
+/// Measures the many-core scheduler point both ways: legacy round-robin
+/// traversal as the "naive" leg, the horizon heap as the "ff" leg —
+/// fast-forward stays *on* for both, so the measured gap isolates the
+/// scheduler (O(n · gap/quantum) polling vs. O(log n) picks with
+/// single-jump idle gaps). The two legs' [`crate::multiproc::MultiSummary`]
+/// digests are asserted identical, extending the bench's differential
+/// guarantee to the scheduler.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either leg.
+///
+/// # Panics
+///
+/// Panics if the traversals disagree on any summary field — that would be
+/// a scheduling-equivalence bug, not a throughput result.
+pub fn sched_point(samples: usize, reps: usize) -> Result<ThroughputPoint, ExpError> {
+    let programs = sched_programs()?;
+    let mut best: [Option<(f64, f64, String, u64)>; 2] = [None, None];
+    let legs = [SchedulerMode::RoundRobin, SchedulerMode::HorizonHeap];
+    for (mode, slot) in legs.into_iter().zip(best.iter_mut()) {
+        sched_sample(&programs, mode, reps)?; // warmup: page in code + allocator state
+        for _ in 0..samples.max(1) {
+            let s = sched_sample(&programs, mode, reps)?;
+            if slot.as_ref().is_none_or(|b| s.0 < b.0) {
+                *slot = Some(s);
+            }
+        }
+    }
+    let (rr_wall_s, rr_cps, rr_digest, rr_cycles) = best[0].take().expect("round-robin sampled");
+    let (heap_wall_s, heap_cps, heap_digest, heap_cycles) = best[1].take().expect("heap sampled");
+    assert_eq!(
+        rr_digest, heap_digest,
+        "{SCHED_POINT_LABEL}: the scheduler traversal changed the simulation"
+    );
+    assert_eq!(rr_cycles, heap_cycles);
+    Ok(ThroughputPoint {
+        label: SCHED_POINT_LABEL.to_string(),
+        sim_cycles: heap_cycles,
+        naive_wall_s: rr_wall_s,
+        naive_cycles_per_sec: rr_cps,
+        ff_wall_s: heap_wall_s,
+        ff_cycles_per_sec: heap_cps,
+        speedup: heap_cps / rr_cps,
+    })
+}
+
+/// Measures every [`default_points`] spec, plus the many-core scheduler
+/// point ([`sched_point`] — heap vs. round-robin rather than fast-forward
+/// vs. naive, reported through the same before/after row).
 ///
 /// # Errors
 ///
 /// Propagates the first failing point.
 pub fn measure(samples: usize, reps: usize) -> Result<ThroughputReport, ExpError> {
-    let points = default_points()
+    let mut points = default_points()
         .iter()
         .map(|spec| measure_point(spec, samples, reps))
         .collect::<Result<Vec<_>, _>>()?;
+    points.push(sched_point(samples, reps)?);
     Ok(ThroughputReport {
         samples,
         reps,
@@ -380,6 +504,27 @@ mod tests {
                 naive * 1e6,
             );
         }
+    }
+
+    #[test]
+    fn sched_point_legs_agree() {
+        let p = sched_point(1, 1).expect("scheduler point simulates");
+        assert_eq!(p.label, SCHED_POINT_LABEL);
+        // The run ends shortly after the last arrival's burst, which lands
+        // somewhere in the top of the [0, SPAN) window.
+        assert!(
+            p.sim_cycles >= SCHED_SPAN / 2,
+            "the run must cross the arrival window, got {}",
+            p.sim_cycles
+        );
+        assert!(p.naive_cycles_per_sec > 0.0 && p.ff_cycles_per_sec > 0.0);
+        println!(
+            "sched speedup {:.2}x (rr {:.3}ms heap {:.3}ms, {} cycles)",
+            p.speedup,
+            p.naive_wall_s * 1e3,
+            p.ff_wall_s * 1e3,
+            p.sim_cycles
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   uninterrupted window models the same remedy at the scheduler level and
 //!   restores progress.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use csb_cpu::CpuContext;
 use csb_isa::Program;
 use serde::{Deserialize, Serialize};
@@ -43,6 +46,32 @@ pub enum SwitchPolicy {
     },
 }
 
+/// How the scheduler finds the next runnable process.
+///
+/// Both modes implement the *same* scheduling function — run the undone,
+/// arrived process with the smallest `(wake, seq)` key (least recently
+/// scheduled first, arrival order among never-run processes) — so every
+/// simulation observable is byte-identical between them. They differ only
+/// in traversal cost, i.e. host wall-clock:
+///
+/// * [`SchedulerMode::RoundRobin`] re-scans all `n` processes at every
+///   pick and steps the clock through idle gaps one slice quantum at a
+///   time — O(n) per pick, O(n · gap/quantum) per idle gap. This is the
+///   legacy slicer, kept as the differential baseline.
+/// * [`SchedulerMode::HorizonHeap`] keeps undone, non-running processes
+///   in a binary min-heap keyed by `(wake, seq, pid)` — O(log n) per pick
+///   — and jumps the clock straight to the heap minimum, so a fully idle
+///   machine crosses an arrival gap in O(1) advances no matter how many
+///   processors are parked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerMode {
+    /// Legacy O(n) scan + slice-quantum clock stepping.
+    RoundRobin,
+    /// O(log n) horizon heap + single-jump idle gaps (the default).
+    #[default]
+    HorizonHeap,
+}
+
 /// Result of a multi-process run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiSummary {
@@ -63,6 +92,16 @@ struct Proc {
     program: Program,
     ctx: Option<CpuContext>, // None while running or never started
     done: bool,
+    /// Cycle this process becomes schedulable for the first time
+    /// (open-loop arrival; 0 = resident at reset).
+    arrival: u64,
+    /// Scheduling key, first component: the cycle this process last
+    /// yielded the core (or its arrival, if it never ran).
+    wake: u64,
+    /// Scheduling key, second component: a monotone stamp that makes the
+    /// ready queue FIFO among equal wakes (arrival/pid order before any
+    /// process has run).
+    seq: u64,
 }
 
 /// A time-sliced multi-process simulation on one core.
@@ -105,6 +144,18 @@ pub struct MultiSim {
     failures_at_slice_start: u64,
     /// Flush-success count at the slice boundary (backoff bookkeeping).
     successes_at_slice_start: u64,
+    /// Traversal strategy; never serialized (both modes compute the same
+    /// schedule, so snapshots are mode-agnostic).
+    mode: SchedulerMode,
+    /// Next value of [`Proc::seq`]; starts at `n` (0..n seed the initial
+    /// arrival order).
+    seq_counter: u64,
+    /// Ready queue for [`SchedulerMode::HorizonHeap`]: exactly the undone,
+    /// non-running processes, keyed `(wake, seq, pid)`. Entries are exact,
+    /// never stale — one push when a process yields (or at reset/restore
+    /// rebuild), one pop when it is picked; the running process has no
+    /// entry, and a key is never re-written while queued.
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
 }
 
 impl MultiSim {
@@ -140,9 +191,12 @@ impl MultiSim {
                     Some(CpuContext::new(i as u32))
                 },
                 done: false,
+                arrival: 0,
+                wake: 0,
+                seq: i as u64,
             })
             .collect();
-        Ok(MultiSim {
+        let mut ms = MultiSim {
             sim,
             procs,
             slices: vec![base_slice.max(1); n],
@@ -153,14 +207,88 @@ impl MultiSim {
             slice_start: 0,
             failures_at_slice_start: 0,
             successes_at_slice_start: 0,
-        })
+            mode: SchedulerMode::default(),
+            seq_counter: n as u64,
+            heap: BinaryHeap::new(),
+        };
+        ms.rebuild_heap();
+        Ok(ms)
     }
 
-    fn next_undone(&self) -> Option<usize> {
-        let n = self.procs.len();
-        (1..=n)
-            .map(|k| (self.current + k) % n)
-            .find(|&i| !self.procs[i].done)
+    /// Installs per-process arrival cycles (open-loop workload): process
+    /// `i` first becomes schedulable at cycle `arrivals[i]`. Must be
+    /// called before the run starts; process 0 is resident at reset, so
+    /// `arrivals[0]` must be 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from the process count, if
+    /// `arrivals[0] != 0`, or if the run has already started.
+    pub fn set_arrivals(&mut self, arrivals: &[u64]) {
+        assert_eq!(
+            arrivals.len(),
+            self.procs.len(),
+            "one arrival cycle per process"
+        );
+        assert_eq!(arrivals[0], 0, "process 0 is resident at reset");
+        assert!(
+            self.sim.cpu().now() == 0 && self.switches == 0,
+            "arrivals must be installed before the run starts"
+        );
+        for (p, &at) in self.procs.iter_mut().zip(arrivals) {
+            p.arrival = at;
+            p.wake = at;
+        }
+        self.rebuild_heap();
+    }
+
+    /// Selects the scheduler traversal (see [`SchedulerMode`]). Both modes
+    /// produce byte-identical simulations; this only changes host cost.
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.mode = mode;
+        self.rebuild_heap();
+    }
+
+    /// The active scheduler traversal.
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Repopulates the ready heap from the per-process `(wake, seq)`
+    /// fields — the heap is derived state (reset, restore, mode change).
+    fn rebuild_heap(&mut self) {
+        self.heap.clear();
+        for (i, p) in self.procs.iter().enumerate() {
+            if !p.done && i != self.current {
+                self.heap.push(Reverse((p.wake, p.seq, i)));
+            }
+        }
+    }
+
+    /// Minimum `(wake, seq, pid)` over the schedulable processes, without
+    /// removing it. Within the pick block the running process is included
+    /// when still undone (it was just yield-stamped).
+    fn peek_next(&self) -> Option<(u64, u64, usize)> {
+        match self.mode {
+            SchedulerMode::HorizonHeap => self.heap.peek().map(|Reverse(k)| *k),
+            SchedulerMode::RoundRobin => self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.done)
+                .map(|(i, p)| (p.wake, p.seq, i))
+                .min(),
+        }
+    }
+
+    /// Clock step for legacy idle-gap crossing: one base slice per
+    /// advance, mirroring the per-slice wakeups a round-robin slicer
+    /// would burn while every resident process is parked.
+    fn gap_quantum(&self) -> u64 {
+        match self.policy {
+            SwitchPolicy::Fixed(n) => n.max(1),
+            SwitchPolicy::Backoff { base, .. } => base.max(1),
+        }
     }
 
     fn switch_to(&mut self, next: usize) {
@@ -226,28 +354,14 @@ impl MultiSim {
             if now >= limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            // Fast-forward may jump an idle gap, but never past the point
-            // where this loop would act: the end of the current slice (the
-            // first cycle `slice_over` can fire — `switch_safe` is
-            // invariant while the pipeline is inert, so if it is false now
-            // it stays false until a real tick) or the cycle limit.
-            let cap = if self.sim.cpu().switch_safe() {
-                limit.min(self.slice_start.saturating_add(self.slices[self.current]))
-            } else {
-                limit
-            };
-            self.sim
-                .advance_checked(cap.max(now + 1))
-                .map_err(|e| self.enrich_livelock(e))?;
-            let now = self.sim.cpu().now();
 
-            if self.sim.cpu().halted() && !self.procs[self.current].done {
-                self.procs[self.current].done = true;
-                self.completions[self.current] = Some(now);
-            }
-
+            // Pick before advancing: if the running process is done or its
+            // slice is over, hand the core to the minimum-(wake, seq)
+            // schedulable process — crossing the idle gap first when that
+            // minimum is a future arrival.
             let cur_done = self.procs[self.current].done;
-            let slice_over = now.saturating_sub(self.slice_start) >= self.slices[self.current]
+            let slice_over = !cur_done
+                && now.saturating_sub(self.slice_start) >= self.slices[self.current]
                 // A precise interrupt waits for an in-flight side-effecting
                 // head instruction (e.g. a conditional flush that already
                 // reached the CSB) to retire; switching under it would
@@ -268,15 +382,85 @@ impl MultiSim {
                         self.slices[idx] = base.max(1);
                     }
                 }
-                if let Some(next) = self.next_undone() {
-                    if next != self.current {
-                        self.switch_to(next);
+                // Yield-stamp the outgoing process: it re-enters the ready
+                // queue behind everything already waiting (monotone seq
+                // keeps the queue FIFO, which is exactly the legacy
+                // rotation order).
+                if !cur_done {
+                    let p = &mut self.procs[self.current];
+                    p.wake = now;
+                    p.seq = self.seq_counter;
+                    self.seq_counter += 1;
+                    if self.mode == SchedulerMode::HorizonHeap {
+                        self.heap.push(Reverse((p.wake, p.seq, self.current)));
                     }
-                    self.slice_start = now;
-                    let stats = self.sim.csb_stats();
-                    self.failures_at_slice_start = stats.flush_failures;
-                    self.successes_at_slice_start = stats.flush_successes;
                 }
+                // Commit the pick, crossing the idle gap first if every
+                // schedulable process is a future arrival. A gap can only
+                // open once the running process halted (an undone resident
+                // would have wake == now), so the machine is quiescent
+                // modulo bus drain and advancing to the next arrival is
+                // safe. The planned sleep is reported to the watchdog so
+                // it does not read as a stall — `note_scheduled_wake`
+                // defers only once the machine is drained, so a genuine
+                // NACK storm keeps its original deadline in both modes.
+                loop {
+                    let (wake, _seq, idx) = self.peek_next().expect("an undone process exists");
+                    let now = self.sim.cpu().now();
+                    if wake <= now {
+                        if self.mode == SchedulerMode::HorizonHeap {
+                            self.heap.pop();
+                        }
+                        if idx != self.current {
+                            self.switch_to(idx);
+                        }
+                        self.slice_start = now;
+                        let stats = self.sim.csb_stats();
+                        self.failures_at_slice_start = stats.flush_failures;
+                        self.successes_at_slice_start = stats.flush_successes;
+                        break;
+                    }
+                    if now >= limit {
+                        return Err(SimError::CycleLimit { limit });
+                    }
+                    self.sim.note_scheduled_wake(wake.min(limit));
+                    let cap = match self.mode {
+                        // One jump to the next arrival, however far.
+                        SchedulerMode::HorizonHeap => wake.min(limit),
+                        // Legacy stepping: one slice quantum per advance,
+                        // the cost profile of a slicer that re-polls every
+                        // parked process each slice.
+                        SchedulerMode::RoundRobin => {
+                            wake.min(limit).min(now.saturating_add(self.gap_quantum()))
+                        }
+                    };
+                    self.sim
+                        .advance_checked(cap.max(now + 1))
+                        .map_err(|e| self.enrich_livelock(e))?;
+                }
+            }
+
+            let now = self.sim.cpu().now();
+            if now >= limit {
+                return Err(SimError::CycleLimit { limit });
+            }
+            // Fast-forward may jump an idle gap, but never past the point
+            // where this loop would act: the end of the current slice (the
+            // first cycle `slice_over` can fire — `switch_safe` is
+            // invariant while the pipeline is inert, so if it is false now
+            // it stays false until a real tick) or the cycle limit.
+            let cap = if self.sim.cpu().switch_safe() {
+                limit.min(self.slice_start.saturating_add(self.slices[self.current]))
+            } else {
+                limit
+            };
+            self.sim
+                .advance_checked(cap.max(now + 1))
+                .map_err(|e| self.enrich_livelock(e))?;
+
+            if self.sim.cpu().halted() && !self.procs[self.current].done {
+                self.procs[self.current].done = true;
+                self.completions[self.current] = Some(self.sim.cpu().now());
             }
         }
         let summary = self.sim.summary();
@@ -329,6 +513,17 @@ impl MultiSim {
         w.put_u64(self.slice_start);
         w.put_u64(self.failures_at_slice_start);
         w.put_u64(self.successes_at_slice_start);
+        // Scheduler keys (format v2). The ready heap itself is not
+        // serialized: it is derived state, rebuilt from these fields on
+        // restore. SchedulerMode is deliberately absent — both traversals
+        // compute the same schedule, so a snapshot taken under either
+        // restores under either.
+        for p in &self.procs {
+            w.put_u64(p.arrival);
+            w.put_u64(p.wake);
+            w.put_u64(p.seq);
+        }
+        w.put_u64(self.seq_counter);
         self.sim.save_state(&mut w);
         w.finish()
     }
@@ -399,6 +594,12 @@ impl MultiSim {
         ms.slice_start = r.take_u64()?;
         ms.failures_at_slice_start = r.take_u64()?;
         ms.successes_at_slice_start = r.take_u64()?;
+        for p in &mut ms.procs {
+            p.arrival = r.take_u64()?;
+            p.wake = r.take_u64()?;
+            p.seq = r.take_u64()?;
+        }
+        ms.seq_counter = r.take_u64()?;
         // Install the running process's program before restoring the
         // machine: the CPU re-derives its in-flight instructions from the
         // program it holds.
@@ -412,6 +613,7 @@ impl MultiSim {
         ms.current = current;
         ms.sim.restore_state(&mut r)?;
         r.expect_end("multi-process snapshot")?;
+        ms.rebuild_heap();
         Ok(ms)
     }
 
@@ -424,6 +626,18 @@ impl MultiSim {
     /// simulator (see [`Simulator::set_fast_forward`]).
     pub fn set_fast_forward(&mut self, on: bool) {
         self.sim.set_fast_forward(on);
+    }
+
+    /// Starts recording counters and latency histograms on the underlying
+    /// simulator (see [`Simulator::enable_metrics`]).
+    pub fn enable_metrics(&mut self) {
+        self.sim.enable_metrics();
+    }
+
+    /// Starts recording structured trace events on the underlying
+    /// simulator (see [`Simulator::enable_tracing`]).
+    pub fn enable_tracing(&mut self) {
+        self.sim.enable_tracing();
     }
 
     /// Installs a deterministic fault schedule on the underlying simulator

@@ -1330,13 +1330,11 @@ impl Simulator {
         if now >= cap {
             return false;
         }
-        // A tick that mutated the pipeline is usually followed by another:
-        // skip the horizon scan entirely and tick for real. Costs at most
-        // one extra real tick per stall entry, saves the scan on every
-        // busy tick.
-        if self.cpu.last_tick_worked() {
-            return false;
-        }
+        // The horizon scan runs after every tick — [`Cpu::next_event`]
+        // resolves the common busy-pipeline verdicts from the ROB head in
+        // O(1), so even sub-2-transaction bus-idle gaps engage the walk on
+        // their first stalled cycle instead of ticking through for real
+        // (the old quiet-tick gate burned one real tick per stall entry).
         let CpuHorizon::Idle { wake, stall } = self.cpu.next_event(&self.machine) else {
             return false;
         };
@@ -1493,6 +1491,22 @@ impl Simulator {
     /// bus.
     pub fn complete(&self) -> bool {
         self.cpu.halted() && self.machine.io_drained()
+    }
+
+    /// Tells the progress watchdog that the caller has *scheduled* the
+    /// next work for cycle `at`: a fully idle machine (halted CPU, drained
+    /// I/O) sleeping toward a planned wake — e.g. [`crate::multiproc::MultiSim`]
+    /// waiting for the next process arrival — is waiting, not stalled, so
+    /// the hard-stall deadline moves to `at + stall_cycles`. A no-op
+    /// unless the machine is fully idle ([`Simulator::complete`]): while
+    /// I/O is still draining, a genuine stall (device NACK storm, flush
+    /// futility) keeps its original deadline and fires at the identical
+    /// cycle on every loop. Idempotent and monotone — the mark never moves
+    /// backwards.
+    pub fn note_scheduled_wake(&mut self, at: u64) {
+        if self.complete() {
+            self.wd_last_progress = self.wd_last_progress.max(at);
+        }
     }
 
     /// Runs until completion or `limit` CPU cycles.

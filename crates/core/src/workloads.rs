@@ -283,6 +283,50 @@ pub fn lock_sequence(dwords: usize) -> Result<Program, WorkloadError> {
     Ok(a.assemble()?)
 }
 
+/// Builds a worker for the many-core contention sweep's conventional
+/// baseline: `iterations` lock-based accesses ([`lock_sequence`] body) of
+/// `dwords` uncached stores each, every process contending on the single
+/// global lock word — the §4.2 path whose convoy the per-process CSB
+/// schemes eliminate.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::BadDwords`] unless `1 <= dwords <= 512`.
+pub fn lock_worker(iterations: usize, dwords: usize) -> Result<Program, WorkloadError> {
+    if dwords == 0 || dwords > 512 {
+        return Err(WorkloadError::BadDwords { dwords, max: 512 });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, LOCK_ADDR as i64);
+    a.movi(Reg::O1, UNCACHED_BASE as i64);
+    a.movi(Reg::L1, 0x6262_6262_6262_6262u64 as i64);
+    a.movi(Reg::L5, iterations as i64);
+    a.mark(MARK_START);
+    let outer = a.new_label();
+    a.bind(outer)?;
+    // Lock acquire: swap 1 into the lock until the old value was 0.
+    let retry = a.new_label();
+    a.bind(retry)?;
+    a.movi(Reg::L0, 1);
+    a.swap(Reg::L0, Reg::O0, 0);
+    a.cmpi(Reg::L0, 0);
+    a.bnz(retry);
+    a.membar();
+    for i in 0..dwords {
+        a.std(Reg::L1, Reg::O1, 8 * i as i64);
+    }
+    // The lock may be released only after the last uncached store has left
+    // the uncached buffer.
+    a.membar();
+    a.std(Reg::G0, Reg::O0, 0); // release: store 0 (cached)
+    a.alui(csb_isa::AluOp::Sub, Reg::L5, Reg::L5, 1);
+    a.cmpi(Reg::L5, 0);
+    a.bnz(outer);
+    a.mark(MARK_END);
+    a.halt();
+    Ok(a.assemble()?)
+}
+
 /// Builds the CSB atomic-access kernel of §4.2: `dwords` combining stores
 /// followed by a conditional flush, its check, and a retry branch. The
 /// access is architecturally complete as soon as the flush succeeds.

@@ -1079,8 +1079,110 @@ impl Cpu {
         if !self.fetch_q.is_empty() && self.rob.len() < self.cfg.rob_size {
             return CpuHorizon::Active;
         }
+        // Head first: during busy phases the head is almost always about
+        // to commit, complete, or have its memory op accepted, so the
+        // common `Active` verdicts resolve in O(1) and the O(rob) tail
+        // scan below only runs once the head is provably stalled. This is
+        // what lets `advance` afford a horizon scan after *every* tick:
+        // short (sub-2-transaction) bus-idle gaps used to hide behind the
+        // quiet-tick gate and tick cycle-by-cycle; now the walk engages on
+        // the first stalled cycle.
         let mut wake: Option<u64> = None;
-        for (idx, e) in self.rob.iter().enumerate() {
+        let stall = match self.rob.front() {
+            None => {
+                // Nothing in flight, nothing to fetch: quiescent (either
+                // about to sit at a drained non-halt end-of-program
+                // forever, exactly like the naive loop, or mid-drain
+                // waiting on the fetch path handled above).
+                None
+            }
+            Some(head) => match head.st {
+                St::Done => {
+                    if head.inst.kind() == InstKind::Membar && !port.uncached_drained() {
+                        Some(StallCause::Membar)
+                    } else {
+                        // Commit makes progress.
+                        return CpuHorizon::Active;
+                    }
+                }
+                St::Agen { done_at } | St::Exec { done_at } | St::MemAccess { done_at } => {
+                    if done_at <= self.now {
+                        return CpuHorizon::Active;
+                    }
+                    wake = Some(done_at);
+                    None
+                }
+                St::UncachedWait => {
+                    let ready = if matches!(head.inst, Inst::Swap { .. }) {
+                        port.uncached_swap_ready(head.seq)
+                    } else {
+                        port.uncached_load_ready(head.seq)
+                    };
+                    if ready {
+                        return CpuHorizon::Active;
+                    }
+                    // The completion cycle lives in the memory system's
+                    // horizon, not ours.
+                    None
+                }
+                St::Waiting => {
+                    // Unit budgets reset every tick, so operand readiness
+                    // is the only cross-cycle blocker. (A zero-unit config
+                    // never leaves Waiting; claiming Active then matches
+                    // the naive loop's livelock.)
+                    if self.ops_would_be_ready(0) {
+                        return CpuHorizon::Active;
+                    }
+                    None
+                }
+                St::AddrReady => {
+                    if !self.ops_would_be_ready(0) {
+                        // Producers of head operands are always retired in
+                        // practice; be conservative if not.
+                        return CpuHorizon::Active;
+                    }
+                    let addr = head.addr.expect("AddrReady implies address");
+                    let space = head.space.expect("AddrReady implies space");
+                    match (&head.inst, space) {
+                        (Inst::Swap { .. }, AddressSpace::UncachedCombining) => {
+                            if port.csb_can_flush() {
+                                return CpuHorizon::Active;
+                            }
+                            Some(StallCause::CsbFlushWait)
+                        }
+                        (Inst::Swap { .. }, AddressSpace::Uncached)
+                        | (
+                            Inst::Load { .. },
+                            AddressSpace::Uncached | AddressSpace::UncachedCombining,
+                        ) => {
+                            if port.uncached_load_would_accept() {
+                                return CpuHorizon::Active;
+                            }
+                            Some(StallCause::UncachedLoadFull)
+                        }
+                        (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::Uncached) => {
+                            if port.uncached_store_would_accept(addr, mem_width(&head.inst)) {
+                                return CpuHorizon::Active;
+                            }
+                            Some(StallCause::UncachedStoreFull)
+                        }
+                        (
+                            Inst::Store { .. } | Inst::StoreF { .. },
+                            AddressSpace::UncachedCombining,
+                        ) => {
+                            if port.csb_store_would_accept() {
+                                return CpuHorizon::Active;
+                            }
+                            Some(StallCause::CsbStoreBusy)
+                        }
+                        // Cached swap executes at the head next tick; cached
+                        // loads/stores at the head always advance via issue.
+                        _ => return CpuHorizon::Active,
+                    }
+                }
+            },
+        };
+        for (idx, e) in self.rob.iter().enumerate().skip(1) {
             match e.st {
                 St::Agen { done_at } | St::Exec { done_at } | St::MemAccess { done_at } => {
                     if done_at <= self.now {
@@ -1097,19 +1199,13 @@ impl Cpu {
                     if ready {
                         return CpuHorizon::Active;
                     }
-                    // The completion cycle lives in the memory system's
-                    // horizon, not ours.
                 }
                 St::Waiting => {
-                    // Unit budgets reset every tick, so operand readiness
-                    // is the only cross-cycle blocker. (A zero-unit config
-                    // never leaves Waiting; claiming Active then matches
-                    // the naive loop's livelock.)
                     if self.ops_would_be_ready(idx) {
                         return CpuHorizon::Active;
                     }
                 }
-                St::AddrReady if idx > 0 => match (e.inst.kind(), e.space) {
+                St::AddrReady => match (e.inst.kind(), e.space) {
                     // A blocked load (older store in the way) stays
                     // blocked until the head retires, which the head
                     // checks cover.
@@ -1122,73 +1218,11 @@ impl Cpu {
                     // Uncached ops and atomics wait for the head.
                     _ => {}
                 },
-                // Head AddrReady is classified below; Done entries are
-                // inert until the in-order head reaches them.
-                St::AddrReady | St::Done => {}
+                // Done entries are inert until the in-order head reaches
+                // them.
+                St::Done => {}
             }
         }
-        let Some(head) = self.rob.front() else {
-            // Nothing in flight, nothing to fetch: quiescent (either about
-            // to sit at a drained non-halt end-of-program forever, exactly
-            // like the naive loop, or mid-drain waiting on the fetch path
-            // handled above).
-            return CpuHorizon::Idle { wake, stall: None };
-        };
-        let stall = match head.st {
-            St::Done => {
-                if head.inst.kind() == InstKind::Membar && !port.uncached_drained() {
-                    Some(StallCause::Membar)
-                } else {
-                    // Commit makes progress.
-                    return CpuHorizon::Active;
-                }
-            }
-            St::AddrReady => {
-                if !self.ops_would_be_ready(0) {
-                    // Producers of head operands are always retired in
-                    // practice; be conservative if not.
-                    return CpuHorizon::Active;
-                }
-                let addr = head.addr.expect("AddrReady implies address");
-                let space = head.space.expect("AddrReady implies space");
-                match (&head.inst, space) {
-                    (Inst::Swap { .. }, AddressSpace::UncachedCombining) => {
-                        if port.csb_can_flush() {
-                            return CpuHorizon::Active;
-                        }
-                        Some(StallCause::CsbFlushWait)
-                    }
-                    (Inst::Swap { .. }, AddressSpace::Uncached)
-                    | (
-                        Inst::Load { .. },
-                        AddressSpace::Uncached | AddressSpace::UncachedCombining,
-                    ) => {
-                        if port.uncached_load_would_accept() {
-                            return CpuHorizon::Active;
-                        }
-                        Some(StallCause::UncachedLoadFull)
-                    }
-                    (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::Uncached) => {
-                        if port.uncached_store_would_accept(addr, mem_width(&head.inst)) {
-                            return CpuHorizon::Active;
-                        }
-                        Some(StallCause::UncachedStoreFull)
-                    }
-                    (Inst::Store { .. } | Inst::StoreF { .. }, AddressSpace::UncachedCombining) => {
-                        if port.csb_store_would_accept() {
-                            return CpuHorizon::Active;
-                        }
-                        Some(StallCause::CsbStoreBusy)
-                    }
-                    // Cached swap executes at the head next tick; cached
-                    // loads/stores at the head always advance via issue.
-                    _ => return CpuHorizon::Active,
-                }
-            }
-            // Head in flight (Agen/Exec/MemAccess/UncachedWait/Waiting):
-            // its own arm above already classified it.
-            _ => None,
-        };
         CpuHorizon::Idle { wake, stall }
     }
 

@@ -49,6 +49,9 @@ pub struct LedgerRecord {
     pub flush_p95: u64,
     /// 99th-percentile flush retry latency (cycles).
     pub flush_p99: u64,
+    /// 99.9th-percentile flush retry latency (cycles). Absent from
+    /// ledgers written before the field existed; parsed as 0 then.
+    pub flush_p999: u64,
 }
 
 impl LedgerRecord {
@@ -139,6 +142,8 @@ pub fn parse_record(line: &str) -> Result<LedgerRecord, String> {
         flush_p50: get_u64(&obj, "flush_p50")?,
         flush_p95: get_u64(&obj, "flush_p95")?,
         flush_p99: get_u64(&obj, "flush_p99")?,
+        // Tolerant: older ledgers predate the deep-tail gauge.
+        flush_p999: get_u64(&obj, "flush_p999").unwrap_or(0),
     })
 }
 
@@ -244,11 +249,12 @@ pub fn diff_ledgers(
             continue;
         };
         diff.compared += 1;
-        let gauges: [(&str, u64, u64); 4] = [
+        let gauges: [(&str, u64, u64); 5] = [
             ("cycles", b.cycles, c.cycles),
             ("flush_p50", b.flush_p50, c.flush_p50),
             ("flush_p95", b.flush_p95, c.flush_p95),
             ("flush_p99", b.flush_p99, c.flush_p99),
+            ("flush_p999", b.flush_p999, c.flush_p999),
         ];
         for (metric, bv, cv) in gauges {
             let regressed = if bv == 0 {
@@ -303,6 +309,7 @@ mod tests {
             flush_p50: 1,
             flush_p95: p95,
             flush_p99: p95,
+            flush_p999: p95,
         }
     }
 
@@ -310,6 +317,16 @@ mod tests {
     fn record_roundtrips_through_jsonl() {
         let r = record("4a/256B/CSB", 9001, 15);
         let parsed = parse_record(&r.to_jsonl_line()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn old_ledger_lines_without_p999_parse_as_zero() {
+        let mut r = record("4a/256B/CSB", 9001, 15);
+        let line = r.to_jsonl_line().replace(",\"flush_p999\":15", "");
+        assert!(!line.contains("flush_p999"), "{line}");
+        let parsed = parse_record(&line).expect("old line parses");
+        r.flush_p999 = 0;
         assert_eq!(parsed, r);
     }
 
@@ -338,6 +355,7 @@ mod tests {
         assert!(metrics.contains(&"cycles"));
         assert!(metrics.contains(&"flush_p95"));
         assert!(metrics.contains(&"flush_p99"));
+        assert!(metrics.contains(&"flush_p999"));
         assert!(
             !diff.regressions.iter().any(|r| r.key.contains("::a#")),
             "point a is within threshold"
@@ -370,7 +388,7 @@ mod tests {
         let mut grown = record("a", 1000, 3);
         grown.flush_p50 = 0;
         let diff = diff_ledgers(&base, &[grown], 0.10);
-        assert_eq!(diff.regressions.len(), 2, "{:?}", diff.regressions);
+        assert_eq!(diff.regressions.len(), 3, "{:?}", diff.regressions);
         assert!(diff.regressions.iter().all(|r| r.ratio.is_infinite()));
         let same = diff_ledgers(&base, &[record("a", 1000, 0)], 0.10);
         assert!(!same.is_regression());

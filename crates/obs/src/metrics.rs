@@ -126,6 +126,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             buckets: self
                 .buckets
                 .iter()
@@ -167,6 +168,9 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// 99th percentile, as a bucket upper-bound estimate clamped to `max`.
     pub p99: u64,
+    /// 99.9th percentile, as a bucket upper-bound estimate clamped to
+    /// `max` — the deep tail the many-core contention sweep reports.
+    pub p999: u64,
     /// The non-empty buckets, in ascending `le` order.
     pub buckets: Vec<BucketCount>,
 }
@@ -232,6 +236,7 @@ impl HistogramSummary {
         self.p50 = bucket_quantile(&merged, self.count, self.max, 0.50);
         self.p95 = bucket_quantile(&merged, self.count, self.max, 0.95);
         self.p99 = bucket_quantile(&merged, self.count, self.max, 0.99);
+        self.p999 = bucket_quantile(&merged, self.count, self.max, 0.999);
         self.buckets = merged;
     }
 }
@@ -536,6 +541,51 @@ mod tests {
             s.merge(&a.summary());
             assert_eq!(s, union.summary(), "union of {ys:?} and {xs:?}");
         }
+    }
+
+    #[test]
+    fn p999_tracks_the_deep_tail() {
+        // 2000 fast observations and two slow ones: p99 stays in the fast
+        // bucket while p99.9 lands on the tail — the gauge the many-core
+        // contention sweep exists to expose.
+        let mut h = Histogram::default();
+        for _ in 0..2000 {
+            h.observe(3);
+        }
+        h.observe(5000);
+        h.observe(9000);
+        let s = h.summary();
+        assert_eq!(s.p99, 3);
+        // Rank ceil(0.999×2002) = 2000 is still fast; 0.9995 would be the
+        // first slow one. Use a slightly heavier tail to pin the split:
+        let mut h = Histogram::default();
+        for _ in 0..990 {
+            h.observe(3);
+        }
+        for _ in 0..10 {
+            h.observe(8000);
+        }
+        let s = h.summary();
+        assert_eq!(s.p99, 3, "rank 990 of 1000 is still fast");
+        assert_eq!(s.p999, 8000, "rank 999 of 1000 is in the tail");
+        // Merge-safety: splitting the same observations across two
+        // summaries re-derives the identical p999.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for i in 0..990 {
+            if i % 2 == 0 {
+                a.observe(3);
+            } else {
+                b.observe(3);
+            }
+        }
+        for _ in 0..5 {
+            a.observe(8000);
+            b.observe(8000);
+        }
+        let mut m = a.summary();
+        m.merge(&b.summary());
+        assert_eq!(m, s);
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub struct CsbStats {
     pub stores: u64,
     /// Stores that reset the buffer (conflict or cold start).
     pub resets: u64,
+    /// The subset of `resets` where the buffered line belonged to a
+    /// *different* process — the §3.2 interference the many-core
+    /// contention sweep counts (a same-PID line change or cold start is
+    /// not contention).
+    pub cross_pid_resets: u64,
     /// Successful conditional flushes.
     pub flush_successes: u64,
     /// Failed conditional flushes.
@@ -162,10 +167,11 @@ impl fmt::Display for CsbStats {
         let flushes = self.flush_successes + self.flush_failures;
         write!(
             f,
-            "csb: {} stores ({} resets), {}/{} flushes ok, {} bursts, \
+            "csb: {} stores ({} resets, {} cross-pid), {}/{} flushes ok, {} bursts, \
              {} payload bytes, {} busy stalls",
             self.stores,
             self.resets,
+            self.cross_pid_resets,
             self.flush_successes,
             flushes,
             self.bursts,
@@ -339,6 +345,7 @@ impl ConditionalStoreBuffer {
         w.put_tag("csb");
         w.put_u64(self.stats.stores);
         w.put_u64(self.stats.resets);
+        w.put_u64(self.stats.cross_pid_resets);
         w.put_u64(self.stats.flush_successes);
         w.put_u64(self.stats.flush_failures);
         w.put_u64(self.stats.bursts);
@@ -384,6 +391,7 @@ impl ConditionalStoreBuffer {
         self.pending.clear();
         self.stats.stores = r.take_u64()?;
         self.stats.resets = r.take_u64()?;
+        self.stats.cross_pid_resets = r.take_u64()?;
         self.stats.flush_successes = r.take_u64()?;
         self.stats.flush_failures = r.take_u64()?;
         self.stats.bursts = r.take_u64()?;
@@ -481,6 +489,9 @@ impl ConditionalStoreBuffer {
             slot => {
                 // Mismatch or cold buffer: clear (zero padding) and restart.
                 self.stats.resets += 1;
+                if slot.as_ref().is_some_and(|line| line.pid != pid) {
+                    self.stats.cross_pid_resets += 1;
+                }
                 let mut line = LineBuf {
                     base,
                     pid,
@@ -694,6 +705,7 @@ mod tests {
             c.store(1, line.offset(8 * i), &dword(9)).unwrap();
         }
         assert_eq!(c.store(2, line, &dword(7)).unwrap(), StoreOutcome::Reset);
+        assert_eq!(c.stats().cross_pid_resets, 1, "competitor reset counts");
         let out = c.conditional_flush(1, line, 4);
         assert_eq!(out, FlushOutcome::Fail);
         assert_eq!(out.register_value(4), 0);
@@ -907,7 +919,7 @@ mod tests {
         let s = c.stats().to_string();
         assert_eq!(
             s,
-            "csb: 2 stores (1 resets), 1/1 flushes ok, 1 bursts, \
+            "csb: 2 stores (1 resets, 0 cross-pid), 1/1 flushes ok, 1 bursts, \
              16 payload bytes, 0 busy stalls"
         );
     }

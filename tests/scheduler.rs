@@ -1,0 +1,323 @@
+//! Differential tests for the MultiSim scheduler traversals: the
+//! O(log n) horizon heap must be **byte-identical** to the legacy O(n)
+//! round-robin scan on every observable — summaries, device logs, CSB
+//! statistics, fault counters, livelock reports (down to the firing
+//! cycle), and snapshot frames — across switch policies, open-loop
+//! arrival schedules, fault schedules, and mid-run snapshot/restore.
+//! The heap is a traversal optimization, never a semantic change.
+
+use csb_core::experiments::contend::arrival_schedule;
+use csb_core::multiproc::{MultiSim, MultiSummary, SchedulerMode, SwitchPolicy};
+use csb_core::workloads;
+use csb_core::{FaultConfig, SimConfig, SimError};
+use csb_isa::Program;
+
+const LIMIT: u64 = 10_000_000;
+
+fn workers(cfg: &SimConfig, n: usize, iters: usize) -> Vec<Program> {
+    (0..n)
+        .map(|i| workloads::csb_worker(iters, 8, i, cfg).unwrap())
+        .collect()
+}
+
+/// Builds one MultiSim with the given traversal, arrivals, and faults.
+fn build(
+    cfg: &SimConfig,
+    programs: &[Program],
+    policy: SwitchPolicy,
+    mode: SchedulerMode,
+    arrivals: Option<&[u64]>,
+    faults: Option<FaultConfig>,
+) -> MultiSim {
+    let mut ms = MultiSim::new(cfg.clone(), programs.to_vec(), policy).unwrap();
+    if let Some(at) = arrivals {
+        ms.set_arrivals(at);
+    }
+    ms.set_scheduler(mode);
+    ms.set_faults(faults);
+    ms
+}
+
+/// Runs the same configuration under both traversals and asserts every
+/// observable is byte-identical. Returns the (shared) summary.
+fn assert_modes_identical(
+    cfg: &SimConfig,
+    programs: &[Program],
+    policy: SwitchPolicy,
+    arrivals: Option<&[u64]>,
+    faults: Option<FaultConfig>,
+    label: &str,
+) -> MultiSummary {
+    let mut legacy = build(
+        cfg,
+        programs,
+        policy,
+        SchedulerMode::RoundRobin,
+        arrivals,
+        faults,
+    );
+    let mut heap = build(
+        cfg,
+        programs,
+        policy,
+        SchedulerMode::HorizonHeap,
+        arrivals,
+        faults,
+    );
+    let a = legacy
+        .run(LIMIT)
+        .unwrap_or_else(|e| panic!("{label}: legacy run failed: {e:?}"));
+    let b = heap
+        .run(LIMIT)
+        .unwrap_or_else(|e| panic!("{label}: heap run failed: {e:?}"));
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "{label}: summaries must be byte-identical"
+    );
+    assert_eq!(
+        serde_json::to_string(legacy.simulator().device()).unwrap(),
+        serde_json::to_string(heap.simulator().device()).unwrap(),
+        "{label}: device logs must be byte-identical"
+    );
+    assert_eq!(
+        format!("{:?}", legacy.simulator().csb_stats()),
+        format!("{:?}", heap.simulator().csb_stats()),
+        "{label}: CSB statistics must be byte-identical"
+    );
+    assert_eq!(
+        format!("{:?}", legacy.fault_stats()),
+        format!("{:?}", heap.fault_stats()),
+        "{label}: fault counters must be byte-identical"
+    );
+    a
+}
+
+#[test]
+fn heap_equals_legacy_across_policies() {
+    let cfg = SimConfig::default();
+    let programs = workers(&cfg, 3, 4);
+    for policy in [
+        SwitchPolicy::Fixed(60),
+        SwitchPolicy::Fixed(100_000),
+        SwitchPolicy::Backoff { base: 6, max: 4096 },
+    ] {
+        let s = assert_modes_identical(&cfg, &programs, policy, None, None, &format!("{policy:?}"));
+        assert_eq!(s.flush_successes, 12, "{policy:?}: all accesses complete");
+    }
+}
+
+#[test]
+fn heap_equals_legacy_with_arrivals() {
+    let cfg = SimConfig::default();
+    for &n in &[2usize, 8, 16] {
+        let programs = workers(&cfg, n, 2);
+        for seed in 0..3u64 {
+            let arrivals = arrival_schedule(n, 80_000, seed);
+            let s = assert_modes_identical(
+                &cfg,
+                &programs,
+                SwitchPolicy::Fixed(120),
+                Some(&arrivals),
+                None,
+                &format!("n={n} seed={seed}"),
+            );
+            assert_eq!(s.flush_successes, 2 * n as u64);
+            assert!(
+                s.completions.iter().all(|&c| c > 0),
+                "n={n} seed={seed}: every arrival must finish"
+            );
+        }
+    }
+}
+
+#[test]
+fn heap_equals_legacy_under_faults() {
+    let cfg = SimConfig::default();
+    let programs = workers(&cfg, 3, 3);
+    for seed in [5u64, 9] {
+        let faults = FaultConfig::new(seed)
+            .flush_disturb_rate(0.3)
+            .bus_error_rate(0.05)
+            .device_nack_rate(0.05);
+        let s = assert_modes_identical(
+            &cfg,
+            &programs,
+            SwitchPolicy::Backoff {
+                base: 60,
+                max: 4096,
+            },
+            None,
+            Some(faults),
+            &format!("faults seed={seed}"),
+        );
+        assert_eq!(s.flush_successes, 9, "disturbed flushes retry to success");
+    }
+}
+
+#[test]
+fn livelock_reports_fire_at_the_identical_cycle() {
+    // Fixed 6-cycle slices: no flush can ever complete, the watchdog must
+    // fire — and must fire at the *same cycle* with the same report under
+    // both traversals (the watchdog reads the same advance pattern).
+    let cfg = SimConfig::default();
+    let programs = workers(&cfg, 2, 1);
+    let mut reports = Vec::new();
+    for mode in [SchedulerMode::RoundRobin, SchedulerMode::HorizonHeap] {
+        let mut ms = build(&cfg, &programs, SwitchPolicy::Fixed(6), mode, None, None);
+        match ms.run(300_000) {
+            Err(SimError::Livelock(r)) => reports.push(r),
+            other => panic!("{mode:?}: expected livelock, got {other:?}"),
+        }
+    }
+    assert_eq!(reports[0].cycle, reports[1].cycle, "firing cycle differs");
+    assert_eq!(
+        format!("{:?}", reports[0]),
+        format!("{:?}", reports[1]),
+        "whole livelock reports must be identical"
+    );
+    assert_eq!(reports[0].consecutive_flush_failures, 64);
+}
+
+#[test]
+fn snapshot_frames_are_identical_between_modes_and_restore_across() {
+    // SchedulerMode is deliberately not serialized: both traversals
+    // compute the same schedule, so the snapshot frames must be equal
+    // byte-for-byte at the same cycle, and a frame taken under one mode
+    // must finish identically when restored under the other.
+    let cfg = SimConfig::default();
+    let programs = workers(&cfg, 2, 4);
+    let policy = SwitchPolicy::Fixed(60);
+
+    let mut whole = build(
+        &cfg,
+        &programs,
+        policy,
+        SchedulerMode::HorizonHeap,
+        None,
+        None,
+    );
+    let expected = whole.run(LIMIT).unwrap();
+
+    let mut legacy = build(
+        &cfg,
+        &programs,
+        policy,
+        SchedulerMode::RoundRobin,
+        None,
+        None,
+    );
+    let mut heap = build(
+        &cfg,
+        &programs,
+        policy,
+        SchedulerMode::HorizonHeap,
+        None,
+        None,
+    );
+    for ms in [&mut legacy, &mut heap] {
+        match ms.run(150) {
+            Err(SimError::CycleLimit { .. }) => {}
+            other => panic!("expected mid-run CycleLimit, got {other:?}"),
+        }
+    }
+    let frame_legacy = legacy.snapshot();
+    let frame_heap = heap.snapshot();
+    assert_eq!(
+        frame_legacy, frame_heap,
+        "snapshot frames must be byte-identical between traversals"
+    );
+
+    // Cross-restore: heap frame, legacy continuation (and vice versa).
+    for (frame, mode) in [
+        (&frame_heap, SchedulerMode::RoundRobin),
+        (&frame_legacy, SchedulerMode::HorizonHeap),
+    ] {
+        let mut resumed = MultiSim::restore(cfg.clone(), programs.clone(), policy, frame).unwrap();
+        resumed.set_scheduler(mode);
+        let got = resumed.run(LIMIT).unwrap();
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&expected).unwrap(),
+            "{mode:?}: cross-mode resume must finish byte-identically"
+        );
+    }
+}
+
+#[test]
+fn mid_gap_snapshot_restore_with_arrivals() {
+    // Snapshot while the machine is parked inside an idle arrival gap —
+    // the heap's jumped-over region — and resume under both traversals.
+    let cfg = SimConfig::default();
+    let n = 8;
+    let programs = workers(&cfg, n, 1);
+    let arrivals = arrival_schedule(n, 60_000, 42);
+    let policy = SwitchPolicy::Fixed(200);
+
+    let mut whole = build(
+        &cfg,
+        &programs,
+        policy,
+        SchedulerMode::HorizonHeap,
+        Some(&arrivals),
+        None,
+    );
+    let expected = whole.run(LIMIT).unwrap();
+
+    for snap_at in [500u64, 7_000, 30_000] {
+        let mut donor = build(
+            &cfg,
+            &programs,
+            policy,
+            SchedulerMode::HorizonHeap,
+            Some(&arrivals),
+            None,
+        );
+        match donor.run(snap_at) {
+            Err(SimError::CycleLimit { .. }) => {}
+            other => panic!("snap_at={snap_at}: expected CycleLimit, got {other:?}"),
+        }
+        let frame = donor.snapshot();
+        for mode in [SchedulerMode::RoundRobin, SchedulerMode::HorizonHeap] {
+            let mut resumed =
+                MultiSim::restore(cfg.clone(), programs.clone(), policy, &frame).unwrap();
+            resumed.set_scheduler(mode);
+            let got = resumed.run(LIMIT).unwrap();
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(&expected).unwrap(),
+                "snap_at={snap_at} {mode:?}: resume must be byte-identical"
+            );
+            assert_eq!(
+                serde_json::to_string(resumed.simulator().device()).unwrap(),
+                serde_json::to_string(whole.simulator().device()).unwrap(),
+                "snap_at={snap_at} {mode:?}: device log must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_property_sweep_over_core_counts() {
+    // The satellite property loop: arbitrary core counts (2–64) × arrival
+    // seeds, both traversals, every observable identical and the run
+    // complete. Doubles as the livelock-free guarantee for the contention
+    // sweep's configuration space.
+    let cfg = SimConfig::default();
+    for &n in &[2usize, 5, 13, 33, 64] {
+        let programs = workers(&cfg, n, 1);
+        for seed in [11u64, 1_000_007] {
+            let arrivals = arrival_schedule(n, 40_000, seed);
+            let s = assert_modes_identical(
+                &cfg,
+                &programs,
+                SwitchPolicy::Fixed(90),
+                Some(&arrivals),
+                None,
+                &format!("prop n={n} seed={seed}"),
+            );
+            assert_eq!(s.flush_successes, n as u64);
+            assert!(s.completions.iter().all(|&c| c > 0));
+        }
+    }
+}
