@@ -11,7 +11,11 @@
 //!   policies under a seeded fault schedule (robustness study),
 //! * [`contend`] — many-core contention: throughput and flush-latency
 //!   tails at 16/32/64 processors, lock vs. per-process CSB lines vs. the
-//!   double-buffered CSB (server-class scenario, not a paper figure).
+//!   double-buffered CSB (server-class scenario, not a paper figure),
+//! * [`messaging`] — end-to-end reliable NIC messaging: exactly-once
+//!   delivery accounting and latency tails of sequence-numbered messages
+//!   through the attached NI, send path × size × fault rate × retry
+//!   policy (robustness study, not a paper figure).
 //!
 //! Each harness returns serializable panel structures with a plain-text
 //! table renderer, so the `csb-bench` binaries can print the same rows and
@@ -25,6 +29,7 @@ pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod messaging;
 pub mod runner;
 pub mod throughput;
 

@@ -247,6 +247,17 @@ pub(crate) struct Machine {
     /// Consecutive failed conditional flushes with no success and no
     /// device delivery in between (the watchdog's futility signal).
     futile_flushes: u64,
+    /// Optional NI attached as the receive side of the I/O window
+    /// (`None` by default: detached simulations pay nothing).
+    nic: Option<NicAttachment>,
+}
+
+/// A [`csb_nic::Nic`] watching bus writes at and above `base`.
+#[derive(Debug)]
+struct NicAttachment {
+    nic: csb_nic::Nic,
+    /// Bus address of window offset 0.
+    base: u64,
 }
 
 /// What one grant attempt in [`Machine::issue_step`] did.
@@ -433,6 +444,45 @@ impl Machine {
         match txn.kind {
             TxnKind::Write => {
                 self.flat.write_bytes(txn.addr, &data);
+                if let Some(att) = &mut self.nic {
+                    if txn.addr.raw() >= att.base {
+                        let torn_before = att.nic.stats().torn_frames;
+                        let msgs_before = att.nic.messages().len();
+                        att.nic
+                            .ingest_bytes(txn.addr.raw() - att.base, &data, addr_cycle);
+                        // Stamped at the delivery's CPU-cycle equivalent of
+                        // the bus address phase — a pure function of the
+                        // transaction timeline, so the naive loop and a
+                        // fast-forward walk (where the shared clock is
+                        // frozen) emit byte-identical streams.
+                        let cycle = addr_cycle * self.ratio;
+                        for _ in torn_before..att.nic.stats().torn_frames {
+                            self.metrics.inc("nic_torn_frames");
+                            self.obs.emit_at(
+                                cycle,
+                                Track::Bus,
+                                EventKind::NicTornFrame {
+                                    offset: txn.addr.raw() - att.base,
+                                },
+                            );
+                        }
+                        for m in &att.nic.messages()[msgs_before..] {
+                            self.metrics.inc("nic_messages");
+                            self.metrics
+                                .observe("nic_e2e_latency", m.device_latency() * self.ratio);
+                            self.obs.emit_at(
+                                cycle,
+                                Track::Bus,
+                                EventKind::NicMessage {
+                                    sender: m.sender,
+                                    seq: m.seq,
+                                    len: m.payload.len(),
+                                    arrival: m.arrived_at * self.ratio,
+                                },
+                            );
+                        }
+                    }
+                }
                 self.device.deliver(txn.addr, data, txn.payload, addr_cycle);
                 // A delivery is forward progress for the retry loop even
                 // when the triggering flush itself keeps failing.
@@ -929,6 +979,7 @@ impl Simulator {
             progress: 0,
             progress_at: 0,
             futile_flushes: 0,
+            nic: None,
         };
         let cpu = Cpu::new(cfg.cpu, program);
         Ok(Simulator {
@@ -992,6 +1043,7 @@ impl Simulator {
         m.progress = 0;
         m.progress_at = 0;
         m.futile_flushes = 0;
+        m.nic = None;
         self.cpu
             .reset_with(cfg.cpu, program, csb_cpu::CpuContext::new(0));
         self.cfg = cfg;
@@ -1023,6 +1075,44 @@ impl Simulator {
     /// The I/O device sink.
     pub fn device(&self) -> &IoDevice {
         &self.machine.device
+    }
+
+    /// Attaches a network interface as the receive side of the I/O
+    /// window starting at `window_base` (typically
+    /// [`crate::COMBINING_BASE`] for CSB senders or
+    /// [`crate::UNCACHED_BASE`] for locked senders). Every bus write
+    /// delivered at or above the base is ingested live — identically on
+    /// the naive tick loop and the fast-forward walk — so the NI
+    /// assembles messages, detects torn frames, and timestamps wire
+    /// arrivals as the run progresses. Replaces any previous attachment;
+    /// [`Simulator::reset_with`] detaches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Component`] if `cfg` is rejected by
+    /// [`csb_nic::Nic::new`].
+    pub fn attach_nic(
+        &mut self,
+        cfg: csb_nic::NicConfig,
+        window_base: Addr,
+    ) -> Result<(), SimError> {
+        let nic = csb_nic::Nic::new(cfg).map_err(|e| SimError::Component(e.to_string()))?;
+        self.machine.nic = Some(NicAttachment {
+            nic,
+            base: window_base.raw(),
+        });
+        Ok(())
+    }
+
+    /// The attached network interface, if any.
+    pub fn nic(&self) -> Option<&csb_nic::Nic> {
+        self.machine.nic.as_ref().map(|att| &att.nic)
+    }
+
+    /// Detaches the network interface (subsequent deliveries are no
+    /// longer ingested).
+    pub fn detach_nic(&mut self) {
+        self.machine.nic = None;
     }
 
     /// Functional memory (test setup and inspection).
@@ -1128,6 +1218,23 @@ impl Simulator {
         m.bus.save_state(w);
         w.put_u64(m.now);
         m.device.save_state(w);
+        match &m.nic {
+            Some(att) => {
+                w.put_bool(true);
+                w.put_u64(att.base);
+                // Config echo: the NI is attached per point (not part of
+                // `SimConfig`), so the frame must carry enough to rebuild
+                // the attachment on restore.
+                let c = att.nic.config();
+                w.put_usize(c.slot_size);
+                w.put_usize(c.slots);
+                w.put_u64(c.process_cycles);
+                w.put_u64(c.wire.latency);
+                w.put_u64(c.wire.cycles_per_dword);
+                att.nic.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
         save_pending(w, &m.pending_reads);
         save_pending(w, &m.pending_swaps);
         let mut tags: Vec<u64> = m.swap_writes.keys().copied().collect();
@@ -1199,6 +1306,25 @@ impl Simulator {
         m.bus.restore_state(r)?;
         m.now = r.take_u64()?;
         m.device.restore_state(r)?;
+        m.nic = if r.take_bool()? {
+            let base = r.take_u64()?;
+            let cfg = csb_nic::NicConfig {
+                slot_size: r.take_usize()?,
+                slots: r.take_usize()?,
+                process_cycles: r.take_u64()?,
+                wire: csb_nic::WireModel {
+                    latency: r.take_u64()?,
+                    cycles_per_dword: r.take_u64()?,
+                },
+            };
+            let mut nic = csb_nic::Nic::new(cfg).map_err(|e| {
+                csb_snap::SnapshotError::Corrupt(format!("NIC attachment invalid: {e}"))
+            })?;
+            nic.restore_state(r)?;
+            Some(NicAttachment { nic, base })
+        } else {
+            None
+        };
         restore_pending(r, &mut m.pending_reads)?;
         restore_pending(r, &mut m.pending_swaps)?;
         m.swap_writes.clear();

@@ -602,6 +602,238 @@ pub fn csb_worker(
     Ok(a.assemble()?)
 }
 
+/// Parameters for the reliable-messaging senders ([`csb_messages`] /
+/// [`lock_messages`]): a stream of sequence-numbered messages, each one
+/// [`csb_nic::Header`]-framed in its own NI window slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessagingSpec {
+    /// Messages to send, with consecutive sequence numbers `0..count`.
+    pub count: usize,
+    /// Payload doublewords per message (the header adds one more).
+    pub payload_dwords: usize,
+    /// Sender id stamped into every header.
+    pub sender: u16,
+    /// NI window slots cycled round-robin (message `m` lands in slot
+    /// `m % slots`; one slot per cache line).
+    pub slots: usize,
+}
+
+impl MessagingSpec {
+    /// Payload value pattern for message `seq`: the sequence number
+    /// replicated into every byte, so receivers can verify payload
+    /// integrity per message.
+    pub fn payload_pattern(seq: u16) -> u64 {
+        u64::from(seq as u8).wrapping_mul(0x0101_0101_0101_0101)
+    }
+
+    fn validate(&self, cfg: &SimConfig) -> Result<(), WorkloadError> {
+        let max = cfg.line() / 8 - 1;
+        if self.payload_dwords == 0 || self.payload_dwords > max {
+            return Err(WorkloadError::BadDwords {
+                dwords: self.payload_dwords,
+                max,
+            });
+        }
+        let window_bytes = self.slots * cfg.line();
+        if self.count == 0
+            || self.count > u16::MAX as usize
+            || self.slots == 0
+            || window_bytes as u64 > IO_WINDOW
+        {
+            return Err(WorkloadError::BadTransfer {
+                bytes: window_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builds the CSB messaging sender: for each message, one combining-store
+/// group writes the [`csb_nic::encode_header`] doubleword plus
+/// `payload_dwords` payload dwords into the message's window slot, then
+/// commits the line with a conditional flush under `policy` — so the NI
+/// receives each message as a single atomic burst. A bounded policy that
+/// exhausts its flush budget halts the sender mid-stream (messages from
+/// that point on are never sent: the receive-side seq accounting reports
+/// them as dropped).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] for out-of-range sizes, slot counts past the
+/// I/O window, or a zero attempt budget.
+pub fn csb_messages(
+    spec: MessagingSpec,
+    policy: RetryPolicy,
+    cfg: &SimConfig,
+) -> Result<Program, WorkloadError> {
+    spec.validate(cfg)?;
+    let attempts = match policy {
+        RetryPolicy::NaiveSpin => u64::MAX,
+        RetryPolicy::Bounded { attempts } | RetryPolicy::Backoff { attempts, .. } => attempts,
+    };
+    if attempts == 0 {
+        return Err(WorkloadError::BadDwords {
+            dwords: spec.payload_dwords,
+            max: cfg.line() / 8 - 1,
+        });
+    }
+    let expected = spec.payload_dwords as i64 + 1;
+    let mut a = Assembler::new();
+    a.movi(Reg::O1, COMBINING_BASE as i64);
+    a.mark(MARK_START);
+    let give_up = a.new_label();
+    for m in 0..spec.count {
+        let seq = m as u16;
+        let line_off = ((m % spec.slots) * cfg.line()) as i64;
+        let header = csb_nic::encode_header((spec.payload_dwords * 8) as u16, seq, spec.sender);
+        a.movi(Reg::L2, header as i64);
+        a.movi(Reg::L1, MessagingSpec::payload_pattern(seq) as i64);
+        let msg_done = a.new_label();
+        if matches!(policy, RetryPolicy::NaiveSpin) {
+            let retry = a.new_label();
+            a.bind(retry)?;
+            a.movi(Reg::L4, expected);
+            a.std(Reg::L2, Reg::O1, line_off);
+            for i in 0..spec.payload_dwords {
+                a.std(Reg::L1, Reg::O1, line_off + 8 * (i as i64 + 1));
+            }
+            a.swap(Reg::L4, Reg::O1, line_off);
+            a.cmpi(Reg::L4, expected);
+            a.bnz(retry);
+        } else {
+            for attempt in 0..attempts {
+                a.movi(Reg::L4, expected);
+                a.std(Reg::L2, Reg::O1, line_off);
+                for i in 0..spec.payload_dwords {
+                    a.std(Reg::L1, Reg::O1, line_off + 8 * (i as i64 + 1));
+                }
+                a.swap(Reg::L4, Reg::O1, line_off);
+                a.cmpi(Reg::L4, expected);
+                a.bz(msg_done);
+                if attempt + 1 == attempts {
+                    continue;
+                }
+                if let RetryPolicy::Backoff {
+                    base, max, seed, ..
+                } = policy
+                {
+                    let delay = (base << attempt.min(63)).min(max.max(base));
+                    let delay = delay + backoff_jitter(seed, attempt, delay / 2 + 1);
+                    if delay > 0 {
+                        let spin = a.new_label();
+                        a.movi(Reg::L0, delay as i64);
+                        a.bind(spin)?;
+                        a.alui(csb_isa::AluOp::Sub, Reg::L0, Reg::L0, 1);
+                        a.cmpi(Reg::L0, 0);
+                        a.bnz(spin);
+                    }
+                }
+            }
+            // This message's budget is gone: abandon the whole stream
+            // (later messages would arrive out of order otherwise).
+            a.ba(give_up);
+        }
+        a.bind(msg_done)?;
+    }
+    a.mark(MARK_END);
+    a.halt();
+    a.bind(give_up)?;
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+/// Builds the conventional locked messaging sender: for each message, the
+/// swap-based spin lock is acquired under `policy`, the header and payload
+/// dwords are written to the message's slot as plain uncached stores
+/// (strongly ordered, so the NI assembles each frame from a dribble of
+/// beats), a membar drains them, and the lock is released. With a single
+/// sender the acquire always succeeds on its first attempt; the policy
+/// dimension exists so the sweep's program shapes mirror the CSB paths.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] for out-of-range sizes, slot counts past the
+/// I/O window, or a zero attempt budget.
+pub fn lock_messages(
+    spec: MessagingSpec,
+    policy: RetryPolicy,
+    cfg: &SimConfig,
+) -> Result<Program, WorkloadError> {
+    spec.validate(cfg)?;
+    let attempts = match policy {
+        RetryPolicy::NaiveSpin => u64::MAX,
+        RetryPolicy::Bounded { attempts } | RetryPolicy::Backoff { attempts, .. } => attempts,
+    };
+    if attempts == 0 {
+        return Err(WorkloadError::BadDwords {
+            dwords: spec.payload_dwords,
+            max: cfg.line() / 8 - 1,
+        });
+    }
+    let mut a = Assembler::new();
+    a.movi(Reg::O0, LOCK_ADDR as i64);
+    a.movi(Reg::O1, UNCACHED_BASE as i64);
+    a.mark(MARK_START);
+    let give_up = a.new_label();
+    for m in 0..spec.count {
+        let seq = m as u16;
+        let line_off = ((m % spec.slots) * cfg.line()) as i64;
+        let header = csb_nic::encode_header((spec.payload_dwords * 8) as u16, seq, spec.sender);
+        a.movi(Reg::L2, header as i64);
+        a.movi(Reg::L1, MessagingSpec::payload_pattern(seq) as i64);
+        let acquired = a.new_label();
+        if matches!(policy, RetryPolicy::NaiveSpin) {
+            let retry = a.new_label();
+            a.bind(retry)?;
+            a.movi(Reg::L0, 1);
+            a.swap(Reg::L0, Reg::O0, 0);
+            a.cmpi(Reg::L0, 0);
+            a.bnz(retry);
+        } else {
+            for attempt in 0..attempts {
+                a.movi(Reg::L0, 1);
+                a.swap(Reg::L0, Reg::O0, 0);
+                a.cmpi(Reg::L0, 0);
+                a.bz(acquired);
+                if attempt + 1 == attempts {
+                    continue;
+                }
+                if let RetryPolicy::Backoff {
+                    base, max, seed, ..
+                } = policy
+                {
+                    let delay = (base << attempt.min(63)).min(max.max(base));
+                    let delay = delay + backoff_jitter(seed, attempt, delay / 2 + 1);
+                    if delay > 0 {
+                        let spin = a.new_label();
+                        a.movi(Reg::L0, delay as i64);
+                        a.bind(spin)?;
+                        a.alui(csb_isa::AluOp::Sub, Reg::L0, Reg::L0, 1);
+                        a.cmpi(Reg::L0, 0);
+                        a.bnz(spin);
+                    }
+                }
+            }
+            a.ba(give_up);
+        }
+        a.bind(acquired)?;
+        a.membar();
+        a.std(Reg::L2, Reg::O1, line_off);
+        for i in 0..spec.payload_dwords {
+            a.std(Reg::L1, Reg::O1, line_off + 8 * (i as i64 + 1));
+        }
+        // The lock may be released only after the last store has left the
+        // uncached buffer.
+        a.membar();
+        a.std(Reg::G0, Reg::O0, 0); // release: store 0 (cached)
+    }
+    a.mark(MARK_END);
+    a.halt();
+    a.bind(give_up)?;
+    a.halt();
+    Ok(a.assemble()?)
+}
+
 /// Parameters for [`random_mixed`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomMix {
@@ -791,5 +1023,87 @@ mod tests {
         let cfg = SimConfig::default();
         assert!(csb_worker(3, 4, 0, &cfg).is_ok());
         assert!(csb_worker(3, 4, 2000, &cfg).is_err());
+    }
+
+    fn msg_spec() -> MessagingSpec {
+        MessagingSpec {
+            count: 4,
+            payload_dwords: 3,
+            sender: 7,
+            slots: 2,
+        }
+    }
+
+    #[test]
+    fn csb_messages_expected_count_includes_header() {
+        let cfg = SimConfig::default();
+        let p = csb_messages(msg_spec(), RetryPolicy::NaiveSpin, &cfg).unwrap();
+        let listing = p.listing();
+        // 3 payload dwords + 1 header dword per flush group.
+        assert!(listing.contains("set 4, %l4"), "listing:\n{listing}");
+        assert_eq!(listing.matches("swap").count(), 4);
+    }
+
+    #[test]
+    fn bounded_csb_messages_unroll_attempts() {
+        let cfg = SimConfig::default();
+        let naive = csb_messages(msg_spec(), RetryPolicy::NaiveSpin, &cfg).unwrap();
+        let bounded = csb_messages(msg_spec(), RetryPolicy::Bounded { attempts: 3 }, &cfg).unwrap();
+        // 3 flush attempts per message instead of one looped attempt.
+        assert_eq!(bounded.listing().matches("swap").count(), 12);
+        assert!(bounded.len() > naive.len());
+    }
+
+    #[test]
+    fn lock_messages_bracket_stores_with_membars() {
+        let cfg = SimConfig::default();
+        let p = lock_messages(msg_spec(), RetryPolicy::NaiveSpin, &cfg).unwrap();
+        let listing = p.listing();
+        // Two membars per message: post-acquire and pre-release.
+        assert_eq!(listing.matches("membar").count(), 8);
+        assert!(listing.contains("%g0")); // release stores zero
+    }
+
+    #[test]
+    fn messaging_rejects_bad_specs() {
+        let cfg = SimConfig::default();
+        let bad_dwords = MessagingSpec {
+            payload_dwords: cfg.line() / 8,
+            ..msg_spec()
+        };
+        assert!(matches!(
+            csb_messages(bad_dwords, RetryPolicy::NaiveSpin, &cfg),
+            Err(WorkloadError::BadDwords { .. })
+        ));
+        let bad_window = MessagingSpec {
+            slots: 2000,
+            ..msg_spec()
+        };
+        assert!(matches!(
+            lock_messages(bad_window, RetryPolicy::NaiveSpin, &cfg),
+            Err(WorkloadError::BadTransfer { .. })
+        ));
+        let empty = MessagingSpec {
+            count: 0,
+            ..msg_spec()
+        };
+        assert!(matches!(
+            csb_messages(empty, RetryPolicy::NaiveSpin, &cfg),
+            Err(WorkloadError::BadTransfer { .. })
+        ));
+        assert!(csb_messages(msg_spec(), RetryPolicy::Bounded { attempts: 0 }, &cfg).is_err());
+        assert!(lock_messages(msg_spec(), RetryPolicy::Bounded { attempts: 0 }, &cfg).is_err());
+    }
+
+    #[test]
+    fn messaging_headers_decode_back() {
+        let spec = msg_spec();
+        for seq in 0..spec.count as u16 {
+            let h = csb_nic::encode_header((spec.payload_dwords * 8) as u16, seq, spec.sender);
+            let d = csb_nic::decode_header(h).unwrap();
+            assert_eq!(d.len as usize, spec.payload_dwords * 8);
+            assert_eq!(d.seq, seq);
+            assert_eq!(d.sender, spec.sender);
+        }
     }
 }

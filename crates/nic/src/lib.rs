@@ -284,9 +284,15 @@ impl Nic {
     /// Consumes one bus write into the window. Writes crossing a slot
     /// boundary are split internally; bytes past the window are ignored.
     pub fn ingest(&mut self, w: &WindowWrite) {
+        self.ingest_bytes(w.offset, &w.data, w.bus_cycle);
+    }
+
+    /// [`Nic::ingest`] without the owned buffer — the simulator's
+    /// per-delivery hot path, which already holds the bytes.
+    pub fn ingest_bytes(&mut self, offset: u64, data: &[u8], bus_cycle: u64) {
         let slot_size = self.cfg.slot_size as u64;
-        let mut offset = w.offset;
-        let mut data = &w.data[..];
+        let mut offset = offset;
+        let mut data = data;
         while !data.is_empty() {
             let slot = (offset / slot_size) as usize;
             if slot >= self.cfg.slots {
@@ -294,7 +300,7 @@ impl Nic {
             }
             let within = (offset % slot_size) as usize;
             let take = data.len().min(self.cfg.slot_size - within);
-            self.ingest_in_slot(slot, within, &data[..take], w.bus_cycle);
+            self.ingest_in_slot(slot, within, &data[..take], bus_cycle);
             offset += take as u64;
             data = &data[take..];
         }
@@ -353,6 +359,133 @@ impl Nic {
                 arrived_at,
             });
         }
+    }
+
+    /// Discards all in-flight assembly state, delivered messages, and
+    /// counters, keeping the configuration (the warm-reset path).
+    pub fn clear(&mut self) {
+        for p in &mut self.pending {
+            *p = None;
+        }
+        self.messages.clear();
+        self.stats = NicStats::default();
+    }
+
+    /// Serializes the NI's mutable state: counters, per-slot in-flight
+    /// assembly (header, partial payload, coverage bitmap), and the
+    /// delivered-message log. The configuration is *not* serialized — the
+    /// restoring side must construct the NI with the same [`NicConfig`].
+    pub fn save_state(&self, w: &mut csb_snap::SnapshotWriter) {
+        w.put_tag("nic");
+        w.put_u64(self.stats.messages);
+        w.put_u64(self.stats.payload_bytes);
+        w.put_u64(self.stats.torn_frames);
+        w.put_u64(self.stats.stray_writes);
+        w.put_u64(self.stats.invalid_headers);
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            match p {
+                None => w.put_bool(false),
+                Some(p) => {
+                    w.put_bool(true);
+                    w.put_u64(encode_header(p.header.len, p.header.seq, p.header.sender));
+                    w.put_bytes(&p.buf);
+                    w.put_usize(p.got.len());
+                    for &g in &p.got {
+                        w.put_bool(g);
+                    }
+                    w.put_u64(p.first_bus_cycle);
+                }
+            }
+        }
+        w.put_usize(self.messages.len());
+        for m in &self.messages {
+            w.put_u64(u64::from(m.sender));
+            w.put_u64(u64::from(m.seq));
+            w.put_bytes(&m.payload);
+            w.put_usize(m.slot);
+            w.put_u64(m.first_bus_cycle);
+            w.put_u64(m.completed_bus_cycle);
+            w.put_u64(m.arrived_at);
+        }
+    }
+
+    /// Restores state written by [`Nic::save_state`] into an NI constructed
+    /// with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`csb_snap::SnapshotError`] if the frame is truncated or its
+    /// slot layout disagrees with this NI's configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut csb_snap::SnapshotReader<'_>,
+    ) -> Result<(), csb_snap::SnapshotError> {
+        r.take_tag("nic")?;
+        self.stats.messages = r.take_u64()?;
+        self.stats.payload_bytes = r.take_u64()?;
+        self.stats.torn_frames = r.take_u64()?;
+        self.stats.stray_writes = r.take_u64()?;
+        self.stats.invalid_headers = r.take_u64()?;
+        let slots = r.take_usize()?;
+        if slots != self.cfg.slots {
+            return Err(csb_snap::SnapshotError::Corrupt(format!(
+                "NIC frame has {} slots, config has {}",
+                slots, self.cfg.slots
+            )));
+        }
+        let payload_cap = max_payload(self.cfg.slot_size);
+        for slot in 0..slots {
+            self.pending[slot] = if r.take_bool()? {
+                let header = decode_header(r.take_u64()?).ok_or_else(|| {
+                    csb_snap::SnapshotError::Corrupt("NIC pending header lost its magic".into())
+                })?;
+                let buf = r.take_bytes()?.to_vec();
+                let got_len = r.take_usize()?;
+                if buf.len() != payload_cap || got_len != payload_cap {
+                    return Err(csb_snap::SnapshotError::Corrupt(format!(
+                        "NIC pending buffers sized {}/{} bytes, slot carries {}",
+                        buf.len(),
+                        got_len,
+                        payload_cap
+                    )));
+                }
+                let mut got = vec![false; got_len];
+                for g in &mut got {
+                    *g = r.take_bool()?;
+                }
+                let first_bus_cycle = r.take_u64()?;
+                Some(Pending {
+                    header,
+                    buf,
+                    got,
+                    first_bus_cycle,
+                })
+            } else {
+                None
+            };
+        }
+        self.messages.clear();
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let sender = r.take_u64()? as u16;
+            let seq = r.take_u64()? as u16;
+            let payload = r.take_bytes()?.to_vec();
+            let slot = r.take_usize()?;
+            let first_bus_cycle = r.take_u64()?;
+            let completed_bus_cycle = r.take_u64()?;
+            let arrived_at = r.take_u64()?;
+            self.messages.push(ReceivedMessage {
+                sender,
+                seq,
+                payload,
+                slot,
+                first_bus_cycle,
+                completed_bus_cycle,
+                arrived_at,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -574,5 +707,217 @@ mod tests {
         assert_eq!(w.arrival(100, 0), 110);
         assert_eq!(w.arrival(100, 8), 112);
         assert_eq!(w.arrival(100, 17), 116); // 3 dwords
+    }
+
+    #[test]
+    fn partial_write_then_new_header_tears() {
+        // A burst that covers the header but only part of the payload,
+        // followed immediately by the next message's full burst: the
+        // incomplete frame is torn, the complete one delivers.
+        let mut nic = Nic::new(NicConfig::default()).unwrap();
+        let a = line_with(32, 1, 1, 0xaa);
+        nic.ingest(&WindowWrite {
+            offset: 0,
+            data: a[..24].to_vec(), // header + 16 of 32 payload bytes
+            bus_cycle: 10,
+        });
+        assert!(nic.messages().is_empty());
+        nic.ingest(&WindowWrite {
+            offset: 0,
+            data: line_with(8, 2, 1, 0xbb),
+            bus_cycle: 20,
+        });
+        assert_eq!(nic.stats().torn_frames, 1);
+        assert_eq!(nic.messages().len(), 1);
+        assert_eq!(nic.messages()[0].seq, 2);
+    }
+
+    #[test]
+    fn interleaved_slots_assemble_independently() {
+        // Two senders dribbling into different slots concurrently: no
+        // tearing, both messages complete with their own timestamps.
+        let mut nic = Nic::new(NicConfig::default()).unwrap();
+        let a = line_with(8, 1, 1, 0x11);
+        let b = line_with(8, 7, 2, 0x22);
+        nic.ingest(&WindowWrite {
+            offset: 0,
+            data: a[..8].to_vec(),
+            bus_cycle: 10,
+        });
+        nic.ingest(&WindowWrite {
+            offset: 64,
+            data: b[..8].to_vec(),
+            bus_cycle: 11,
+        });
+        nic.ingest(&WindowWrite {
+            offset: 64 + 8,
+            data: b[8..16].to_vec(),
+            bus_cycle: 12,
+        });
+        nic.ingest(&WindowWrite {
+            offset: 8,
+            data: a[8..16].to_vec(),
+            bus_cycle: 13,
+        });
+        assert_eq!(nic.stats().torn_frames, 0);
+        assert_eq!(nic.messages().len(), 2);
+        assert_eq!(nic.messages()[0].sender, 2);
+        assert_eq!(nic.messages()[0].first_bus_cycle, 11);
+        assert_eq!(nic.messages()[1].sender, 1);
+        assert_eq!(nic.messages()[1].first_bus_cycle, 10);
+    }
+
+    #[test]
+    fn save_restore_round_trips_mid_assembly() {
+        let cfg = NicConfig::default();
+        let mut nic = Nic::new(cfg).unwrap();
+        // One delivered message, one in-flight half-assembled frame.
+        nic.ingest(&WindowWrite {
+            offset: 0,
+            data: line_with(16, 1, 3, 0x44),
+            bus_cycle: 5,
+        });
+        let partial = line_with(24, 2, 3, 0x55);
+        nic.ingest(&WindowWrite {
+            offset: 64,
+            data: partial[..16].to_vec(),
+            bus_cycle: 9,
+        });
+        let mut w = csb_snap::SnapshotWriter::new();
+        nic.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = Nic::new(cfg).unwrap();
+        let mut r = csb_snap::SnapshotReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        assert_eq!(restored.stats(), nic.stats());
+        assert_eq!(restored.messages(), nic.messages());
+        // Completing the in-flight frame behaves identically on both sides.
+        for n in [&mut nic, &mut restored] {
+            n.ingest(&WindowWrite {
+                offset: 64 + 16,
+                data: partial[16..32].to_vec(),
+                bus_cycle: 30,
+            });
+        }
+        assert_eq!(restored.messages(), nic.messages());
+        assert_eq!(nic.messages().len(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_slot_count() {
+        let mut nic = Nic::new(NicConfig::default()).unwrap();
+        let mut w = csb_snap::SnapshotWriter::new();
+        nic.save_state(&mut w);
+        let bytes = w.finish();
+        let mut other = Nic::new(NicConfig {
+            slots: 8,
+            ..NicConfig::default()
+        })
+        .unwrap();
+        let mut r = csb_snap::SnapshotReader::new(&bytes);
+        assert!(other.restore_state(&mut r).is_err());
+        // The original still restores cleanly.
+        let mut r = csb_snap::SnapshotReader::new(&bytes);
+        nic.restore_state(&mut r).unwrap();
+        let _checksum = r.take_u64().unwrap();
+        r.expect_end("nic frame").unwrap();
+    }
+
+    #[test]
+    fn clear_resets_everything_but_config() {
+        let mut nic = Nic::new(NicConfig::default()).unwrap();
+        nic.ingest(&WindowWrite {
+            offset: 0,
+            data: line_with(8, 1, 1, 0x66),
+            bus_cycle: 1,
+        });
+        let partial = line_with(24, 2, 1, 0x77);
+        nic.ingest(&WindowWrite {
+            offset: 64,
+            data: partial[..16].to_vec(),
+            bus_cycle: 2,
+        });
+        nic.clear();
+        assert_eq!(nic.stats(), &NicStats::default());
+        assert!(nic.messages().is_empty());
+        // The half-built frame in slot 1 is gone: its payload is now stray.
+        nic.ingest(&WindowWrite {
+            offset: 64 + 16,
+            data: partial[16..24].to_vec(),
+            bus_cycle: 3,
+        });
+        assert_eq!(nic.stats().stray_writes, 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn header_encode_decode_round_trip(len in any::<u16>(), seq in any::<u16>(), sender in any::<u16>()) {
+                let h = decode_header(encode_header(len, seq, sender)).unwrap();
+                prop_assert_eq!(h, Header { len, seq, sender });
+            }
+
+            #[test]
+            fn malformed_dwords_rejected(dword in any::<u64>()) {
+                let decoded = decode_header(dword);
+                if (dword >> 48) as u16 == HEADER_MAGIC {
+                    prop_assert!(decoded.is_some());
+                } else {
+                    prop_assert_eq!(decoded, None);
+                }
+            }
+
+            #[test]
+            fn arrival_is_monotone(
+                latency in 0u64..1_000_000,
+                cpd in 0u64..1_000,
+                done_a in 0u64..1_000_000_000,
+                done_step in 0u64..1_000_000,
+                len_a in 0usize..100_000,
+                len_step in 0usize..10_000,
+            ) {
+                let w = WireModel { latency, cycles_per_dword: cpd };
+                // Never earlier than completion, monotone in both arguments.
+                prop_assert!(w.arrival(done_a, len_a) >= done_a + latency);
+                prop_assert!(w.arrival(done_a + done_step, len_a) >= w.arrival(done_a, len_a));
+                prop_assert!(w.arrival(done_a, len_a + len_step) >= w.arrival(done_a, len_a));
+            }
+
+            #[test]
+            fn snapshot_round_trips_random_write_streams(
+                writes in proptest::collection::vec(
+                    (0u64..2048, proptest::collection::vec(any::<u8>(), 1..96), 0u64..10_000),
+                    0..24,
+                ),
+            ) {
+                let cfg = NicConfig::default();
+                let mut nic = Nic::new(cfg).unwrap();
+                for (offset, data, bus_cycle) in &writes {
+                    nic.ingest(&WindowWrite {
+                        offset: *offset,
+                        data: data.clone(),
+                        bus_cycle: *bus_cycle,
+                    });
+                }
+                let mut w = csb_snap::SnapshotWriter::new();
+                nic.save_state(&mut w);
+                let bytes = w.finish();
+                let mut restored = Nic::new(cfg).unwrap();
+                let mut r = csb_snap::SnapshotReader::new(&bytes);
+                restored.restore_state(&mut r).unwrap();
+                let _checksum = r.take_u64().unwrap();
+                r.expect_end("nic frame").unwrap();
+                prop_assert_eq!(restored.stats(), nic.stats());
+                prop_assert_eq!(restored.messages(), nic.messages());
+                // And the restored frame re-serializes byte-identically.
+                let mut w2 = csb_snap::SnapshotWriter::new();
+                restored.save_state(&mut w2);
+                prop_assert_eq!(w2.finish(), bytes);
+            }
+        }
     }
 }

@@ -104,6 +104,20 @@ fn args_into(out: &mut String, kind: &EventKind) {
         EventKind::DeviceNack { addr } | EventKind::FlushDisturb { addr } => {
             let _ = write!(out, "{{\"addr\":\"{addr:#x}\"}}");
         }
+        EventKind::NicMessage {
+            sender,
+            seq,
+            len,
+            arrival,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"sender\":{sender},\"seq\":{seq},\"len\":{len},\"arrival\":{arrival}}}"
+            );
+        }
+        EventKind::NicTornFrame { offset } => {
+            let _ = write!(out, "{{\"offset\":\"{offset:#x}\"}}");
+        }
     }
 }
 

@@ -180,6 +180,24 @@ pub enum EventKind {
         /// Line address whose flush was disturbed.
         addr: u64,
     },
+    /// The attached NI assembled a complete message and launched it onto
+    /// the wire.
+    NicMessage {
+        /// Sender id from the message header.
+        sender: u16,
+        /// Sequence number from the message header.
+        seq: u16,
+        /// Payload length in bytes.
+        len: usize,
+        /// Wire-model arrival cycle at the peer (CPU cycles).
+        arrival: u64,
+    },
+    /// A new header landed in an NI slot whose previous message was still
+    /// incomplete: the old frame is torn and lost.
+    NicTornFrame {
+        /// Window offset of the tearing header write.
+        offset: u64,
+    },
 }
 
 impl EventKind {
@@ -204,6 +222,8 @@ impl EventKind {
             EventKind::BusFault { .. } => "fault.bus",
             EventKind::DeviceNack { .. } => "fault.nack",
             EventKind::FlushDisturb { .. } => "fault.disturb",
+            EventKind::NicMessage { .. } => "nic.msg",
+            EventKind::NicTornFrame { .. } => "nic.torn",
         }
     }
 }

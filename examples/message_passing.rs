@@ -1,4 +1,4 @@
-//! Fine-grain message passing over a toy network interface.
+//! Fine-grain message passing over the Machine-attached network interface.
 //!
 //! The paper's motivation (§2, §5): cluster communication performance is
 //! dominated by per-message overhead, and messages are short (19–230 bytes
@@ -7,129 +7,110 @@
 //! throughput is how cheaply the CPU can push a descriptor plus payload
 //! into that window *atomically* (multiple processes share the NI).
 //!
-//! This example sends a stream of small messages — an 8-byte header plus a
-//! payload — through three send paths and reports per-message CPU cycles:
+//! This example attaches the [`csb_nic::Nic`] device to the simulated
+//! machine's I/O window — so the NI itself assembles sequence-numbered
+//! frames from whatever bus traffic the sender produces — and pushes a
+//! stream of small messages through three send paths:
 //!
 //! 1. lock + uncached stores + membar + unlock (conventional, §4.2),
 //! 2. the CSB: combining stores + one conditional flush (no lock at all),
-//! 3. the CSB with the double-buffered extension.
+//! 3. the CSB with the variable-burst extension (§3.2).
+//!
+//! Per path it reports CPU cycles per message plus the receive side's own
+//! accounting: messages delivered, torn frames, and the mean end-to-end
+//! latency from first header store on the bus to wire arrival.
 //!
 //! Run with: `cargo run --example message_passing`
 
-use csb_core::{workloads, SimConfig, Simulator};
-use csb_core::{COMBINING_BASE, LOCK_ADDR};
-use csb_isa::{Addr, Assembler, Program, Reg};
+use csb_core::workloads::{self, MessagingSpec, RetryPolicy};
+use csb_core::{SimConfig, Simulator};
+use csb_core::{COMBINING_BASE, LOCK_ADDR, UNCACHED_BASE};
+use csb_isa::Addr;
 
-/// Builds a sender that pushes `count` messages of `payload_dwords`
-/// doublewords (plus a 1-dword header) into consecutive NI window lines via
-/// the CSB, each committed with a conditional flush.
-fn csb_sender(count: usize, payload_dwords: usize, line: usize) -> Program {
-    let mut a = Assembler::new();
-    a.movi(Reg::O1, COMBINING_BASE as i64);
-    a.movi(Reg::L2, 0xcafe); // header template
-    a.movi(Reg::L1, 0xdada); // payload template
-    a.mark(workloads::MARK_START);
-    for m in 0..count {
-        let base = (m % 64) as i64 * line as i64;
-        let dwords = 1 + payload_dwords;
-        let retry = a.new_label();
-        a.bind(retry).expect("fresh label");
-        a.movi(Reg::L4, dwords as i64);
-        a.std(Reg::L2, Reg::O1, base); // header
-        for i in 0..payload_dwords {
-            a.std(Reg::L1, Reg::O1, base + 8 * (i as i64 + 1));
-        }
-        a.swap(Reg::L4, Reg::O1, base);
-        a.cmpi(Reg::L4, dwords as i64);
-        a.bnz(retry);
+/// Messages per run.
+const COUNT: usize = 64;
+
+/// NI window slots the senders cycle through.
+const SLOTS: usize = 8;
+
+fn run(cfg: &SimConfig, spec: MessagingSpec, csb_path: bool, label: &str) -> u64 {
+    let program = if csb_path {
+        workloads::csb_messages(spec, RetryPolicy::NaiveSpin, cfg)
+    } else {
+        workloads::lock_messages(spec, RetryPolicy::NaiveSpin, cfg)
     }
-    a.mark(workloads::MARK_END);
-    a.halt();
-    a.assemble().expect("sender assembles")
-}
-
-/// Builds the same message stream over the conventional lock-based path.
-fn locked_sender(count: usize, payload_dwords: usize) -> Program {
-    let mut a = Assembler::new();
-    a.movi(Reg::O0, LOCK_ADDR as i64);
-    a.movi(Reg::O1, csb_core::UNCACHED_BASE as i64);
-    a.movi(Reg::L2, 0xcafe);
-    a.movi(Reg::L1, 0xdada);
-    a.mark(workloads::MARK_START);
-    for m in 0..count {
-        let base = (m % 64) as i64 * 64;
-        let spin = a.new_label();
-        a.bind(spin).expect("fresh label");
-        a.movi(Reg::L0, 1);
-        a.swap(Reg::L0, Reg::O0, 0);
-        a.cmpi(Reg::L0, 0);
-        a.bnz(spin);
-        a.membar();
-        a.std(Reg::L2, Reg::O1, base);
-        for i in 0..payload_dwords {
-            a.std(Reg::L1, Reg::O1, base + 8 * (i as i64 + 1));
-        }
-        a.membar();
-        a.std(Reg::G0, Reg::O0, 0); // release
-    }
-    a.mark(workloads::MARK_END);
-    a.halt();
-    a.assemble().expect("sender assembles")
-}
-
-fn run(cfg: &SimConfig, program: Program, label: &str, count: usize) -> u64 {
+    .expect("sender assembles");
     let mut sim = Simulator::new(cfg.clone(), program).expect("valid machine");
+    // The NI watches the window the sender writes: the combining window
+    // for the CSB paths, the plain uncached window for the locked path.
+    let base = if csb_path {
+        COMBINING_BASE
+    } else {
+        UNCACHED_BASE
+    };
+    sim.attach_nic(
+        csb_nic::NicConfig {
+            slot_size: cfg.line(),
+            slots: SLOTS,
+            ..csb_nic::NicConfig::default()
+        },
+        Addr::new(base),
+    )
+    .expect("NI window fits");
     sim.warm_line(Addr::new(LOCK_ADDR));
     let s = sim.run(100_000_000).expect("run completes");
     let cycles = s
         .cpu
         .mark_interval(workloads::MARK_START, workloads::MARK_END)
         .expect("marks present");
+    let nic = sim.nic().expect("NI attached");
+    let stats = *nic.stats();
+    let mean_e2e = if nic.messages().is_empty() {
+        0.0
+    } else {
+        nic.messages()
+            .iter()
+            .map(|m| m.device_latency())
+            .sum::<u64>() as f64
+            / nic.messages().len() as f64
+    };
     println!(
-        "{label:<22} {:>8} cycles total  {:>6.1} cycles/message  ({} bus txns, {} flush retries)",
-        cycles,
-        cycles as f64 / count as f64,
-        s.bus.transactions,
-        s.csb.flush_failures,
+        "{label:<22} {:>6.1} cycles/msg  delivered {:>2}/{COUNT}  torn {}  mean e2e {:>5.1} cycles",
+        cycles as f64 / COUNT as f64,
+        stats.messages,
+        stats.torn_frames,
+        mean_e2e,
     );
+    assert_eq!(stats.messages, COUNT as u64, "{label}: every message lands");
+    assert_eq!(stats.torn_frames, 0, "{label}: nothing torn without faults");
     cycles
 }
 
 fn main() {
     let cfg = SimConfig::default();
-    let count = 64;
-    println!("sending {count} messages (8B header + payload) over the NI window\n");
+    println!("sending {COUNT} messages (8B header + payload) through the attached NI\n");
 
     for payload_dwords in [1usize, 3, 7] {
         let bytes = 8 * (1 + payload_dwords);
+        let spec = MessagingSpec {
+            count: COUNT,
+            payload_dwords,
+            sender: 1,
+            slots: SLOTS,
+        };
         println!("--- {bytes}-byte messages ---");
-        let locked = run(
-            &cfg,
-            locked_sender(count, payload_dwords),
-            "lock/store/unlock",
-            count,
-        );
-        let csb = run(
-            &cfg,
-            csb_sender(count, payload_dwords, cfg.line()),
-            "CSB (full-line)",
-            count,
-        );
+        let locked = run(&cfg, spec, false, "lock/store/unlock");
+        let csb = run(&cfg, spec, true, "CSB (full-line)");
         let vb_cfg = cfg.clone().csb_variable_burst();
-        let csb_vb = run(
-            &vb_cfg,
-            csb_sender(count, payload_dwords, cfg.line()),
-            "CSB (variable-burst)",
-            count,
-        );
+        let csb_vb = run(&vb_cfg, spec, true, "CSB (variable-burst)");
         println!(
             "speedup vs locking: CSB {:.1}x, variable-burst {:.1}x\n",
             locked as f64 / csb as f64,
             locked as f64 / csb_vb as f64
         );
     }
-    println!("Back-to-back small messages expose the always-full-line CSB's padding");
-    println!("penalty (the bus carries a 64B burst per 16B message), which is why");
-    println!("§3.2 suggests variable burst sizes where the bus supports them; at a");
-    println!("full line per message, the baseline CSB already wins outright.");
+    println!("The NI's own counters make the reliability story concrete: both paths");
+    println!("deliver every frame intact here, but the locked path needs the lock to");
+    println!("do it — under §3.2's variable bursts the CSB also stops paying the");
+    println!("full-line padding penalty on 16-byte messages, and wins outright.");
 }

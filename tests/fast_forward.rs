@@ -340,6 +340,68 @@ fn differential_csb_flush_storm() {
 }
 
 #[test]
+fn differential_nic_messaging_both_send_paths() {
+    // The attached NI ingests deliveries and stamps its obs events from
+    // the bus-transaction timeline, so the delivered-message log, NI
+    // counters, and the full Chrome trace must be byte-identical on the
+    // naive and fast-forward loops — for the beat-dribbling lock path and
+    // the burst-per-message CSB path alike.
+    let cfg = SimConfig::default();
+    let spec = workloads::MessagingSpec {
+        count: 8,
+        payload_dwords: 3,
+        sender: 2,
+        slots: 2,
+    };
+    let policy = workloads::RetryPolicy::NaiveSpin;
+    let cases = [
+        (
+            workloads::lock_messages(spec, policy, &cfg).unwrap(),
+            csb_core::UNCACHED_BASE,
+        ),
+        (
+            workloads::csb_messages(spec, policy, &cfg).unwrap(),
+            csb_core::COMBINING_BASE,
+        ),
+    ];
+    for (program, base) in cases {
+        let run = |fast_forward: bool| {
+            let mut sim = Simulator::new(cfg.clone(), program.clone()).unwrap();
+            sim.attach_nic(
+                csb_nic::NicConfig {
+                    slot_size: cfg.line(),
+                    slots: 2,
+                    ..csb_nic::NicConfig::default()
+                },
+                csb_isa::Addr::new(base),
+            )
+            .unwrap();
+            sim.set_fast_forward(fast_forward);
+            sim.enable_tracing();
+            sim.run(50_000_000).unwrap();
+            sim
+        };
+        let ff = run(true);
+        let naive = run(false);
+        assert_eq!(
+            ff.chrome_trace(),
+            naive.chrome_trace(),
+            "trace export (NIC events included) must be byte-identical"
+        );
+        let nic_ff = ff.nic().unwrap();
+        let nic_naive = naive.nic().unwrap();
+        assert_eq!(nic_ff.stats(), nic_naive.stats(), "NI counters must match");
+        assert_eq!(
+            serde_json::to_string(&nic_ff.messages().to_vec()).unwrap(),
+            serde_json::to_string(&nic_naive.messages().to_vec()).unwrap(),
+            "delivered-message logs must be byte-identical"
+        );
+        assert_eq!(nic_ff.stats().messages, spec.count as u64);
+        assert_eq!(nic_ff.stats().torn_frames, 0);
+    }
+}
+
+#[test]
 fn csb_active_phase_is_transaction_granular() {
     // The throughput bench's CSB-active shape: the bus is busy nearly end
     // to end, yet the walk must make real ticks scale with the CPU's own

@@ -258,6 +258,95 @@ fn snapshot_respects_watchdog_state() {
     }
 }
 
+#[test]
+fn snapshot_restore_with_attached_nic() {
+    // The NIC attachment — window base, configuration, per-slot in-flight
+    // assembly, and the delivered-message log — rides the snapshot frame:
+    // restore reconstructs it without the caller re-attaching, and the
+    // resumed machine's NI state is byte-identical to the uninterrupted
+    // run's. Snapshot cycles are chosen to land mid-message on the lock
+    // path (frames half-assembled from single beats).
+    let cfg = SimConfig::default();
+    let spec = workloads::MessagingSpec {
+        count: 8,
+        payload_dwords: 7,
+        sender: 3,
+        slots: 2,
+    };
+    let nic_cfg = csb_nic::NicConfig {
+        slot_size: cfg.line(),
+        slots: 2,
+        ..csb_nic::NicConfig::default()
+    };
+    let cases = [
+        (
+            workloads::lock_messages(spec, RetryPolicy::NaiveSpin, &cfg).unwrap(),
+            csb_core::UNCACHED_BASE,
+            None,
+        ),
+        (
+            workloads::csb_messages(
+                spec,
+                RetryPolicy::Backoff {
+                    attempts: 12,
+                    base: 32,
+                    max: 1024,
+                    seed: 5,
+                },
+                &cfg,
+            )
+            .unwrap(),
+            csb_core::COMBINING_BASE,
+            Some(
+                FaultConfig::new(0x11c)
+                    .flush_disturb_rate(0.4)
+                    .bus_error_rate(0.1)
+                    .device_nack_rate(0.1),
+            ),
+        ),
+    ];
+    for (program, base, faults) in cases {
+        for &snap_at in &[1, 60, 400, 900] {
+            for ff in [false, true] {
+                let attach = |s: &mut Simulator| {
+                    s.attach_nic(nic_cfg, csb_isa::Addr::new(base)).unwrap();
+                    s.set_fast_forward(ff);
+                    s.set_faults(faults);
+                };
+                let mut whole = Simulator::new(cfg.clone(), program.clone()).unwrap();
+                attach(&mut whole);
+                let expected = whole.run(LIMIT).expect("uninterrupted run completes");
+
+                let mut donor = Simulator::new(cfg.clone(), program.clone()).unwrap();
+                attach(&mut donor);
+                donor.run_to(snap_at).unwrap();
+                let bytes = donor.snapshot();
+                let mut resumed = Simulator::restore(cfg.clone(), program.clone(), &bytes).unwrap();
+                let got = resumed.run(LIMIT).expect("resumed run completes");
+
+                let ctx = format!("base={base:#x} snap_at={snap_at} ff={ff}");
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    serde_json::to_string(&expected).unwrap(),
+                    "{ctx}: summaries must match"
+                );
+                let nic = resumed.nic().expect("attachment restored from frame");
+                let nic_whole = whole.nic().unwrap();
+                assert_eq!(
+                    nic.stats(),
+                    nic_whole.stats(),
+                    "{ctx}: NI counters must match"
+                );
+                assert_eq!(
+                    serde_json::to_string(&nic.messages().to_vec()).unwrap(),
+                    serde_json::to_string(&nic_whole.messages().to_vec()).unwrap(),
+                    "{ctx}: delivered-message logs must be byte-identical"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
